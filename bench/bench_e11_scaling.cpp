@@ -1,0 +1,66 @@
+// Experiment E11 — shared-memory thread scaling of the simulator (the
+// repro target is a multicore laptop). Google-benchmark over thread
+// counts for the hot kernels: a randomized ColorMiddle pass, the
+// exhaustive seed search, and parameter computation.
+
+#include <benchmark/benchmark.h>
+
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/color_middle.hpp"
+#include "pdc/util/parallel.hpp"
+
+using namespace pdc;
+
+namespace {
+
+void BM_ColorMiddleRandomized(benchmark::State& state) {
+  set_threads(static_cast<int>(state.range(0)));
+  Graph g = gen::gnp(3000, 0.01, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  for (auto _ : state) {
+    derand::ColoringState cs(inst.graph, inst.palettes);
+    hknt::MiddleOptions mo;
+    mo.l10.strategy = derand::SeedStrategy::kTrueRandom;
+    mo.l10.defer_failures = false;
+    hknt::MiddleReport rep = hknt::color_middle(cs, inst, mo, nullptr);
+    benchmark::DoNotOptimize(rep.colored);
+  }
+}
+BENCHMARK(BM_ColorMiddleRandomized)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->
+    UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_SeedSearchExhaustive(benchmark::State& state) {
+  set_threads(static_cast<int>(state.range(0)));
+  Graph g = gen::gnp(1500, 0.015, 9);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 40, 10, 3);
+  hknt::HkntConfig cfg;
+  hknt::TryRandomColorProc proc(cfg, hknt::TryRandomColorProc::Ssp::kNone,
+                                "bm");
+  for (auto _ : state) {
+    derand::ColoringState cs(inst.graph, inst.palettes);
+    derand::Lemma10Options opt;
+    opt.seed_bits = 7;
+    auto rep = derand::derandomize_procedure(proc, cs, opt, nullptr);
+    benchmark::DoNotOptimize(rep.seed);
+  }
+}
+BENCHMARK(BM_SeedSearchExhaustive)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->
+    UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ComputeParams(benchmark::State& state) {
+  set_threads(static_cast<int>(state.range(0)));
+  Graph g = gen::gnp(4000, 0.01, 11);
+  D1lcInstance inst = make_degree_plus_one(g);
+  for (auto _ : state) {
+    auto p = hknt::compute_params(inst, nullptr);
+    benchmark::DoNotOptimize(p.sparsity.data());
+  }
+}
+BENCHMARK(BM_ComputeParams)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->
+    UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Experiment E12 — Section 3's degree-range structure: coloring by
+// descending degree ranges (the [HKNT22] LOCAL driver) vs a single
+// whole-graph pass. On degree-skewed instances the range scheduler
+// matches the paper's O(log* n)-range decomposition; low ranges benefit
+// from slack created by colored high ranges.
+
+#include <iostream>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/degree_ranges.hpp"
+#include "pdc/util/table.hpp"
+
+using namespace pdc;
+using namespace pdc::hknt;
+
+int main() {
+  Table t0("E12: degree-range thresholds (log-exponent 3)",
+           {"n", "thresholds"});
+  for (std::uint64_t n : {1000ull, 100'000ull, 10'000'000ull}) {
+    RangeScheduleOptions ro;
+    auto th = degree_range_thresholds(n, ro);
+    std::string s;
+    for (auto x : th) s += std::to_string(x) + " ";
+    t0.row({std::to_string(n), s});
+  }
+  t0.print();
+
+  Table t("E12b: range scheduler vs single pass (randomized)",
+          {"instance", "driver", "ranges", "colored_frac", "uncolored_frac"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ba-skewed", gen::preferential_attachment(3000, 4, 5)});
+  cases.push_back({"powerlaw", gen::power_law(2000, 2.3, 10.0, 7)});
+  cases.push_back({"gnp-flat", gen::gnp(3000, 0.005, 9)});
+
+  for (auto& [name, g] : cases) {
+    D1lcInstance inst = make_degree_plus_one(g);
+    MiddleOptions mo;
+    mo.l10.strategy = derand::SeedStrategy::kTrueRandom;
+    mo.l10.defer_failures = false;
+    mo.l10.true_random_seed = 17;
+    RangeScheduleOptions ro;
+    // Fractions are over the nodes the range schedule covers (degree >=
+    // floor); sub-floor nodes go to the low-degree solver in the full
+    // pipeline either way.
+    std::uint64_t covered = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      covered += (g.degree(v) >= ro.floor);
+    covered = std::max<std::uint64_t>(covered, 1);
+    {
+      derand::ColoringState state(inst.graph, inst.palettes);
+      auto rep = color_by_degree_ranges(state, inst, mo, ro, nullptr);
+      std::uint64_t colored_cov = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        colored_cov += (g.degree(v) >= ro.floor && state.is_colored(v));
+      t.row({name, "by-ranges", std::to_string(rep.ranges.size()),
+             Table::num(double(colored_cov) / double(covered), 3),
+             Table::num(1.0 - double(colored_cov) / double(covered), 3)});
+    }
+    {
+      derand::ColoringState state(inst.graph, inst.palettes);
+      color_middle(state, inst, mo, nullptr);
+      std::uint64_t colored_cov = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        colored_cov += (g.degree(v) >= ro.floor && state.is_colored(v));
+      t.row({name, "single-pass", "1",
+             Table::num(double(colored_cov) / double(covered), 3),
+             Table::num(1.0 - double(colored_cov) / double(covered), 3)});
+    }
+  }
+  t.print();
+  std::cout << "Claim check: O(log* n) thresholds (3-4 ranges even at 10^7);\n"
+               "on skewed instances the range driver colors at least as\n"
+               "large a fraction as the single pass (high-degree nodes\n"
+               "colored first hand slack to the rest).\n";
+  return 0;
+}

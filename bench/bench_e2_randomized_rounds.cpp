@@ -1,0 +1,63 @@
+// Experiment E2 — Lemma 4: the randomized MPC D1LC implementation runs
+// in O(log log log n) rounds w.h.p. for Delta <= sqrt(s).
+//
+// Sweeps n and random seeds; reports rounds, success of the pre-fallback
+// pipeline (fraction colored by the ColorMiddle passes before the
+// deterministic low-degree finish), and validity.
+
+#include <iostream>
+
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/util/stats.hpp"
+#include "pdc/util/table.hpp"
+#include "pdc/util/timer.hpp"
+
+using namespace pdc;
+
+int main() {
+  Table t("E2 / Lemma 4: randomized D1LC rounds vs n",
+          {"n", "Delta", "rounds(mean)", "rounds(max)", "middle_frac",
+           "ssp_fail_frac", "valid_runs", "wall_ms(mean)"});
+
+  for (NodeId n : {500u, 1000u, 2000u, 4000u, 8000u}) {
+    Summary rounds, wall, middle_frac, fail_frac;
+    int valid = 0;
+    const int kRuns = 5;
+    for (int run = 0; run < kRuns; ++run) {
+      Graph g = gen::gnp(n, 16.0 / static_cast<double>(n), 100 + run);
+      D1lcInstance inst = make_degree_plus_one(g);
+      d1lc::SolverOptions opt;
+      opt.mode = d1lc::Mode::kRandomized;
+      opt.seed = 1000 + run;
+      opt.middle_passes = 2;
+      Timer timer;
+      d1lc::SolveResult r = solve_d1lc(inst, opt);
+      wall.add(timer.millis());
+      rounds.add(static_cast<double>(r.ledger.rounds()));
+      middle_frac.add(static_cast<double>(r.colored_middle) /
+                      static_cast<double>(n));
+      std::uint64_t participants = 0, failures = 0;
+      for (const auto& mr : r.middle_reports) {
+        for (const auto& s : mr.steps) {
+          participants += s.participants;
+          failures += s.ssp_failures;
+        }
+      }
+      fail_frac.add(participants ? static_cast<double>(failures) /
+                                       static_cast<double>(participants)
+                                 : 0.0);
+      valid += r.valid;
+    }
+    t.row({std::to_string(n), "~16", Table::num(rounds.mean(), 1),
+           Table::num(rounds.max(), 0), Table::num(middle_frac.mean(), 3),
+           Table::num(fail_frac.mean(), 4),
+           std::to_string(valid) + "/" + std::to_string(kRuns),
+           Table::num(wall.mean(), 1)});
+  }
+  t.print();
+  std::cout << "Claim check: rounds flat in n (log log log n shape), all\n"
+               "runs valid, per-step SSP failure fraction small (the w.h.p.\n"
+               "guarantee of the randomized subroutines).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Experiment E3 — Lemma 10: derandomizing one normal procedure defers
+// few nodes, and seed selection never does worse than the seed-space
+// mean.
+//
+// One TryRandomColor procedure (SSP: colored or slack >= 2*degree) on a
+// slack-rich instance; strategies compared: true randomness, fixed seed
+// (no search), exhaustive argmin, bitwise conditional expectations.
+// Also sweeps the PRG seed length d.
+
+#include <iostream>
+
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/procedures.hpp"
+#include "pdc/util/table.hpp"
+
+using namespace pdc;
+using derand::SeedStrategy;
+
+namespace {
+
+const char* strategy_name(SeedStrategy s) {
+  switch (s) {
+    case SeedStrategy::kTrueRandom: return "true-random";
+    case SeedStrategy::kFirstSeed: return "fixed-seed";
+    case SeedStrategy::kExhaustive: return "exhaustive";
+    case SeedStrategy::kConditionalExpectation: return "cond-exp";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  Graph g = gen::gnp(3000, 0.01, 7);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 60, 15, 3);
+  hknt::HkntConfig cfg;
+  hknt::TryRandomColorProc proc(
+      cfg, hknt::TryRandomColorProc::Ssp::kSlackTwiceDegree, "e3");
+
+  Table t("E3 / Lemma 10: defer fraction by seed strategy (d = 8 bits)",
+          {"strategy", "participants", "ssp_failures", "defer_frac",
+           "mean_failures", "seed_evals", "lemma10_bound", "wsp_viol"});
+  for (SeedStrategy s :
+       {SeedStrategy::kTrueRandom, SeedStrategy::kFirstSeed,
+        SeedStrategy::kExhaustive, SeedStrategy::kConditionalExpectation}) {
+    derand::ColoringState state(inst.graph, inst.palettes);
+    derand::Lemma10Options opt;
+    opt.strategy = s;
+    opt.seed_bits = 8;
+    auto rep = derand::derandomize_procedure(proc, state, opt, nullptr);
+    t.row({strategy_name(s), std::to_string(rep.participants),
+           std::to_string(rep.ssp_failures), Table::num(rep.defer_fraction, 4),
+           Table::num(rep.mean_failures, 2),
+           std::to_string(rep.seed_evaluations),
+           Table::num(rep.lemma10_bound, 2),
+           std::to_string(rep.wsp_violations)});
+  }
+  t.print();
+
+  Table t2("E3b: seed length d vs chosen-seed failures (exhaustive)",
+           {"seed_bits", "ssp_failures", "mean_failures", "defer_frac"});
+  for (int d : {2, 4, 6, 8, 10}) {
+    derand::ColoringState state(inst.graph, inst.palettes);
+    derand::Lemma10Options opt;
+    opt.strategy = SeedStrategy::kExhaustive;
+    opt.seed_bits = d;
+    auto rep = derand::derandomize_procedure(proc, state, opt, nullptr);
+    t2.row({std::to_string(d), std::to_string(rep.ssp_failures),
+            Table::num(rep.mean_failures, 2),
+            Table::num(rep.defer_fraction, 4)});
+  }
+  t2.print();
+
+  std::cout << "Claim check: exhaustive/cond-exp failures <= mean_failures\n"
+               "(the conditional-expectations guarantee); defer fractions\n"
+               "small and shrinking with larger seed spaces; wsp_viol = 0.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment E4 — Lemma 13: each HKNT22 subroutine is a normal
+// procedure, i.e. its strong success property holds w.h.p. under true
+// randomness.
+//
+// For each subroutine we run the pipeline to the point where that
+// subroutine executes, then measure the SSP satisfaction rate of its
+// participants across random seeds, on a sparse instance (GenerateSlack,
+// TryRandomColor, MultiTrial path) and a dense instance
+// (SynchColorTrial, PutAside path).
+
+#include <iostream>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/color_middle.hpp"
+#include "pdc/util/stats.hpp"
+#include "pdc/util/table.hpp"
+
+using namespace pdc;
+
+int main() {
+  Table t("E4 / Lemma 13: per-subroutine SSP satisfaction (randomized)",
+          {"instance", "subroutine", "participants(mean)", "ssp_rate",
+           "runs"});
+
+  struct Inst {
+    const char* name;
+    D1lcInstance inst;
+  };
+  std::vector<Inst> instances;
+  instances.push_back({"sparse-gnp",
+                       make_degree_plus_one(gen::gnp(2000, 0.015, 5))});
+  instances.push_back(
+      {"planted-cliques",
+       make_degree_plus_one(gen::planted_cliques(8, 20, 0.4, 7).graph)});
+  instances.push_back(
+      {"core-periphery",
+       make_degree_plus_one(gen::core_periphery(1500, 60, 0.01, 0.3, 9))});
+
+  const int kRuns = 5;
+  for (auto& [name, inst] : instances) {
+    // Aggregate SSP stats per procedure name prefix across runs.
+    std::map<std::string, std::pair<Summary, Summary>> by_proc;  // part, rate
+    for (int run = 0; run < kRuns; ++run) {
+      derand::ColoringState state(inst.graph, inst.palettes);
+      hknt::MiddleOptions mo;
+      mo.l10.strategy = derand::SeedStrategy::kTrueRandom;
+      mo.l10.defer_failures = false;
+      mo.l10.true_random_seed = 40 + run;
+      hknt::MiddleReport rep = hknt::color_middle(state, inst, mo, nullptr);
+      for (const auto& s : rep.steps) {
+        if (s.participants == 0) continue;
+        // Bucket by procedure family (strip the instance-specific label).
+        std::string key = s.procedure.substr(0, s.procedure.find('/'));
+        by_proc[key].first.add(static_cast<double>(s.participants));
+        by_proc[key].second.add(
+            1.0 - static_cast<double>(s.ssp_failures) /
+                      static_cast<double>(s.participants));
+      }
+    }
+    for (auto& [proc, stats] : by_proc) {
+      t.row({name, proc, Table::num(stats.first.mean(), 0),
+             Table::num(stats.second.mean(), 4), std::to_string(kRuns)});
+    }
+  }
+  t.print();
+  std::cout << "Claim check: ssp_rate near 1.0 for every subroutine — the\n"
+               "'succeeds w.h.p.' premise of Definition 5 / Lemma 13. Rates\n"
+               "dip only where participants have little slack (the nodes\n"
+               "the framework defers and recurses on).\n";
+  return 0;
+}

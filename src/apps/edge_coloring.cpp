@@ -1,0 +1,85 @@
+#include "pdc/apps/edge_coloring.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::apps {
+
+LineGraph build_line_graph(const Graph& g) {
+  LineGraph lg;
+  // Enumerate edges (u < v) and remember, per node, its incident edges.
+  std::vector<std::vector<NodeId>> incident(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) {
+        NodeId e = static_cast<NodeId>(lg.edge_endpoints.size());
+        lg.edge_endpoints.emplace_back(v, u);
+        incident[v].push_back(e);
+        incident[u].push_back(e);
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> ledges;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& inc = incident[v];
+    for (std::size_t i = 0; i < inc.size(); ++i)
+      for (std::size_t j = i + 1; j < inc.size(); ++j)
+        ledges.emplace_back(inc[i], inc[j]);
+  }
+  lg.graph = Graph::from_edges(
+      static_cast<NodeId>(lg.edge_endpoints.size()), std::move(ledges));
+  return lg;
+}
+
+D1lcInstance edge_coloring_instance(const LineGraph& lg, const Graph& g) {
+  std::vector<std::vector<Color>> lists(lg.graph.num_nodes());
+  parallel_for(lg.graph.num_nodes(), [&](std::size_t e) {
+    auto [u, v] = lg.edge_endpoints[e];
+    // deg(u)-1 + deg(v)-1 neighbors in L(G); palette one larger.
+    Color size = static_cast<Color>(g.degree(u)) +
+                 static_cast<Color>(g.degree(v)) - 1;
+    lists[e].resize(static_cast<std::size_t>(size));
+    for (Color c = 0; c < size; ++c)
+      lists[e][static_cast<std::size_t>(c)] = c;
+  });
+  return {lg.graph, PaletteSet::from_lists(std::move(lists))};
+}
+
+EdgeColoringResult edge_color(const Graph& g,
+                              const d1lc::SolverOptions& opt) {
+  EdgeColoringResult out;
+  LineGraph lg = build_line_graph(g);
+  D1lcInstance inst = edge_coloring_instance(lg, g);
+  out.solve = d1lc::solve_d1lc(inst, opt);
+  out.colors = out.solve.coloring;
+  out.edge_endpoints = lg.edge_endpoints;
+  out.colors_used = count_colors_used(out.colors);
+  out.valid = out.solve.valid &&
+              check_edge_coloring(g, out.edge_endpoints, out.colors);
+  return out;
+}
+
+bool check_edge_coloring(const Graph& g,
+                         const std::vector<std::pair<NodeId, NodeId>>& edges,
+                         std::span<const Color> colors) {
+  if (edges.size() != colors.size()) return false;
+  const Color bound = 2 * static_cast<Color>(g.max_degree()) - 1;
+  // Group edge colors per endpoint; any duplicate within a node is a
+  // conflict.
+  std::vector<std::vector<Color>> at_node(g.num_nodes());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (colors[e] == kNoColor || colors[e] < 0 || colors[e] >= bound)
+      return false;
+    at_node[edges[e].first].push_back(colors[e]);
+    at_node[edges[e].second].push_back(colors[e]);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto& c = at_node[v];
+    std::sort(c.begin(), c.end());
+    if (std::adjacent_find(c.begin(), c.end()) != c.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace pdc::apps

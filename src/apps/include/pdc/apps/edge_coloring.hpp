@@ -1,0 +1,50 @@
+#pragma once
+// (2Δ-1)-edge-coloring via D1LC on the line graph — one of the two
+// benchmark problems the paper's introduction names (edge-coloring
+// algorithms consume D1LC as a subroutine, e.g. [Kuh20]).
+//
+// An edge uv sees deg(u)-1 + deg(v)-1 conflicting edges, so giving it a
+// palette of that size + 1 (capped presentation: {0..2Δ-2} suffices)
+// makes the line-graph instance exactly D1LC; any D1LC solver then
+// yields a proper edge coloring with at most 2Δ-1 colors.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::apps {
+
+/// The line graph L(G): one node per edge of g, adjacency = shared
+/// endpoint. `edge_endpoints[i]` maps line-graph node i back to its
+/// (u, v) edge.
+struct LineGraph {
+  Graph graph;
+  std::vector<std::pair<NodeId, NodeId>> edge_endpoints;
+};
+LineGraph build_line_graph(const Graph& g);
+
+/// The induced D1LC instance: palette of edge uv = {0, ...,
+/// deg(u)+deg(v)-2}, which has size (line-graph degree) + 1.
+D1lcInstance edge_coloring_instance(const LineGraph& lg, const Graph& g);
+
+struct EdgeColoringResult {
+  /// Color per edge, indexed like LineGraph::edge_endpoints.
+  std::vector<Color> colors;
+  std::vector<std::pair<NodeId, NodeId>> edge_endpoints;
+  std::uint64_t colors_used = 0;
+  bool valid = false;                 // proper + within 2Δ-1
+  d1lc::SolveResult solve;            // underlying D1LC result
+};
+
+/// End-to-end: line graph -> D1LC -> validation.
+EdgeColoringResult edge_color(const Graph& g, const d1lc::SolverOptions& opt);
+
+/// Validates a proper edge coloring of g (no two incident edges share a
+/// color, all colors in [0, 2Δ-1)).
+bool check_edge_coloring(const Graph& g,
+                         const std::vector<std::pair<NodeId, NodeId>>& edges,
+                         std::span<const Color> colors);
+
+}  // namespace pdc::apps

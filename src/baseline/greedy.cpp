@@ -1,0 +1,98 @@
+#include "pdc/baseline/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::baseline {
+
+std::vector<NodeId> degeneracy_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> deg(n);
+  std::vector<std::uint8_t> removed(n, 0);
+  std::uint32_t maxd = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxd = std::max(maxd, deg[v]);
+  }
+  // Bucket queue over degrees.
+  std::vector<std::vector<NodeId>> bucket(maxd + 1);
+  for (NodeId v = 0; v < n; ++v) bucket[deg[v]].push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::uint32_t cur = 0;
+  while (order.size() < n) {
+    while (cur <= maxd && bucket[cur].empty()) ++cur;
+    if (cur > maxd) break;
+    NodeId v = bucket[cur].back();
+    bucket[cur].pop_back();
+    if (removed[v] || deg[v] != cur) continue;  // stale entry
+    removed[v] = 1;
+    order.push_back(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (!removed[u] && deg[u] > 0) {
+        --deg[u];
+        bucket[deg[u]].push_back(u);
+        if (deg[u] < cur) cur = deg[u];
+      }
+    }
+  }
+  // Smallest-last: reverse so low-degeneracy nodes are colored last.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+namespace {
+
+std::vector<NodeId> make_order(const Graph& g, GreedyOrder order) {
+  std::vector<NodeId> idx(g.num_nodes());
+  std::iota(idx.begin(), idx.end(), NodeId{0});
+  switch (order) {
+    case GreedyOrder::kIndex:
+      break;
+    case GreedyOrder::kDegreeDesc:
+      std::stable_sort(idx.begin(), idx.end(), [&](NodeId a, NodeId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    case GreedyOrder::kDegeneracy:
+      idx = degeneracy_order(g);
+      break;
+  }
+  return idx;
+}
+
+}  // namespace
+
+void greedy_complete_partial(const D1lcInstance& inst, Coloring& coloring,
+                             GreedyOrder order) {
+  const Graph& g = inst.graph;
+  PDC_CHECK(coloring.size() == g.num_nodes());
+  for (NodeId v : make_order(g, order)) {
+    if (coloring[v] != kNoColor) continue;
+    std::vector<Color> blocked;
+    for (NodeId u : g.neighbors(v))
+      if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
+    std::sort(blocked.begin(), blocked.end());
+    Color chosen = kNoColor;
+    for (Color c : inst.palettes.palette(v)) {
+      if (!std::binary_search(blocked.begin(), blocked.end(), c)) {
+        chosen = c;
+        break;
+      }
+    }
+    PDC_CHECK_MSG(chosen != kNoColor,
+                  "greedy failed at node " << v
+                      << " — instance violates the degree+1 invariant");
+    coloring[v] = chosen;
+  }
+}
+
+Coloring greedy_d1lc(const D1lcInstance& inst, GreedyOrder order) {
+  Coloring c(inst.graph.num_nodes(), kNoColor);
+  greedy_complete_partial(inst, c, order);
+  return c;
+}
+
+}  // namespace pdc::baseline

@@ -1,0 +1,31 @@
+#pragma once
+// Sequential greedy D1LC — the correctness oracle and final-stage
+// completer. Greedy always succeeds on a valid D1LC instance: when a
+// node is processed, its palette exceeds its degree, so colored
+// neighbors cannot exhaust it.
+
+#include <vector>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::baseline {
+
+enum class GreedyOrder {
+  kIndex,           // node id order
+  kDegreeDesc,      // largest degree first (fewer colors in practice)
+  kDegeneracy,      // smallest-last / degeneracy order
+};
+
+/// Colors the instance greedily; returns a complete proper coloring.
+Coloring greedy_d1lc(const D1lcInstance& inst,
+                     GreedyOrder order = GreedyOrder::kIndex);
+
+/// Completes a partial coloring greedily (kNoColor entries only).
+void greedy_complete_partial(const D1lcInstance& inst, Coloring& coloring,
+                             GreedyOrder order = GreedyOrder::kIndex);
+
+/// Degeneracy (smallest-last) ordering of the graph; exposed for tests.
+std::vector<NodeId> degeneracy_order(const Graph& g);
+
+}  // namespace pdc::baseline

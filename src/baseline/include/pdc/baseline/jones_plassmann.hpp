@@ -1,0 +1,22 @@
+#pragma once
+// Jones–Plassmann parallel list coloring — the standard shared-memory
+// parallel baseline for experiment E6. Each round, nodes that hold a
+// locally-maximal random priority among uncolored neighbors color
+// themselves with their smallest available palette color.
+
+#include <cstdint>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::baseline {
+
+struct JonesPlassmannResult {
+  Coloring coloring;
+  std::uint64_t rounds = 0;
+};
+
+JonesPlassmannResult jones_plassmann(const D1lcInstance& inst,
+                                     std::uint64_t seed);
+
+}  // namespace pdc::baseline

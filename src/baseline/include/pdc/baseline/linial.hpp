@@ -1,0 +1,32 @@
+#pragma once
+// Linial's deterministic color reduction (the log*-round coloring used
+// inside Theorem 12 to color power graphs).
+//
+// One step: with C current colors, write each color in base q (q prime,
+// q > Δ·(k-1) where k = #digits), view the digits as a degree-(k-1)
+// polynomial p_v over F_q, and let v pick an evaluation point x where
+// p_v differs from every neighbor's polynomial (such x exists because
+// two distinct polynomials agree on at most k-1 points). The new color
+// (x, p_v(x)) lives in [q^2]. Iterating shrinks C to O(Δ^2 · polylog Δ)
+// in log* C steps — deterministic, one LOCAL round per step.
+
+#include <cstdint>
+
+#include "pdc/graph/coloring.hpp"
+
+namespace pdc::baseline {
+
+struct LinialResult {
+  Coloring coloring;          // proper, colors in [0, num_colors)
+  std::uint64_t num_colors = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Runs Linial color reduction from the trivial n-coloring (ids) until
+/// the color count stops shrinking.
+LinialResult linial_coloring(const Graph& g);
+
+/// Smallest prime >= x (trial division; x is small here).
+std::uint64_t next_prime(std::uint64_t x);
+
+}  // namespace pdc::baseline

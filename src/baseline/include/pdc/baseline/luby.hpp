@@ -1,0 +1,48 @@
+#pragma once
+// Luby's maximal independent set — the paper's own worked example of a
+// normal distributed procedure (Section 4.1).
+//
+// Each round: every live node marks itself with probability 1/(2 d(v));
+// a marked node joins the MIS unless a marked neighbor beats it
+// (higher degree, ties by id); MIS nodes and their neighbors leave.
+// Independence is guaranteed by construction; only maximality can fail,
+// so per Section 4.1 both success properties are "v is decided" and
+// deferring undecided nodes never hurts the decided ones — the defining
+// normality condition.
+//
+// The derandomized variant replaces each round's coins with PRG chunks
+// keyed by a distance-coloring of G^4 and picks the seed minimizing the
+// number of still-undecided nodes (method of conditional expectations /
+// exhaustive — same machinery as Lemma 10), then finishes the leftovers
+// greedily. Experiment E9 measures both.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/graph/graph.hpp"
+
+namespace pdc::baseline {
+
+struct MisResult {
+  std::vector<std::uint8_t> in_mis;
+  std::uint64_t rounds = 0;
+  std::uint64_t greedy_added = 0;  // derandomized finish only
+  std::vector<double> undecided_after_round;  // fraction per round
+};
+
+/// Validates independence + maximality; returns {independent, maximal}.
+std::pair<bool, bool> check_mis(const Graph& g,
+                                const std::vector<std::uint8_t>& in_mis);
+
+/// Randomized Luby (true randomness), runs until all nodes decided.
+MisResult luby_mis(const Graph& g, std::uint64_t seed,
+                   std::uint64_t max_rounds = 10'000);
+
+/// Derandomized Luby: per-round PRG + seed selection, `max_rounds`
+/// rounds, then greedy completion of the undecided remainder.
+MisResult luby_mis_derandomized(const Graph& g,
+                                const derand::Lemma10Options& opt,
+                                std::uint64_t max_rounds = 64);
+
+}  // namespace pdc::baseline

@@ -1,0 +1,57 @@
+#include "pdc/baseline/jones_plassmann.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc::baseline {
+
+JonesPlassmannResult jones_plassmann(const D1lcInstance& inst,
+                                     std::uint64_t seed) {
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+  JonesPlassmannResult out;
+  out.coloring.assign(n, kNoColor);
+
+  std::vector<std::uint64_t> priority(n);
+  for (NodeId v = 0; v < n; ++v)
+    priority[v] = hash_combine(seed, v);
+
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    std::vector<Color> decided(n, kNoColor);
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if (out.coloring[v] != kNoColor) return;
+      for (NodeId u : g.neighbors(v)) {
+        if (out.coloring[u] == kNoColor && priority[u] > priority[v]) return;
+      }
+      // Local maximum: take the smallest available color.
+      std::vector<Color> blocked;
+      for (NodeId u : g.neighbors(v))
+        if (out.coloring[u] != kNoColor) blocked.push_back(out.coloring[u]);
+      std::sort(blocked.begin(), blocked.end());
+      for (Color c : inst.palettes.palette(v)) {
+        if (!std::binary_search(blocked.begin(), blocked.end(), c)) {
+          decided[v] = c;
+          break;
+        }
+      }
+    });
+    std::uint64_t colored_now = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (decided[v] != kNoColor) {
+        out.coloring[v] = decided[v];
+        ++colored_now;
+      }
+    }
+    remaining -= colored_now;
+    ++out.rounds;
+    PDC_CHECK_MSG(colored_now > 0 || remaining == 0,
+                  "Jones-Plassmann made no progress");
+  }
+  return out;
+}
+
+}  // namespace pdc::baseline

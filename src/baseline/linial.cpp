@@ -1,0 +1,115 @@
+#include "pdc/baseline/linial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdc/util/check.hpp"
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::baseline {
+
+std::uint64_t next_prime(std::uint64_t x) {
+  if (x <= 2) return 2;
+  if (x % 2 == 0) ++x;
+  while (true) {
+    bool prime = true;
+    for (std::uint64_t d = 3; d * d <= x; d += 2) {
+      if (x % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) return x;
+    x += 2;
+  }
+}
+
+namespace {
+
+/// Evaluate the base-q digit polynomial of `color` at x over F_q.
+std::uint64_t poly_eval(std::uint64_t color, std::uint64_t q, int k,
+                        std::uint64_t x) {
+  // Digits d_0..d_{k-1}; p(x) = sum d_i x^i mod q.
+  std::uint64_t acc = 0, xp = 1;
+  for (int i = 0; i < k; ++i) {
+    std::uint64_t digit = color % q;
+    color /= q;
+    acc = (acc + digit * xp) % q;
+    xp = (xp * x) % q;
+  }
+  return acc;
+}
+
+}  // namespace
+
+LinialResult linial_coloring(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  LinialResult out;
+  out.coloring.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.coloring[v] = static_cast<Color>(v);
+  out.num_colors = n;
+  if (n == 0) return out;
+
+  const std::uint64_t delta = std::max<std::uint64_t>(1, g.max_degree());
+
+  while (true) {
+    const std::uint64_t c_count = out.num_colors;
+    // Digits needed so that q^k >= C with q > Δ(k-1). Try growing k.
+    std::uint64_t q = 0;
+    int k = 2;
+    for (; k <= 64; ++k) {
+      q = next_prime(std::max<std::uint64_t>(
+          delta * static_cast<std::uint64_t>(k - 1) + 1, 2));
+      // Does q^k cover the color space?
+      double bits_needed = std::log2(static_cast<double>(c_count));
+      if (static_cast<double>(k) * std::log2(static_cast<double>(q)) >=
+          bits_needed) {
+        break;
+      }
+    }
+    const std::uint64_t new_space = q * q;
+    if (new_space >= c_count) break;  // no further reduction possible
+
+    Coloring next(n, kNoColor);
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      const std::uint64_t mine = static_cast<std::uint64_t>(out.coloring[v]);
+      for (std::uint64_t x = 0; x < q; ++x) {
+        bool distinct = true;
+        const std::uint64_t pv = poly_eval(mine, q, k, x);
+        for (NodeId u : g.neighbors(v)) {
+          const std::uint64_t other =
+              static_cast<std::uint64_t>(out.coloring[u]);
+          if (other == mine) continue;  // impossible for proper input
+          if (poly_eval(other, q, k, x) == pv) {
+            distinct = false;
+            break;
+          }
+        }
+        if (distinct) {
+          next[v] = static_cast<Color>(x * q + pv);
+          break;
+        }
+      }
+      PDC_CHECK_MSG(next[v] != kNoColor,
+                    "Linial step found no evaluation point (q too small)");
+    });
+    out.coloring = std::move(next);
+    out.num_colors = new_space;
+    ++out.rounds;
+  }
+
+  // Compact color values to [0, used).
+  std::vector<Color> used(out.coloring.begin(), out.coloring.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  parallel_for(n, [&](std::size_t v) {
+    out.coloring[v] = static_cast<Color>(
+        std::lower_bound(used.begin(), used.end(), out.coloring[v]) -
+        used.begin());
+  });
+  out.num_colors = used.size();
+  return out;
+}
+
+}  // namespace pdc::baseline

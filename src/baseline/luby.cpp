@@ -1,0 +1,161 @@
+#include "pdc/baseline/luby.hpp"
+
+#include <algorithm>
+
+#include "pdc/graph/power.hpp"
+#include "pdc/prg/cond_exp.hpp"
+#include "pdc/prg/prg.hpp"
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::baseline {
+
+namespace {
+
+constexpr std::uint8_t kUndecided = 0, kInMis = 1, kOut = 2;
+
+/// One Luby round under a given per-node bit stream factory; returns the
+/// updated status vector (does not mutate the input).
+std::vector<std::uint8_t> luby_round(
+    const Graph& g, const std::vector<std::uint8_t>& status,
+    const prg::BitSourceFactory& bits,
+    const std::vector<std::uint32_t>& chunk_of) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> marked(n, 0);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (status[v] != kUndecided) return;
+    // Live degree for the marking probability.
+    std::uint32_t d = 0;
+    for (NodeId u : g.neighbors(v))
+      if (status[u] == kUndecided) ++d;
+    BitStream bs = bits.stream(v, chunk_of[v]);
+    if (d == 0) {
+      marked[v] = 1;  // isolated among live nodes: join outright
+      return;
+    }
+    marked[v] = bs.coin(1, 2ull * d) ? 1 : 0;
+  });
+
+  std::vector<std::uint8_t> next = status;
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (status[v] != kUndecided || !marked[v]) return;
+    for (NodeId u : g.neighbors(v)) {
+      if (status[u] != kUndecided || !marked[u]) continue;
+      // Higher degree wins; ties to smaller id.
+      if (g.degree(u) > g.degree(v) ||
+          (g.degree(u) == g.degree(v) && u < v)) {
+        return;
+      }
+    }
+    next[v] = kInMis;
+  });
+  // Neighbors of new MIS nodes drop out.
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (next[v] != kUndecided) return;
+    for (NodeId u : g.neighbors(v)) {
+      if (next[u] == kInMis) {
+        next[v] = kOut;
+        return;
+      }
+    }
+  });
+  return next;
+}
+
+std::uint64_t undecided_count(const std::vector<std::uint8_t>& status) {
+  std::uint64_t c = 0;
+  for (auto s : status) c += (s == kUndecided);
+  return c;
+}
+
+}  // namespace
+
+std::pair<bool, bool> check_mis(const Graph& g,
+                                const std::vector<std::uint8_t>& in_mis) {
+  bool independent = true, maximal = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool covered = in_mis[v] != 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (in_mis[v] && in_mis[u]) independent = false;
+      if (in_mis[u]) covered = true;
+    }
+    if (!covered) maximal = false;
+  }
+  return {independent, maximal};
+}
+
+MisResult luby_mis(const Graph& g, std::uint64_t seed,
+                   std::uint64_t max_rounds) {
+  const NodeId n = g.num_nodes();
+  MisResult out;
+  std::vector<std::uint8_t> status(n, kUndecided);
+  std::vector<std::uint32_t> chunk_of(n);
+  for (NodeId v = 0; v < n; ++v) chunk_of[v] = v;
+  while (undecided_count(status) > 0 && out.rounds < max_rounds) {
+    prg::TrueRandomSource src(hash_combine(seed, out.rounds));
+    status = luby_round(g, status, src, chunk_of);
+    ++out.rounds;
+    out.undecided_after_round.push_back(
+        static_cast<double>(undecided_count(status)) /
+        static_cast<double>(std::max<NodeId>(n, 1)));
+  }
+  out.in_mis.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) out.in_mis[v] = status[v] == kInMis;
+  return out;
+}
+
+MisResult luby_mis_derandomized(const Graph& g,
+                                const derand::Lemma10Options& opt,
+                                std::uint64_t max_rounds) {
+  const NodeId n = g.num_nodes();
+  MisResult out;
+  std::vector<std::uint8_t> status(n, kUndecided);
+
+  // One Luby round is a normal (1, Δ)-round procedure, so its chunks
+  // need a distance-4 coloring (4τ with τ = 1).
+  derand::ChunkAssignment chunks =
+      derand::assign_chunks(g, /*tau=*/1, opt, nullptr);
+
+  for (std::uint64_t r = 0;
+       r < max_rounds && undecided_count(status) > 0; ++r) {
+    // Fresh PRG family per round (salted by the round index) so the
+    // per-round seed searches are independent.
+    prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, r));
+    auto cost = [&](std::uint64_t seed) -> double {
+      auto src = family.source(seed);
+      auto next = luby_round(g, status, src, chunks.chunk_of);
+      return static_cast<double>(undecided_count(next));
+    };
+    prg::SeedChoice sc =
+        opt.strategy == derand::SeedStrategy::kConditionalExpectation
+            ? prg::select_seed_conditional_expectation(opt.seed_bits, cost)
+            : prg::select_seed_exhaustive(opt.seed_bits, cost);
+    auto src = family.source(sc.seed);
+    status = luby_round(g, status, src, chunks.chunk_of);
+    ++out.rounds;
+    out.undecided_after_round.push_back(
+        static_cast<double>(undecided_count(status)) /
+        static_cast<double>(std::max<NodeId>(n, 1)));
+  }
+
+  // Greedy finish of deferred (undecided) nodes — the Theorem-12 tail.
+  for (NodeId v = 0; v < n; ++v) {
+    if (status[v] != kUndecided) continue;
+    bool blocked = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (status[u] == kInMis) {
+        blocked = true;
+        break;
+      }
+    }
+    status[v] = blocked ? kOut : kInMis;
+    if (!blocked) ++out.greedy_added;
+  }
+  out.in_mis.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) out.in_mis[v] = status[v] == kInMis;
+  return out;
+}
+
+}  // namespace pdc::baseline

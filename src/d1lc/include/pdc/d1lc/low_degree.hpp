@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic D1LC for low-degree instances — the Lemma-14 role
+// ([CDP21c], cited black-box by the paper; see DESIGN.md §4 for the
+// substitution).
+//
+// Each phase: every uncolored node tries the color its palette gets from
+// a pairwise-independent hash; the hash is chosen deterministically from
+// an enumerable family as the one coloring the most nodes (>= the family
+// mean, by the conditional-expectations argument). Phases shrink the
+// uncolored set geometrically in practice; a guaranteed-progress fallback
+// (greedy-color one node) keeps termination unconditional. Rounds charged:
+// O(1) per phase (one trial exchange + one seed selection).
+
+#include <cstdint>
+
+#include "pdc/derand/coloring_state.hpp"
+#include "pdc/mpc/cost_model.hpp"
+
+namespace pdc::d1lc {
+
+struct LowDegreeReport {
+  std::uint64_t phases = 0;
+  std::uint64_t colored = 0;
+  std::uint64_t fallback_steps = 0;  // phases that used the 1-node fallback
+};
+
+/// Colors every remaining uncolored (and deferred) participant of
+/// `state` deterministically. `family_log2` sizes the hash family
+/// searched per phase.
+LowDegreeReport low_degree_color(derand::ColoringState& state,
+                                 mpc::CostModel* cost, int family_log2 = 8,
+                                 std::uint64_t salt = 0xC0FFEE);
+
+}  // namespace pdc::d1lc

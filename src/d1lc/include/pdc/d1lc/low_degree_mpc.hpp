@@ -1,0 +1,62 @@
+#pragma once
+// The low-degree deterministic color-trial phase executed genuinely on
+// the MPC cluster — picks, conflict sets and commits all travel as
+// capacity-checked messages between home machines.
+//
+// Together with luby_mis_mpc this closes the loop on substrate realism:
+// the same hash-trial semantics as low_degree_color()'s phases, with a
+// test proving the distributed execution commits the identical node set
+// for the identical family member. (The full solver uses the
+// shared-memory implementation + cost model for speed; this one is the
+// existence proof and the E7-style accounting witness.)
+
+#include <cstdint>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/util/hashing.hpp"
+
+namespace pdc::d1lc {
+
+struct MpcTrialResult {
+  Coloring committed;           // kNoColor where the trial failed
+  std::uint64_t colored = 0;
+  std::uint64_t mpc_rounds = 0;
+};
+
+/// One hash trial under family member `index`: every uncolored node
+/// picks available[h(v) mod |available|] and commits unless an uncolored
+/// neighbor picked the same color. `coloring` carries pre-existing
+/// colors (their owners sit out; their colors block palettes).
+/// 2 cluster rounds: pick-exchange, commit-exchange.
+MpcTrialResult low_degree_trial_mpc(mpc::Cluster& cluster,
+                                    const D1lcInstance& inst,
+                                    const Coloring& coloring,
+                                    const EnumerablePairwiseFamily& family,
+                                    std::uint64_t index);
+
+/// Shared-memory twin with identical pick semantics (exposed so the
+/// equivalence test and the seed selection can reuse it).
+MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
+                                       const Coloring& coloring,
+                                       const EnumerablePairwiseFamily& family,
+                                       std::uint64_t index);
+
+/// Full deterministic phase loop on the cluster: per phase, evaluate
+/// every family member with the shared-memory twin (machines would each
+/// score their shard; the argmin aggregation is the same conditional-
+/// expectations exchange charged elsewhere), then *execute* the winning
+/// member through real messages. Returns the complete coloring.
+struct MpcLowDegreeResult {
+  Coloring coloring;
+  std::uint64_t phases = 0;
+  std::uint64_t mpc_rounds = 0;
+  bool valid = false;
+};
+MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
+                                        const D1lcInstance& inst,
+                                        int family_log2 = 6,
+                                        std::uint64_t salt = 0xC0FFEE);
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,65 @@
+#pragma once
+// LowSpacePartition (Algorithm 12) with deterministic hash selection
+// (Lemma 23, after [CDP21d]).
+//
+// Nodes of degree <= mid_degree_cap form G_mid. The remaining nodes are
+// hashed into `nbins` bins by h1; colors are hashed into nbins-1 bins by
+// h2; nodes in bins 1..nbins-1 keep only their bin's colors, while the
+// last node-bin keeps full palettes (it is colored after the others,
+// against whatever its neighbors actually took). Both hashes are chosen
+// deterministically from enumerable pairwise-independent families: h1
+// minimizing degree-bound violations (d'(v) < 2 d(v)/nbins), then h2
+// (given h1) minimizing palette violations (d'(v) < p'(v)).
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/mpc/cost_model.hpp"
+
+namespace pdc::d1lc {
+
+struct PartitionOptions {
+  std::uint32_t nbins = 0;          // 0 => ceil(n^delta)
+  double delta = 0.25;
+  std::uint32_t mid_degree_cap = 32;
+  int family_log2 = 7;              // hash candidates searched = 2^this
+  std::uint64_t salt = 0xBEEF;
+};
+
+struct Partition {
+  /// Per node: bin in [0, nbins), or kMid for the low-degree graph.
+  static constexpr std::uint32_t kMid = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> bin_of;
+  std::uint32_t nbins = 0;
+  std::uint64_t h1_index = 0, h2_index = 0;
+  /// Diagnostics for Lemma 23's guarantees.
+  std::uint64_t degree_violations = 0;   // d'(v) >= 2 d(v) / nbins
+  std::uint64_t palette_violations = 0;  // d'(v) >= p'(v)
+  double max_degree_ratio = 0.0;         // max_v d'(v) * nbins / (2 d(v))
+  /// Color-bin of each palette color under h2 (for bins 0..nbins-2).
+  std::uint64_t color_bin(Color c) const;
+  std::uint64_t h2_a = 0, h2_b = 0;      // chosen h2 parameters
+  std::uint32_t color_bins = 0;
+};
+
+/// Partitions the instance; charges O(1) rounds for the two hash
+/// selections plus the bin-degree evaluation sorts.
+Partition low_space_partition(const D1lcInstance& inst,
+                              const PartitionOptions& opt,
+                              mpc::CostModel* cost);
+
+/// Builds the induced sub-instance for bin `b` (palette-restricted for
+/// b < nbins-1; full palettes for the last bin and for kMid), given the
+/// parent coloring so far (colors taken by already-colored neighbors are
+/// removed — the "update color palettes" steps of Algorithm 11).
+struct BinInstance {
+  D1lcInstance instance;
+  std::vector<NodeId> to_parent;
+};
+BinInstance build_bin_instance(const D1lcInstance& inst, const Partition& part,
+                               std::uint32_t bin,
+                               const Coloring& parent_coloring);
+
+}  // namespace pdc::d1lc

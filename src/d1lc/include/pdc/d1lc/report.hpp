@@ -1,0 +1,20 @@
+#pragma once
+// Human-readable rendering of solver results and middle-pass reports —
+// shared by the CLI, examples and experiment harnesses.
+
+#include <iosfwd>
+
+#include "pdc/d1lc/solver.hpp"
+
+namespace pdc::d1lc {
+
+/// One-paragraph summary: validity, colors, rounds, space, attribution.
+void print_summary(std::ostream& os, const D1lcInstance& inst,
+                   const SolveResult& result);
+
+/// Detailed drill-down: per-phase rounds, per-middle-pass decomposition
+/// stats, and the per-procedure derandomization table (participants,
+/// failures, defer fraction, seed evaluations).
+void print_detail(std::ostream& os, const SolveResult& result);
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,81 @@
+#pragma once
+// Public facade: deterministic (Theorem 1) and randomized (Lemma 4)
+// D1LC in simulated sublinear-space MPC.
+//
+// Deterministic pipeline (LowSpaceColorReduce, Algorithm 11):
+//   * while Δ exceeds the mid-degree cap (the n^{7δ} / sqrt(s) analog),
+//     LowSpacePartition splits the instance into bins with
+//     deterministically selected hashes (Lemma 23) — bins are solved
+//     with parallel-round accounting, the unrestricted last bin and
+//     G_mid afterwards;
+//   * mid-degree instances run DerandomizedMidDegreeColor
+//     (Algorithm 10): ColorMiddle passes under the Lemma-10/Theorem-12
+//     machinery, recursing on deferred nodes via self-reducibility;
+//   * the low-degree residue is finished by the deterministic
+//     low-degree solver (Lemma 14 role).
+//
+// Randomized mode runs the same structure with true randomness and no
+// deferral (failures simply retry / fall through), reproducing Lemma 4.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdc/d1lc/low_degree.hpp"
+#include "pdc/d1lc/partition.hpp"
+#include "pdc/hknt/color_middle.hpp"
+#include "pdc/mpc/ledger.hpp"
+
+namespace pdc::d1lc {
+
+enum class Mode { kDeterministic, kRandomized };
+
+struct SolverOptions {
+  Mode mode = Mode::kDeterministic;
+
+  // MPC geometry (DESIGN.md §5 explains the laptop-scale calibration).
+  double phi = 0.75;
+  double space_headroom = 8.0;
+
+  // Partition recursion.
+  double delta = 0.25;
+  std::uint32_t mid_degree_cap = 0;  // 0 => sqrt(s) from the MPC config
+  int partition_family_log2 = 7;
+
+  // Mid-degree (HKNT) machinery.
+  hknt::HkntConfig hknt;
+  derand::Lemma10Options l10;  // seed_bits / strategy / budgets
+  int middle_passes = 2;       // Theorem-12 recursion depth r
+
+  // Low-degree finish.
+  int low_degree_family_log2 = 8;
+
+  std::uint64_t seed = 1;  // randomized-mode master seed
+};
+
+struct SolveResult {
+  Coloring coloring;
+  mpc::Ledger ledger;
+  bool valid = false;
+
+  // Attribution.
+  std::uint64_t colored_middle = 0;
+  std::uint64_t colored_low_degree = 0;
+  std::uint64_t colored_greedy = 0;  // final Theorem-12 tail
+  std::uint64_t partition_levels = 0;
+  std::uint64_t middle_passes_run = 0;
+  std::uint64_t partition_degree_violations = 0;
+  std::uint64_t partition_palette_violations = 0;
+  std::vector<hknt::MiddleReport> middle_reports;
+};
+
+SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt);
+
+/// The Algorithm-10 stage alone (exposed for tests/benches): runs
+/// ColorMiddle passes + low-degree finish on one instance, writing into
+/// a fresh coloring. Used internally by solve_d1lc for each bin.
+void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
+                      mpc::CostModel& cost, Coloring& out,
+                      SolveResult& agg);
+
+}  // namespace pdc::d1lc

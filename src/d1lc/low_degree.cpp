@@ -1,0 +1,111 @@
+#include "pdc/d1lc/low_degree.hpp"
+
+#include <algorithm>
+
+#include "pdc/prg/cond_exp.hpp"
+#include "pdc/util/hashing.hpp"
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::d1lc {
+
+using derand::ColoringState;
+
+namespace {
+
+/// Simulate one trial under family member `idx`: every todo-node picks
+/// available[h(v) mod |available|]; keeps it if no todo-neighbor picked
+/// the same. Returns number colored (and optionally the picks).
+std::uint64_t trial(const ColoringState& state,
+                    const std::vector<NodeId>& todo,
+                    const std::vector<std::uint8_t>& in_todo,
+                    const EnumerablePairwiseFamily& family, std::uint64_t idx,
+                    std::vector<Color>* out_picks) {
+  const Graph& g = state.graph();
+  std::vector<Color> pick(state.num_nodes(), kNoColor);
+  parallel_for(todo.size(), [&](std::size_t i) {
+    NodeId v = todo[i];
+    auto avail = state.available_colors(v);
+    if (avail.empty()) return;
+    pick[v] = avail[family.eval(idx, v, avail.size())];
+  });
+  std::uint64_t colored = 0;
+  std::vector<std::uint8_t> keep(state.num_nodes(), 0);
+  for (NodeId v : todo) {
+    if (pick[v] == kNoColor) continue;
+    bool clash = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (in_todo[u] && pick[u] == pick[v]) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      keep[v] = 1;
+      ++colored;
+    }
+  }
+  if (out_picks) {
+    out_picks->assign(state.num_nodes(), kNoColor);
+    for (NodeId v : todo)
+      if (keep[v]) (*out_picks)[v] = pick[v];
+  }
+  return colored;
+}
+
+}  // namespace
+
+LowDegreeReport low_degree_color(derand::ColoringState& state,
+                                 mpc::CostModel* cost, int family_log2,
+                                 std::uint64_t salt) {
+  LowDegreeReport rep;
+  const NodeId n = state.num_nodes();
+
+  while (true) {
+    std::vector<NodeId> todo;
+    std::vector<std::uint8_t> in_todo(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!state.is_colored(v)) {
+        todo.push_back(v);
+        in_todo[v] = 1;
+      }
+    }
+    if (todo.empty()) break;
+
+    EnumerablePairwiseFamily family(hash_combine(salt, rep.phases),
+                                    family_log2);
+    auto cost_fn = [&](std::uint64_t idx) -> double {
+      // Negative colored count: the selector minimizes.
+      return -static_cast<double>(
+          trial(state, todo, in_todo, family, idx, nullptr));
+    };
+    prg::SeedChoice sc =
+        prg::select_index_exhaustive(family.size(), cost_fn);
+    if (cost) {
+      cost->charge_conditional_expectation(family_log2);
+      cost->charge_local_round(state.graph().max_degree());
+    }
+
+    std::vector<Color> picks;
+    std::uint64_t colored =
+        trial(state, todo, in_todo, family, sc.seed, &picks);
+    if (colored == 0) {
+      // Guaranteed progress: greedily color the first todo node.
+      NodeId v = todo.front();
+      auto avail = state.available_colors(v);
+      PDC_CHECK_MSG(!avail.empty(), "low-degree solver: empty palette");
+      state.set_color(v, avail.front());
+      ++rep.fallback_steps;
+      ++rep.colored;
+      if (cost) cost->charge_local_round(state.graph().max_degree());
+    } else {
+      for (NodeId v : todo) {
+        if (picks[v] != kNoColor) state.set_color(v, picks[v]);
+      }
+      rep.colored += colored;
+    }
+    ++rep.phases;
+  }
+  return rep;
+}
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,193 @@
+#include "pdc/d1lc/low_degree_mpc.hpp"
+
+#include <algorithm>
+
+#include "pdc/prg/cond_exp.hpp"
+
+namespace pdc::d1lc {
+
+namespace {
+
+template <typename Fn>
+void for_each_message(const std::vector<mpc::Word>& inbox, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < inbox.size()) {
+    mpc::Word len = inbox[i + 1];
+    fn(std::span<const mpc::Word>(inbox.data() + i + 2, len));
+    i += 2 + len;
+  }
+}
+
+std::vector<Color> available_of(const D1lcInstance& inst,
+                                const Coloring& coloring, NodeId v) {
+  std::vector<Color> blocked;
+  for (NodeId u : inst.graph.neighbors(v))
+    if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
+  std::sort(blocked.begin(), blocked.end());
+  std::vector<Color> out;
+  for (Color c : inst.palettes.palette(v))
+    if (!std::binary_search(blocked.begin(), blocked.end(), c))
+      out.push_back(c);
+  return out;
+}
+
+Color pick_of(const D1lcInstance& inst, const Coloring& coloring,
+              const EnumerablePairwiseFamily& family, std::uint64_t index,
+              NodeId v) {
+  auto avail = available_of(inst, coloring, v);
+  if (avail.empty()) return kNoColor;
+  return avail[family.eval(index, v, avail.size())];
+}
+
+}  // namespace
+
+MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
+                                       const Coloring& coloring,
+                                       const EnumerablePairwiseFamily& family,
+                                       std::uint64_t index) {
+  const NodeId n = inst.graph.num_nodes();
+  MpcTrialResult out;
+  out.committed.assign(n, kNoColor);
+  std::vector<Color> pick(n, kNoColor);
+  for (NodeId v = 0; v < n; ++v) {
+    if (coloring[v] != kNoColor) continue;
+    pick[v] = pick_of(inst, coloring, family, index, v);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (pick[v] == kNoColor) continue;
+    bool clash = false;
+    for (NodeId u : inst.graph.neighbors(v)) {
+      if (coloring[u] == kNoColor && pick[u] == pick[v]) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      out.committed[v] = pick[v];
+      ++out.colored;
+    }
+  }
+  return out;
+}
+
+MpcTrialResult low_degree_trial_mpc(mpc::Cluster& cluster,
+                                    const D1lcInstance& inst,
+                                    const Coloring& coloring,
+                                    const EnumerablePairwiseFamily& family,
+                                    std::uint64_t index) {
+  const NodeId n = inst.graph.num_nodes();
+  const mpc::MachineId p = cluster.num_machines();
+  auto home = [p](NodeId v) { return static_cast<mpc::MachineId>(v % p); };
+
+  MpcTrialResult out;
+  out.committed.assign(n, kNoColor);
+  const std::uint64_t before = cluster.ledger().rounds();
+
+  // R1: every uncolored node computes its pick locally at its home
+  // machine (palette + committed neighbor colors are home-resident
+  // inputs) and sends it to each uncolored neighbor's home.
+  std::vector<Color> pick(n, kNoColor);
+  std::vector<std::vector<std::pair<NodeId, Color>>> rival_picks(n);
+  cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
+                    std::vector<mpc::Word>&, mpc::Outbox& ob) {
+    std::vector<std::vector<mpc::Word>> buf(p);
+    for (NodeId v = m; v < n; v += p) {
+      if (coloring[v] != kNoColor) continue;
+      Color c = pick_of(inst, coloring, family, index, v);
+      pick[v] = c;
+      if (c == kNoColor) continue;
+      for (NodeId u : inst.graph.neighbors(v)) {
+        if (coloring[u] != kNoColor) continue;
+        auto& b = buf[home(u)];
+        b.push_back(u);
+        b.push_back(static_cast<mpc::Word>(c));
+      }
+    }
+    for (mpc::MachineId d = 0; d < p; ++d)
+      if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
+  });
+  for (mpc::MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
+      for (std::size_t i = 0; i + 1 < pl.size(); i += 2) {
+        rival_picks[pl[i]].emplace_back(kInvalidNode,
+                                        static_cast<Color>(pl[i + 1]));
+      }
+    });
+  }
+
+  // R2 (decision + announcement): commit unless a rival picked the same
+  // color; committed colors are broadcast so neighbors prune palettes
+  // next phase (the caller folds them into `coloring`).
+  cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
+                    std::vector<mpc::Word>&, mpc::Outbox& ob) {
+    std::vector<std::vector<mpc::Word>> buf(p);
+    for (NodeId v = m; v < n; v += p) {
+      if (pick[v] == kNoColor) continue;
+      bool clash = false;
+      for (auto& [who, c] : rival_picks[v]) {
+        if (c == pick[v]) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      out.committed[v] = pick[v];
+      for (NodeId u : inst.graph.neighbors(v)) {
+        auto& b = buf[home(u)];
+        b.push_back(u);
+        b.push_back(static_cast<mpc::Word>(pick[v]));
+      }
+    }
+    for (mpc::MachineId d = 0; d < p; ++d)
+      if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
+  });
+  for (Color c : out.committed) out.colored += (c != kNoColor);
+  out.mpc_rounds = cluster.ledger().rounds() - before;
+  return out;
+}
+
+MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
+                                        const D1lcInstance& inst,
+                                        int family_log2, std::uint64_t salt) {
+  MpcLowDegreeResult out;
+  out.coloring.assign(inst.graph.num_nodes(), kNoColor);
+  const std::uint64_t before = cluster.ledger().rounds();
+
+  std::uint64_t uncolored = inst.graph.num_nodes();
+  while (uncolored > 0) {
+    EnumerablePairwiseFamily family(hash_combine(salt, out.phases),
+                                    family_log2);
+    auto cost = [&](std::uint64_t idx) {
+      return -static_cast<double>(
+          low_degree_trial_shared(inst, out.coloring, family, idx).colored);
+    };
+    prg::SeedChoice sc = prg::select_index_exhaustive(family.size(), cost);
+
+    MpcTrialResult trial =
+        low_degree_trial_mpc(cluster, inst, out.coloring, family, sc.seed);
+    if (trial.colored == 0) {
+      // Guaranteed progress: greedily color one uncolored node locally.
+      for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
+        if (out.coloring[v] != kNoColor) continue;
+        auto avail = available_of(inst, out.coloring, v);
+        PDC_CHECK(!avail.empty());
+        out.coloring[v] = avail.front();
+        --uncolored;
+        break;
+      }
+    } else {
+      for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
+        if (trial.committed[v] != kNoColor) {
+          out.coloring[v] = trial.committed[v];
+          --uncolored;
+        }
+      }
+    }
+    ++out.phases;
+  }
+  out.mpc_rounds = cluster.ledger().rounds() - before;
+  out.valid = check_coloring(inst, out.coloring).complete_proper();
+  return out;
+}
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,60 @@
+#include "pdc/d1lc/report.hpp"
+
+#include <ostream>
+
+#include "pdc/util/table.hpp"
+
+namespace pdc::d1lc {
+
+void print_summary(std::ostream& os, const D1lcInstance& inst,
+                   const SolveResult& result) {
+  const Graph& g = inst.graph;
+  os << "instance: n=" << g.num_nodes() << " m=" << g.num_edges()
+     << " Delta=" << g.max_degree() << "\n"
+     << "valid:    " << (result.valid ? "yes" : "NO") << "\n"
+     << "colors:   " << count_colors_used(result.coloring) << "\n"
+     << "rounds:   " << result.ledger.rounds() << "\n"
+     << "space:    peak local " << result.ledger.peak_local_space()
+     << " words, peak global " << result.ledger.peak_global_space()
+     << " words\n"
+     << "colored:  middle=" << result.colored_middle
+     << " low-degree=" << result.colored_low_degree
+     << " greedy-tail=" << result.colored_greedy << "\n"
+     << "partition levels: " << result.partition_levels
+     << ", middle passes: " << result.middle_passes_run << "\n";
+  if (!result.ledger.violations().empty()) {
+    os << "SPACE-MODEL VIOLATIONS (" << result.ledger.violations().size()
+       << "), first: " << result.ledger.violations().front() << "\n";
+  }
+}
+
+void print_detail(std::ostream& os, const SolveResult& result) {
+  Table phases("rounds by phase", {"phase", "rounds"});
+  for (auto& [phase, rounds] : result.ledger.rounds_by_phase())
+    phases.row({phase, std::to_string(rounds)});
+  phases.print(os);
+
+  for (std::size_t i = 0; i < result.middle_reports.size(); ++i) {
+    const auto& mr = result.middle_reports[i];
+    os << "middle pass " << i << ": n=" << mr.n << " sparse=" << mr.sparse
+       << " uneven=" << mr.uneven << " dense=" << mr.dense << " ("
+       << mr.num_cliques << " cliques), vstart=" << mr.vstart
+       << ", outliers=" << mr.outliers << ", put-aside=" << mr.put_aside
+       << "\n  colored=" << mr.colored << " deferred=" << mr.deferred
+       << " uncolored=" << mr.uncolored
+       << " acd-violations=" << mr.acd_violations.total() << "\n";
+    Table steps("  procedures (pass " + std::to_string(i) + ")",
+                {"procedure", "participants", "failures", "defer_frac",
+                 "seed_evals"});
+    for (const auto& s : mr.steps) {
+      if (s.participants == 0) continue;
+      steps.row({s.procedure, std::to_string(s.participants),
+                 std::to_string(s.ssp_failures),
+                 Table::num(s.defer_fraction, 4),
+                 std::to_string(s.seed_evaluations)});
+    }
+    steps.print(os);
+  }
+}
+
+}  // namespace pdc::d1lc

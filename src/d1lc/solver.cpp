@@ -1,0 +1,206 @@
+#include "pdc/d1lc/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdc/util/parallel.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc::d1lc {
+
+namespace {
+
+/// Degree cap below which instances go straight to the HKNT machinery.
+std::uint32_t effective_mid_cap(const SolverOptions& opt,
+                                const mpc::Config& mcfg) {
+  if (opt.mid_degree_cap) return opt.mid_degree_cap;
+  return std::max<std::uint32_t>(
+      8, static_cast<std::uint32_t>(
+             std::sqrt(static_cast<double>(mcfg.local_space_words))));
+}
+
+derand::Lemma10Options mode_l10(const SolverOptions& opt,
+                                std::uint64_t pass_salt) {
+  derand::Lemma10Options l10 = opt.l10;
+  if (opt.mode == Mode::kRandomized) {
+    l10.strategy = derand::SeedStrategy::kTrueRandom;
+    l10.defer_failures = false;
+    l10.true_random_seed = hash_combine(opt.seed, pass_salt);
+  } else {
+    l10.defer_failures = true;
+    l10.salt = hash_combine(l10.salt, pass_salt);
+  }
+  return l10;
+}
+
+struct RecursionContext {
+  const SolverOptions* opt;
+  SolveResult* agg;
+};
+
+void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
+               mpc::CostModel& cost, Coloring& out, SolveResult& agg,
+               int level);
+
+}  // namespace
+
+void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
+                      mpc::CostModel& cost, Coloring& out,
+                      SolveResult& agg) {
+  PDC_CHECK(out.size() == inst.graph.num_nodes());
+
+  // Theorem-12 recursion: ColorMiddle on the live instance, then rebuild
+  // the residual (deferred + failed) as a fresh D1LC instance and repeat.
+  D1lcInstance current = inst;
+  std::vector<NodeId> to_root(inst.graph.num_nodes());
+  for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) to_root[v] = v;
+
+  for (int pass = 0; pass < opt.middle_passes; ++pass) {
+    if (current.graph.num_nodes() == 0) break;
+    const std::uint32_t low_cap = opt.hknt.low_degree(inst.graph.num_nodes());
+    if (current.graph.max_degree() < low_cap) break;  // low-degree finish
+
+    cost.ledger().begin_phase("color-middle");
+    derand::ColoringState state(current.graph, current.palettes);
+    hknt::MiddleOptions mo;
+    mo.cfg = opt.hknt;
+    mo.l10 = mode_l10(opt, static_cast<std::uint64_t>(pass) + 17);
+    hknt::MiddleReport rep =
+        hknt::color_middle(state, current, mo, &cost);
+    agg.middle_reports.push_back(rep);
+    ++agg.middle_passes_run;
+
+    // Lift committed colors to the root coloring.
+    std::uint64_t colored_now = 0;
+    for (NodeId v = 0; v < current.graph.num_nodes(); ++v) {
+      if (state.is_colored(v)) {
+        out[to_root[v]] = state.color(v);
+        ++colored_now;
+      }
+    }
+    agg.colored_middle += colored_now;
+
+    // Self-reducibility (Definition 11): residual over uncolored nodes.
+    ResidualInstance res =
+        residual(current.graph, current.palettes, state.colors());
+    std::vector<NodeId> next_to_root(res.to_parent.size());
+    for (std::size_t i = 0; i < res.to_parent.size(); ++i)
+      next_to_root[i] = to_root[res.to_parent[i]];
+    current = std::move(res.instance);
+    to_root = std::move(next_to_root);
+    if (colored_now == 0) break;  // no progress; hand off to low-degree
+  }
+
+  // Low-degree deterministic finish (Lemma 14 role). Works at any
+  // degree; the pipeline arranges for the residue to be low-degree.
+  if (current.graph.num_nodes() > 0) {
+    cost.ledger().begin_phase("low-degree");
+    derand::ColoringState state(current.graph, current.palettes);
+    LowDegreeReport ld = low_degree_color(
+        state, &cost, opt.low_degree_family_log2,
+        hash_combine(0xC0FFEE, inst.graph.num_nodes()));
+    agg.colored_low_degree += ld.colored;
+    for (NodeId v = 0; v < current.graph.num_nodes(); ++v) {
+      if (state.is_colored(v)) out[to_root[v]] = state.color(v);
+    }
+  }
+}
+
+namespace {
+
+void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
+               mpc::CostModel& cost, Coloring& out, SolveResult& agg,
+               int level) {
+  if (inst.graph.num_nodes() == 0) return;
+  const std::uint32_t mid_cap = effective_mid_cap(opt, cost.config());
+
+  if (inst.graph.max_degree() <= mid_cap) {
+    mid_degree_color(inst, opt, cost, out, agg);
+    return;
+  }
+
+  // LowSpacePartition + LowSpaceColorReduce (Algorithms 11/12).
+  cost.ledger().begin_phase("partition(level " + std::to_string(level) + ")");
+  PartitionOptions popt;
+  popt.delta = opt.delta;
+  popt.mid_degree_cap = mid_cap;
+  popt.family_log2 = opt.partition_family_log2;
+  popt.salt = hash_combine(0xBEEF, level);
+  Partition part = low_space_partition(inst, popt, &cost);
+  agg.partition_levels = std::max<std::uint64_t>(
+      agg.partition_levels, static_cast<std::uint64_t>(level) + 1);
+  agg.partition_degree_violations += part.degree_violations;
+  agg.partition_palette_violations += part.palette_violations;
+
+  // Bins 0..nbins-2 run concurrently in the model: account their rounds
+  // as a parallel group (max of the children).
+  {
+    std::vector<mpc::Ledger> child_ledgers;
+    for (std::uint32_t b = 0; b + 1 < part.nbins; ++b) {
+      BinInstance bi = build_bin_instance(inst, part, b, out);
+      if (bi.instance.graph.num_nodes() == 0) continue;
+      mpc::Ledger child;
+      mpc::CostModel child_cost(cost.config(), child);
+      Coloring sub(bi.instance.graph.num_nodes(), kNoColor);
+      solve_rec(bi.instance, opt, child_cost, sub, agg, level + 1);
+      lift_coloring(bi.to_parent, sub, out);
+      child_ledgers.push_back(std::move(child));
+    }
+    cost.ledger().absorb_parallel(child_ledgers);
+  }
+
+  // Last bin: palettes updated against the committed bins, then solved.
+  {
+    BinInstance bi = build_bin_instance(inst, part, part.nbins - 1, out);
+    if (bi.instance.graph.num_nodes() > 0) {
+      Coloring sub(bi.instance.graph.num_nodes(), kNoColor);
+      solve_rec(bi.instance, opt, cost, sub, agg, level + 1);
+      lift_coloring(bi.to_parent, sub, out);
+    }
+  }
+
+  // G_mid: low-degree by construction; update palettes, then solve.
+  {
+    BinInstance bi = build_bin_instance(inst, part, Partition::kMid, out);
+    if (bi.instance.graph.num_nodes() > 0) {
+      Coloring sub(bi.instance.graph.num_nodes(), kNoColor);
+      mid_degree_color(bi.instance, opt, cost, sub, agg);
+      lift_coloring(bi.to_parent, sub, out);
+    }
+  }
+}
+
+}  // namespace
+
+SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt) {
+  PDC_CHECK_MSG(inst.valid(), "input is not a valid D1LC instance");
+  SolveResult result;
+  result.coloring.assign(inst.graph.num_nodes(), kNoColor);
+
+  const std::uint64_t input_words =
+      inst.graph.num_edges() * 2 + inst.palettes.total_size();
+  mpc::Config mcfg = mpc::Config::sublinear(
+      inst.graph.num_nodes(), opt.phi, input_words, opt.space_headroom);
+  mpc::CostModel cost(mcfg, result.ledger);
+
+  solve_rec(inst, opt, cost, result.coloring, result, 0);
+
+  // Safety net: anything still uncolored (empty-pipeline corner cases)
+  // is completed greedily and attributed.
+  std::uint64_t missing = 0;
+  for (NodeId v = 0; v < inst.graph.num_nodes(); ++v)
+    if (result.coloring[v] == kNoColor) ++missing;
+  if (missing > 0) {
+    derand::ColoringState state(inst.graph, inst.palettes);
+    for (NodeId v = 0; v < inst.graph.num_nodes(); ++v)
+      if (result.coloring[v] != kNoColor)
+        state.set_color(v, result.coloring[v]);
+    result.colored_greedy += derand::greedy_complete(state, &cost);
+    result.coloring = state.colors();
+  }
+
+  result.valid = check_coloring(inst, result.coloring).complete_proper();
+  return result;
+}
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,74 @@
+#include "pdc/derand/coloring_state.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::derand {
+
+std::vector<Color> ColoringState::available_colors(NodeId v) const {
+  auto pal = palettes_->palette(v);
+  std::vector<Color> blocked;
+  for (NodeId u : g_->neighbors(v))
+    if (is_colored(u)) blocked.push_back(colors_[u]);
+  std::sort(blocked.begin(), blocked.end());
+  std::vector<Color> out;
+  out.reserve(pal.size());
+  for (Color c : pal)
+    if (!std::binary_search(blocked.begin(), blocked.end(), c))
+      out.push_back(c);
+  return out;
+}
+
+std::uint32_t ColoringState::available_count(NodeId v) const {
+  auto pal = palettes_->palette(v);
+  std::vector<Color> blocked;
+  for (NodeId u : g_->neighbors(v))
+    if (is_colored(u)) blocked.push_back(colors_[u]);
+  std::sort(blocked.begin(), blocked.end());
+  blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+  std::uint32_t cnt = 0;
+  for (Color c : pal)
+    if (!std::binary_search(blocked.begin(), blocked.end(), c)) ++cnt;
+  return cnt;
+}
+
+Color ColoringState::sample_available(NodeId v, BitStream& bits) const {
+  auto avail = available_colors(v);
+  if (avail.empty()) return kNoColor;
+  return avail[bits.below(avail.size())];
+}
+
+std::vector<Color> ColoringState::sample_available_distinct(
+    NodeId v, std::uint32_t want, BitStream& bits) const {
+  auto avail = available_colors(v);
+  if (avail.size() <= want) return avail;
+  // Partial Fisher–Yates over the available list.
+  for (std::uint32_t i = 0; i < want; ++i) {
+    std::uint64_t j = i + bits.below(avail.size() - i);
+    std::swap(avail[i], avail[j]);
+  }
+  avail.resize(want);
+  std::sort(avail.begin(), avail.end());
+  return avail;
+}
+
+std::uint64_t ColoringState::count_uncolored() const {
+  return parallel_count(num_nodes(), [&](std::size_t v) {
+    return !is_colored(static_cast<NodeId>(v));
+  });
+}
+
+std::uint64_t ColoringState::count_deferred() const {
+  return parallel_count(num_nodes(), [&](std::size_t v) {
+    return is_deferred(static_cast<NodeId>(v));
+  });
+}
+
+std::uint64_t ColoringState::count_participants() const {
+  return parallel_count(num_nodes(), [&](std::size_t v) {
+    return participates(static_cast<NodeId>(v));
+  });
+}
+
+}  // namespace pdc::derand

@@ -1,0 +1,124 @@
+#pragma once
+// Mutable coloring state threaded through procedure pipelines.
+//
+// A ColoringState is the "current graph" of Section 2.1: as nodes commit
+// colors, neighbors' effective palettes shrink and degrees drop. Deferred
+// nodes (Definition 5's Defer marker) are treated as *removed* — they do
+// not block palette colors and do not count toward degrees — which is
+// precisely why deferral only creates slack for coloring problems (the
+// observation the paper's framework rests on). Deferred nodes are
+// re-instanced later via self-reducibility (Definition 11 / residual()).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/graph.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/util/bits.hpp"
+
+namespace pdc::derand {
+
+class ColoringState {
+ public:
+  ColoringState(const Graph& g, const PaletteSet& palettes)
+      : g_(&g), palettes_(&palettes),
+        colors_(g.num_nodes(), kNoColor),
+        deferred_(g.num_nodes(), 0),
+        active_(g.num_nodes(), 1) {}
+
+  const Graph& graph() const { return *g_; }
+  const PaletteSet& palettes() const { return *palettes_; }
+  NodeId num_nodes() const { return g_->num_nodes(); }
+
+  Color color(NodeId v) const { return colors_[v]; }
+  bool is_colored(NodeId v) const { return colors_[v] != kNoColor; }
+  bool is_deferred(NodeId v) const { return deferred_[v] != 0; }
+  bool is_active(NodeId v) const { return active_[v] != 0; }
+
+  /// A node participates in the current procedure iff it is marked
+  /// active, still uncolored and not deferred.
+  bool participates(NodeId v) const {
+    return is_active(v) && !is_colored(v) && !is_deferred(v);
+  }
+
+  void set_color(NodeId v, Color c) { colors_[v] = c; }
+  void set_deferred(NodeId v) { deferred_[v] = 1; }
+
+  /// Select the node set the next procedure runs on.
+  void set_active_all() { std::fill(active_.begin(), active_.end(), 1); }
+  void set_active(std::span<const NodeId> nodes) {
+    std::fill(active_.begin(), active_.end(), 0);
+    for (NodeId v : nodes) active_[v] = 1;
+  }
+  void set_active_mask(std::vector<std::uint8_t> mask) {
+    active_ = std::move(mask);
+  }
+
+  /// Degree of v in the current graph: neighbors that are uncolored and
+  /// not deferred. (Colored and deferred neighbors are removed.)
+  std::uint32_t current_degree(NodeId v) const {
+    std::uint32_t d = 0;
+    for (NodeId u : g_->neighbors(v))
+      if (!is_colored(u) && !is_deferred(u)) ++d;
+    return d;
+  }
+
+  /// Degree of v counting only neighbors participating in the current
+  /// procedure. HKNT's staged coloring (Vstart before the easy sparse
+  /// nodes, outliers before inliers) relies on *temporary slack*: nodes
+  /// scheduled later neither contend for colors now nor shrink palettes
+  /// now, so procedure-internal degree checks use this count.
+  std::uint32_t participating_degree(NodeId v) const {
+    std::uint32_t d = 0;
+    for (NodeId u : g_->neighbors(v))
+      if (participates(u)) ++d;
+    return d;
+  }
+
+  /// Slack against the participating set only (temporary slack).
+  std::int64_t participating_slack(NodeId v) const {
+    return static_cast<std::int64_t>(available_count(v)) -
+           static_cast<std::int64_t>(participating_degree(v));
+  }
+
+  /// Colors of v's palette not taken by any colored neighbor, in sorted
+  /// order. (Deferred neighbors hold no color, so they block nothing.)
+  std::vector<Color> available_colors(NodeId v) const;
+
+  std::uint32_t available_count(NodeId v) const;
+
+  /// Slack: |available palette| - current degree. The paper's procedures
+  /// are all slack-generation steps; SSPs are phrased over this value.
+  std::int64_t slack(NodeId v) const {
+    return static_cast<std::int64_t>(available_count(v)) -
+           static_cast<std::int64_t>(current_degree(v));
+  }
+
+  /// Uniformly random available color of v drawn from `bits`; kNoColor
+  /// if the available palette is empty.
+  Color sample_available(NodeId v, BitStream& bits) const;
+
+  /// Sample `want` distinct available colors (or all, if fewer exist).
+  std::vector<Color> sample_available_distinct(NodeId v, std::uint32_t want,
+                                               BitStream& bits) const;
+
+  const Coloring& colors() const { return colors_; }
+  Coloring& mutable_colors() { return colors_; }
+  const std::vector<std::uint8_t>& deferred_mask() const { return deferred_; }
+  std::vector<std::uint8_t>& mutable_deferred() { return deferred_; }
+
+  std::uint64_t count_uncolored() const;
+  std::uint64_t count_deferred() const;
+  std::uint64_t count_participants() const;
+
+ private:
+  const Graph* g_;
+  const PaletteSet* palettes_;
+  Coloring colors_;
+  std::vector<std::uint8_t> deferred_;
+  std::vector<std::uint8_t> active_;
+};
+
+}  // namespace pdc::derand

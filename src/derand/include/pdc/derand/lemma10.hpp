@@ -1,0 +1,104 @@
+#pragma once
+// Lemma 10: derandomizing one normal (tau, Δ)-round procedure.
+//
+// Pipeline (matching the paper's proof):
+//  1. Assign pseudorandom chunks via a proper coloring of G^{4τ}
+//     (distance_coloring), so nodes within distance 4τ read disjoint
+//     chunks of the PRG output.
+//  2. For each candidate seed of the PRG family, simulate the procedure
+//     and count nodes failing their strong success property.
+//  3. Select a seed with failure count <= the seed-space mean (method of
+//     conditional expectations, or exhaustive argmin — both satisfy the
+//     lemma's guarantee; strategies compared in E10).
+//  4. Re-run under the chosen seed, mark SSP-failing nodes Deferred,
+//     commit the outputs of the rest, and verify the weak success
+//     property of all non-deferred participants.
+//
+// The chunk coloring is the expensive preprocessing; when the ball work
+// n * Δ^{4τ} exceeds `chunk_work_budget` we fall back to per-node-unique
+// chunks (the "lazy PRG" — a valid distance-∞ coloring whose only cost
+// in the theory is PRG output length, which our lazy expansion never
+// materializes). DESIGN.md §4 discusses this substitution.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdc/derand/normal_procedure.hpp"
+#include "pdc/graph/power.hpp"
+#include "pdc/mpc/cost_model.hpp"
+#include "pdc/prg/cond_exp.hpp"
+
+namespace pdc::derand {
+
+enum class SeedStrategy {
+  kExhaustive,              // argmin over all seeds
+  kConditionalExpectation,  // bitwise E[...|prefix] walk
+  kFirstSeed,               // seed 0, no search (ablation: "random" seed)
+  kTrueRandom,              // no PRG at all: the randomized algorithm
+};
+
+struct Lemma10Options {
+  int seed_bits = 10;
+  SeedStrategy strategy = SeedStrategy::kExhaustive;
+  std::uint64_t salt = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t true_random_seed = 1;  // master seed for kTrueRandom
+  std::uint64_t chunk_work_budget = 20'000'000;
+  bool force_unique_chunks = false;
+  /// E10 ablation only: deliberately share chunks among nearby nodes by
+  /// hashing node ids into `shared_chunk_count` chunks (violates the
+  /// G^{4τ} discipline; expect correlated failures).
+  std::uint32_t shared_chunk_count = 0;
+  /// Defer failures? The randomized pipeline leaves failures uncolored
+  /// without the Defer mark (they retry in later steps); the
+  /// derandomized pipeline defers per the lemma.
+  bool defer_failures = true;
+};
+
+struct Lemma10Report {
+  std::string procedure;
+  std::uint64_t participants = 0;
+  std::uint64_t ssp_failures = 0;   // under the executed source
+  std::uint64_t deferred_new = 0;
+  double defer_fraction = 0.0;      // deferred_new / participants
+  double mean_failures = 0.0;       // over the seed space (search modes)
+  std::uint64_t seed = 0;
+  std::uint64_t seed_evaluations = 0;
+  std::uint32_t chunks = 0;
+  bool power_coloring_used = false;
+  std::uint64_t wsp_violations = 0;
+  /// Lemma 10's bound on expected failures: 1/2 + n_G * Δ^{-11τ}
+  /// (with the paper's idealized PRG). Reported for comparison.
+  double lemma10_bound = 0.0;
+};
+
+/// Chunk assignment reused across the procedures of one algorithm run
+/// (Theorem 12 computes the power-graph coloring once up front).
+struct ChunkAssignment {
+  std::vector<std::uint32_t> chunk_of;
+  std::uint32_t num_chunks = 0;
+  bool power_coloring = false;
+};
+
+/// Computes the chunk assignment for procedures with round count tau on
+/// the current graph; charges the cost model for the power coloring.
+ChunkAssignment assign_chunks(const Graph& g, int tau,
+                              const Lemma10Options& opt,
+                              mpc::CostModel* cost);
+
+/// Derandomizes (or, for kTrueRandom, just runs) one procedure against
+/// the state: selects the seed, commits outputs, defers failures.
+Lemma10Report derandomize_procedure(const NormalProcedure& proc,
+                                    ColoringState& state,
+                                    const ChunkAssignment& chunks,
+                                    const Lemma10Options& opt,
+                                    mpc::CostModel* cost);
+
+/// Convenience: chunk assignment + derandomization in one call.
+Lemma10Report derandomize_procedure(const NormalProcedure& proc,
+                                    ColoringState& state,
+                                    const Lemma10Options& opt,
+                                    mpc::CostModel* cost);
+
+}  // namespace pdc::derand

@@ -1,0 +1,95 @@
+#pragma once
+// Normal (tau, Δ)-round distributed procedures — Definition 5.
+//
+// A NormalProcedure is a randomized LOCAL subroutine packaged with:
+//  * tau()                — its LOCAL round count;
+//  * simulate()           — a deterministic function of the state and a
+//                           per-node bit source (swapping the source
+//                           between true randomness and a PRG seed is the
+//                           derandomization);
+//  * ssp(v)               — the strong success property, a predicate on
+//                           the run's outputs within v's tau-hop
+//                           neighborhood that holds w.h.p. under true
+//                           randomness;
+//  * wsp(v, defer)        — the weak success property, which must still
+//                           hold when any subset of SSP-failing nodes is
+//                           deferred (Definition 5's closing condition);
+//  * commit()             — applies the run's outputs to the state,
+//                           nullifying deferred nodes' outputs.
+//
+// For the coloring procedures in this library SSP and WSP coincide up to
+// the Defer extension (exactly as the paper observes for slack-generation
+// subroutines: deferral removes neighbors without blocking palette
+// colors, so it can only help).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdc/derand/coloring_state.hpp"
+#include "pdc/prg/prg.hpp"
+
+namespace pdc::derand {
+
+/// Per-run outputs: a proposed color per node (kNoColor when the node
+/// proposed nothing / failed its trial) plus a procedure-specific
+/// auxiliary word per node (e.g. sampled-into-S markers).
+struct ProcedureRun {
+  std::vector<Color> proposed;
+  std::vector<std::int64_t> aux;
+
+  explicit ProcedureRun(NodeId n)
+      : proposed(n, kNoColor), aux(n, 0) {}
+};
+
+class NormalProcedure {
+ public:
+  virtual ~NormalProcedure() = default;
+
+  virtual std::string name() const = 0;
+
+  /// LOCAL rounds the procedure takes (the tau of Definition 5).
+  virtual int tau() const { return 1; }
+
+  /// Declared randomness budget per node, in 64-bit words (Definition 5
+  /// allows O(Δ^{2τ}) bits; the framework verifies streams stay within
+  /// a multiple of this, and the PRG sizes chunks accordingly).
+  virtual std::uint64_t rand_words_per_node(
+      const ColoringState& state) const = 0;
+
+  /// Deterministically simulate the procedure for all participating
+  /// nodes. Must not mutate `state`; must depend on randomness only via
+  /// `bits` streams (that is what makes seed search sound).
+  virtual ProcedureRun simulate(const ColoringState& state,
+                                const prg::BitSourceFactory& bits) const = 0;
+
+  /// Strong success property for node v given the run (Definition 5).
+  virtual bool ssp(const ColoringState& state, const ProcedureRun& run,
+                   NodeId v) const = 0;
+
+  /// Weak success property for v when nodes in `defer` (1 = deferred in
+  /// this run) have their outputs nullified. Default: identical
+  /// predicate to SSP but evaluated with deferred outputs removed —
+  /// which, for slack properties, is implied by SSP (the paper's
+  /// SSP ⇒ WSP condition); procedures with genuinely weaker WSPs
+  /// override. `defer` covers exactly this run's deferrals.
+  virtual bool wsp(const ColoringState& state, const ProcedureRun& run,
+                   NodeId v, const std::vector<std::uint8_t>& defer) const {
+    (void)defer;
+    return ssp(state, run, v);
+  }
+
+  /// Apply the run to the state for non-deferred nodes. Default: commit
+  /// proposed colors.
+  virtual void commit(ColoringState& state, const ProcedureRun& run,
+                      const std::vector<std::uint8_t>& defer) const {
+    for (NodeId v = 0; v < state.num_nodes(); ++v) {
+      if (defer[v]) continue;
+      if (run.proposed[v] != kNoColor && state.participates(v)) {
+        state.set_color(v, run.proposed[v]);
+      }
+    }
+  }
+};
+
+}  // namespace pdc::derand

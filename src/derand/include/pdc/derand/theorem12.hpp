@@ -1,0 +1,54 @@
+#pragma once
+// Theorem 12 machinery: derandomizing a *series* of normal procedures,
+// deferral recursion, and the greedy finish.
+//
+// The theorem's shape: run Lemma 10 on each of the k procedures in order
+// (deferred nodes drop out of later procedures); because the problem is
+// self-reducible (Definition 11), the deferred/unfinished nodes form a
+// fresh valid instance, so the caller recurses r = 1/δ = O(1) times; the
+// n^{o(1)} leftovers are then collected onto one machine and completed
+// greedily. The recursion itself is problem-specific (it rebuilds
+// instances via residual()); the D1LC driver lives in pdc::d1lc, and the
+// Luby-MIS exemplar manages its own loop. This header provides the
+// shared pieces: the in-order sequence runner and the greedy completion.
+
+#include <span>
+#include <vector>
+
+#include "pdc/derand/lemma10.hpp"
+
+namespace pdc::derand {
+
+struct SequenceReport {
+  std::vector<Lemma10Report> steps;
+
+  std::uint64_t total_deferred() const {
+    std::uint64_t t = 0;
+    for (const auto& s : steps) t += s.deferred_new;
+    return t;
+  }
+  std::uint64_t total_wsp_violations() const {
+    std::uint64_t t = 0;
+    for (const auto& s : steps) t += s.wsp_violations;
+    return t;
+  }
+};
+
+/// Runs the procedures in order under Lemma 10 against a shared chunk
+/// assignment (computed once for the maximum tau, as in the theorem's
+/// proof, which colors G^{4τ} once up front).
+SequenceReport derandomize_sequence(
+    std::span<const NormalProcedure* const> procedures, ColoringState& state,
+    const Lemma10Options& opt, mpc::CostModel* cost);
+
+/// Greedy completion (the theorem's final step): colors every remaining
+/// uncolored node — deferred or not — in index order from its available
+/// palette. For a valid D1LC state this always succeeds: a node's
+/// available palette always exceeds its uncolored degree. Charges the
+/// cost model for collecting the residual subgraph onto one machine.
+/// Returns the number of nodes colored. Throws if any node has an empty
+/// available palette (impossible for valid D1LC states; indicates a
+/// procedure committed conflicting colors).
+std::uint64_t greedy_complete(ColoringState& state, mpc::CostModel* cost);
+
+}  // namespace pdc::derand

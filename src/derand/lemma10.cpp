@@ -1,0 +1,219 @@
+#include "pdc/derand/lemma10.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::derand {
+
+namespace {
+
+/// A BitSourceFactory that routes nodes to their assigned chunks.
+class ChunkedSource final : public prg::BitSourceFactory {
+ public:
+  ChunkedSource(const prg::BitSourceFactory& inner,
+                const std::vector<std::uint32_t>& chunk_of)
+      : inner_(&inner), chunk_of_(&chunk_of) {}
+
+  BitStream stream(std::uint32_t node, std::uint32_t /*chunk*/) const override {
+    return inner_->stream(node, (*chunk_of_)[node]);
+  }
+
+ private:
+  const prg::BitSourceFactory* inner_;
+  const std::vector<std::uint32_t>* chunk_of_;
+};
+
+std::uint64_t count_ssp_failures(const NormalProcedure& proc,
+                                 const ColoringState& state,
+                                 const ProcedureRun& run) {
+  return parallel_count(state.num_nodes(), [&](std::size_t v) {
+    NodeId node = static_cast<NodeId>(v);
+    return state.participates(node) && !proc.ssp(state, run, node);
+  });
+}
+
+}  // namespace
+
+ChunkAssignment assign_chunks(const Graph& g, int tau,
+                              const Lemma10Options& opt,
+                              mpc::CostModel* cost) {
+  ChunkAssignment out;
+  const NodeId n = g.num_nodes();
+  if (opt.strategy == SeedStrategy::kTrueRandom) {
+    // True randomness ignores chunks entirely (per-node streams); skip
+    // the power-graph coloring.
+    out.chunk_of.resize(n);
+    for (NodeId v = 0; v < n; ++v) out.chunk_of[v] = v;
+    out.num_chunks = n;
+    out.power_coloring = false;
+    return out;
+  }
+  if (opt.shared_chunk_count > 0) {
+    // Ablation mode: deliberately violate the disjoint-chunk discipline.
+    out.chunk_of.resize(n);
+    for (NodeId v = 0; v < n; ++v)
+      out.chunk_of[v] =
+          static_cast<std::uint32_t>(mix64(v) % opt.shared_chunk_count);
+    out.num_chunks = opt.shared_chunk_count;
+    out.power_coloring = false;
+    return out;
+  }
+  const int dist = 4 * tau;
+  // When Δ^{4τ} >= n the distance-4τ balls cover essentially the whole
+  // graph and the proper power coloring degenerates to ~n singleton
+  // classes — skip straight to per-node chunks (identical outcome,
+  // none of the sequential-greedy cost).
+  std::uint64_t dpow = 1;
+  bool ball_covers_graph = false;
+  for (int i = 0; i < dist; ++i) {
+    dpow *= std::max<std::uint64_t>(1, g.max_degree());
+    if (dpow >= g.num_nodes()) {
+      ball_covers_graph = true;
+      break;
+    }
+  }
+  if (!opt.force_unique_chunks && !ball_covers_graph &&
+      ball_work_upper_bound(g, dist) <= opt.chunk_work_budget) {
+    DistanceColoring dc = distance_coloring(g, dist);
+    out.chunk_of = std::move(dc.chunk_of);
+    out.num_chunks = dc.num_chunks;
+    out.power_coloring = true;
+    if (cost) cost->charge_power_graph_coloring(tau, g.num_nodes());
+  } else {
+    // Lazy-PRG fallback: per-node-unique chunks (a trivially valid
+    // distance coloring with n classes).
+    out.chunk_of.resize(n);
+    for (NodeId v = 0; v < n; ++v) out.chunk_of[v] = v;
+    out.num_chunks = n;
+    out.power_coloring = false;
+    if (cost) cost->charge_power_graph_coloring(tau, g.num_nodes());
+  }
+  return out;
+}
+
+Lemma10Report derandomize_procedure(const NormalProcedure& proc,
+                                    ColoringState& state,
+                                    const ChunkAssignment& chunks,
+                                    const Lemma10Options& opt,
+                                    mpc::CostModel* cost) {
+  Lemma10Report rep;
+  rep.procedure = proc.name();
+  rep.participants = state.count_participants();
+  rep.chunks = chunks.num_chunks;
+  rep.power_coloring_used = chunks.power_coloring;
+
+  const int tau = proc.tau();
+  const double delta =
+      std::max<double>(2.0, state.graph().max_degree());
+  rep.lemma10_bound =
+      0.5 + static_cast<double>(state.num_nodes()) *
+                std::pow(delta, -11.0 * tau);
+
+  if (cost) {
+    // Lemma 10 preprocessing: gather 8τ-hop input information, simulate,
+    // and run conditional expectations.
+    std::uint64_t ball_words = std::min<std::uint64_t>(
+        state.num_nodes(),
+        static_cast<std::uint64_t>(
+            std::pow(static_cast<double>(state.graph().max_degree()), tau)) +
+            1);
+    cost->charge_ball_gather(ball_words, tau);
+    cost->charge_local_round(state.graph().max_degree(), tau);
+  }
+
+  ProcedureRun chosen(state.num_nodes());
+
+  if (opt.strategy == SeedStrategy::kTrueRandom) {
+    prg::TrueRandomSource src(opt.true_random_seed);
+    chosen = proc.simulate(state, src);
+    rep.seed_evaluations = 1;
+  } else {
+    prg::PrgFamily family(opt.seed_bits, opt.salt);
+    auto cost_fn = [&](std::uint64_t seed) -> double {
+      auto src = family.source(seed);
+      ChunkedSource chunked(src, chunks.chunk_of);
+      ProcedureRun run = proc.simulate(state, chunked);
+      return static_cast<double>(count_ssp_failures(proc, state, run));
+    };
+    prg::SeedChoice sc;
+    switch (opt.strategy) {
+      case SeedStrategy::kExhaustive:
+        sc = prg::select_seed_exhaustive(opt.seed_bits, cost_fn);
+        break;
+      case SeedStrategy::kConditionalExpectation:
+        sc = prg::select_seed_conditional_expectation(opt.seed_bits, cost_fn);
+        break;
+      case SeedStrategy::kFirstSeed:
+        sc.seed = 0;
+        sc.cost = cost_fn(0);
+        sc.mean_cost = sc.cost;
+        sc.evaluations = 1;
+        break;
+      case SeedStrategy::kTrueRandom:
+        break;  // unreachable
+    }
+    rep.seed = sc.seed;
+    rep.mean_failures = sc.mean_cost;
+    rep.seed_evaluations = sc.evaluations;
+    if (cost) cost->charge_conditional_expectation(opt.seed_bits);
+    auto src = family.source(sc.seed);
+    ChunkedSource chunked(src, chunks.chunk_of);
+    chosen = proc.simulate(state, chunked);
+  }
+
+  // Mark SSP failures; defer them (derandomized mode) or leave them
+  // uncolored to retry (randomized mode).
+  std::vector<std::uint8_t> defer(state.num_nodes(), 0);
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (!state.participates(v)) continue;
+    if (!proc.ssp(state, chosen, v)) {
+      ++rep.ssp_failures;
+      if (opt.defer_failures) defer[v] = 1;
+    }
+  }
+
+  // Verify the weak success property of the surviving participants
+  // before committing — this is the Definition-5 contract, checked
+  // rather than assumed.
+  rep.wsp_violations = parallel_count(state.num_nodes(), [&](std::size_t v) {
+    NodeId node = static_cast<NodeId>(v);
+    return state.participates(node) && !defer[node] &&
+           !proc.wsp(state, chosen, node, defer);
+  });
+
+  proc.commit(state, chosen, defer);
+  if (opt.defer_failures) {
+    for (NodeId v = 0; v < state.num_nodes(); ++v)
+      if (defer[v]) state.set_deferred(v);
+    rep.deferred_new = rep.ssp_failures;
+  }
+  rep.defer_fraction =
+      rep.participants
+          ? static_cast<double>(rep.deferred_new) /
+                static_cast<double>(rep.participants)
+          : 0.0;
+
+#ifndef NDEBUG
+  // A correct simulate() never proposes conflicting colors; verify.
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (state.color(v) == kNoColor) continue;
+    for (NodeId u : state.graph().neighbors(v)) {
+      PDC_ASSERT(state.color(u) != state.color(v));
+    }
+  }
+#endif
+  return rep;
+}
+
+Lemma10Report derandomize_procedure(const NormalProcedure& proc,
+                                    ColoringState& state,
+                                    const Lemma10Options& opt,
+                                    mpc::CostModel* cost) {
+  ChunkAssignment chunks =
+      assign_chunks(state.graph(), proc.tau(), opt, cost);
+  return derandomize_procedure(proc, state, chunks, opt, cost);
+}
+
+}  // namespace pdc::derand

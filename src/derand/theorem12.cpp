@@ -1,0 +1,50 @@
+#include "pdc/derand/theorem12.hpp"
+
+#include <algorithm>
+
+namespace pdc::derand {
+
+SequenceReport derandomize_sequence(
+    std::span<const NormalProcedure* const> procedures, ColoringState& state,
+    const Lemma10Options& opt, mpc::CostModel* cost) {
+  SequenceReport rep;
+  int max_tau = 1;
+  for (const auto* p : procedures) max_tau = std::max(max_tau, p->tau());
+  ChunkAssignment chunks =
+      assign_chunks(state.graph(), max_tau, opt, cost);
+  for (const auto* p : procedures) {
+    rep.steps.push_back(
+        derandomize_procedure(*p, state, chunks, opt, cost));
+  }
+  return rep;
+}
+
+std::uint64_t greedy_complete(ColoringState& state, mpc::CostModel* cost) {
+  // Collect the residual (uncolored) nodes; in MPC this subgraph is
+  // shipped to a single machine (charged below), which colors greedily.
+  std::vector<NodeId> todo;
+  std::uint64_t residual_words = 0;
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (!state.is_colored(v)) {
+      todo.push_back(v);
+      residual_words += 1 + state.graph().degree(v);
+    }
+  }
+  if (cost) cost->charge_greedy_finish(residual_words);
+
+  std::uint64_t colored = 0;
+  for (NodeId v : todo) {
+    auto avail = state.available_colors(v);
+    // Prefer a color no uncolored neighbor is forced into — plain
+    // first-available suffices for correctness (palette exceeds degree).
+    PDC_CHECK_MSG(!avail.empty(),
+                  "greedy completion found node " << v
+                      << " with empty available palette — upstream "
+                         "procedure committed an invalid coloring");
+    state.set_color(v, avail.front());
+    ++colored;
+  }
+  return colored;
+}
+
+}  // namespace pdc::derand

@@ -1,0 +1,63 @@
+#include "pdc/graph/coloring.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc {
+
+ColoringCheck check_coloring(const Graph& g, std::span<const Color> coloring,
+                             const PaletteSet* palettes) {
+  PDC_CHECK(coloring.size() == g.num_nodes());
+  ColoringCheck out;
+  out.uncolored =
+      parallel_count(g.num_nodes(), [&](std::size_t v) {
+        return coloring[v] == kNoColor;
+      });
+  out.monochromatic_edges =
+      parallel_count(g.num_nodes(), [&](std::size_t v) {
+        if (coloring[v] == kNoColor) return false;
+        for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+          // Count each edge once from its lower endpoint.
+          if (u > v && coloring[u] == coloring[v]) return true;
+        }
+        return false;
+      });
+  // The count above flags nodes, not edges; recount exactly (edges can be
+  // multiple per node). Cheap second pass only if the flag pass found any.
+  if (out.monochromatic_edges > 0) {
+    std::uint64_t exact = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (coloring[v] == kNoColor) continue;
+      for (NodeId u : g.neighbors(v))
+        if (u > v && coloring[u] == coloring[v]) ++exact;
+    }
+    out.monochromatic_edges = exact;
+  }
+  if (palettes != nullptr) {
+    out.palette_violations = parallel_count(g.num_nodes(), [&](std::size_t v) {
+      return coloring[v] != kNoColor &&
+             !palettes->contains(static_cast<NodeId>(v), coloring[v]);
+    });
+  }
+  return out;
+}
+
+std::uint64_t count_colors_used(std::span<const Color> coloring) {
+  std::vector<Color> used(coloring.begin(), coloring.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  std::uint64_t n = used.size();
+  if (!used.empty() && used.front() == kNoColor) --n;
+  return n;
+}
+
+void lift_coloring(std::span<const NodeId> to_parent,
+                   std::span<const Color> sub_coloring, Coloring& parent) {
+  PDC_CHECK(to_parent.size() == sub_coloring.size());
+  for (std::size_t i = 0; i < to_parent.size(); ++i) {
+    if (sub_coloring[i] != kNoColor) parent[to_parent[i]] = sub_coloring[i];
+  }
+}
+
+}  // namespace pdc

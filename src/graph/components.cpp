@@ -1,0 +1,41 @@
+#include "pdc/graph/components.hpp"
+
+#include <algorithm>
+
+namespace pdc {
+
+Components connected_components(const Graph& g,
+                                const std::vector<std::uint8_t>* mask) {
+  const NodeId n = g.num_nodes();
+  Components out;
+  out.component_of.assign(n, Components::kNoComponent);
+  auto in_mask = [&](NodeId v) { return mask == nullptr || mask->empty() || (*mask)[v] != 0; };
+
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (!in_mask(start) ||
+        out.component_of[start] != Components::kNoComponent) {
+      continue;
+    }
+    const std::uint32_t id = out.count++;
+    std::uint32_t size = 0;
+    stack.push_back(start);
+    out.component_of[start] = id;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (NodeId u : g.neighbors(v)) {
+        if (in_mask(u) && out.component_of[u] == Components::kNoComponent) {
+          out.component_of[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+    out.largest = std::max(out.largest, size);
+  }
+  return out;
+}
+
+}  // namespace pdc

@@ -1,0 +1,128 @@
+#include "pdc/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc {
+
+Graph Graph::from_edges(NodeId n,
+                        std::vector<std::pair<NodeId, NodeId>> edges) {
+  // Symmetrize, drop self-loops, sort, dedup.
+  std::vector<std::pair<NodeId, NodeId>> dir;
+  dir.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    PDC_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    dir.emplace_back(u, v);
+    dir.emplace_back(v, u);
+  }
+  std::sort(dir.begin(), dir.end());
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : dir) g.offsets_[u + 1]++;
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adjacency_.resize(dir.size());
+  {
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (auto [u, v] : dir) g.adjacency_[cursor[u]++] = v;
+  }
+  for (NodeId v = 0; v < n; ++v)
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  Graph g;
+  PDC_CHECK(!offsets.empty());
+  g.n_ = static_cast<NodeId>(offsets.size() - 1);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  PDC_CHECK(g.offsets_.front() == 0 && g.offsets_.back() == g.adjacency_.size());
+#ifndef NDEBUG
+  for (NodeId v = 0; v < g.n_; ++v) {
+    auto nb = g.neighbors(v);
+    PDC_ASSERT(std::is_sorted(nb.begin(), nb.end()));
+    for (NodeId u : nb) PDC_ASSERT(u < g.n_ && u != v);
+  }
+#endif
+  for (NodeId v = 0; v < g.n_; ++v)
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::uint64_t Graph::induced_edge_count(std::span<const NodeId> nodes) const {
+  // For each node in the set, count sorted-list intersections with the
+  // set itself. Each edge inside the set is seen twice.
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t twice = 0;
+  for (NodeId v : sorted) {
+    auto nb = neighbors(v);
+    // Merge-intersect nb with sorted.
+    std::size_t i = 0, j = 0;
+    while (i < nb.size() && j < sorted.size()) {
+      if (nb[i] < sorted[j]) {
+        ++i;
+      } else if (nb[i] > sorted[j]) {
+        ++j;
+      } else {
+        ++twice;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return twice / 2;
+}
+
+InducedSubgraph induce(const Graph& g, std::span<const NodeId> nodes) {
+  InducedSubgraph out;
+  out.to_parent.assign(nodes.begin(), nodes.end());
+  std::sort(out.to_parent.begin(), out.to_parent.end());
+#ifndef NDEBUG
+  PDC_ASSERT(std::adjacent_find(out.to_parent.begin(), out.to_parent.end()) ==
+             out.to_parent.end());
+#endif
+  const NodeId nsub = static_cast<NodeId>(out.to_parent.size());
+
+  // parent id -> local id (dense map; graphs here are in-memory anyway).
+  std::vector<NodeId> to_local(g.num_nodes(), kInvalidNode);
+  for (NodeId i = 0; i < nsub; ++i) to_local[out.to_parent[i]] = i;
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(nsub) + 1, 0);
+  // First pass: count surviving neighbors.
+  parallel_for(nsub, [&](std::size_t i) {
+    NodeId p = out.to_parent[i];
+    std::uint64_t c = 0;
+    for (NodeId u : g.neighbors(p))
+      if (to_local[u] != kInvalidNode) ++c;
+    offsets[i + 1] = c;
+  });
+  for (NodeId i = 0; i < nsub; ++i) offsets[i + 1] += offsets[i];
+  std::vector<NodeId> adj(offsets[nsub]);
+  parallel_for(nsub, [&](std::size_t i) {
+    NodeId p = out.to_parent[i];
+    std::uint64_t k = offsets[i];
+    for (NodeId u : g.neighbors(p)) {
+      NodeId lu = to_local[u];
+      if (lu != kInvalidNode) adj[k++] = lu;
+    }
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+              adj.begin() + static_cast<std::ptrdiff_t>(k));
+  });
+  out.graph = Graph::from_csr(std::move(offsets), std::move(adj));
+  return out;
+}
+
+}  // namespace pdc

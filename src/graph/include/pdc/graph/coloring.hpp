@@ -1,0 +1,44 @@
+#pragma once
+// Coloring representation and validation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+#include "pdc/graph/palette.hpp"
+
+namespace pdc {
+
+using Coloring = std::vector<Color>;
+
+/// Result of validating a (possibly partial) coloring.
+struct ColoringCheck {
+  std::uint64_t uncolored = 0;
+  std::uint64_t monochromatic_edges = 0;   // both endpoints colored, equal
+  std::uint64_t palette_violations = 0;    // colored outside own palette
+  bool proper_partial() const {
+    return monochromatic_edges == 0 && palette_violations == 0;
+  }
+  bool complete_proper() const { return proper_partial() && uncolored == 0; }
+};
+
+/// Validates `coloring` against the instance. Palette check skipped when
+/// `palettes == nullptr` (plain proper-coloring check).
+ColoringCheck check_coloring(const Graph& g, std::span<const Color> coloring,
+                             const PaletteSet* palettes);
+
+inline ColoringCheck check_coloring(const D1lcInstance& inst,
+                                    std::span<const Color> coloring) {
+  return check_coloring(inst.graph, coloring, &inst.palettes);
+}
+
+/// Number of distinct colors used (ignores uncolored nodes).
+std::uint64_t count_colors_used(std::span<const Color> coloring);
+
+/// Writes colors of `sub` nodes back into the parent coloring through the
+/// id mapping; only overwrites parent entries the sub-coloring colored.
+void lift_coloring(std::span<const NodeId> to_parent,
+                   std::span<const Color> sub_coloring, Coloring& parent);
+
+}  // namespace pdc

@@ -1,0 +1,29 @@
+#pragma once
+// Connected components, including components of a node subset — the
+// measurement behind "shattering" arguments: after a randomized coloring
+// pass, the failed nodes are supposed to form only small connected
+// components (which the post-shattering phase then finishes cheaply).
+// Experiment E13 measures exactly this.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+
+namespace pdc {
+
+struct Components {
+  std::vector<std::uint32_t> component_of;  // kNoComponent if outside mask
+  std::uint32_t count = 0;
+  std::vector<std::uint32_t> sizes;         // indexed by component id
+  std::uint32_t largest = 0;
+
+  static constexpr std::uint32_t kNoComponent = static_cast<std::uint32_t>(-1);
+};
+
+/// Components of the subgraph induced by {v : mask[v] != 0}. A null/empty
+/// mask means the whole graph.
+Components connected_components(const Graph& g,
+                                const std::vector<std::uint8_t>* mask);
+
+}  // namespace pdc

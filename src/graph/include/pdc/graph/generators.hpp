@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic (seeded) graph generators for tests, examples and the
+// experiment harness. Each family targets a regime the paper's analysis
+// distinguishes: sparse nodes, uneven nodes, dense almost-cliques, and
+// mixtures thereof.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+
+namespace pdc::gen {
+
+/// Erdos–Renyi G(n, p). Expected degree p(n-1); nodes are sparse
+/// (high ζ_v) for small p.
+Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Random d-regular-ish graph via d/2 random perfect matchings
+/// superposition (may lose a few edges to dedup; degrees in [d-2, d]).
+Graph near_regular(NodeId n, std::uint32_t d, std::uint64_t seed);
+
+/// Complete graph K_n (the extreme dense case; one almost-clique).
+Graph complete(NodeId n);
+
+/// Cycle C_n.
+Graph cycle(NodeId n);
+
+/// 2-D grid (rows x cols) — constant degree, very sparse.
+Graph grid(NodeId rows, NodeId cols);
+
+/// Star K_{1,n-1} — the extreme uneven case (leaves see one much
+/// higher-degree neighbor).
+Graph star(NodeId n);
+
+/// Disjoint cliques of size k joined by a sprinkling of random
+/// inter-clique edges: the planted almost-clique-decomposition
+/// instance. `noise_p` is the probability of each inter-clique pair
+/// (scaled as noise_p / n to keep degrees near k).
+struct PlantedCliques {
+  Graph graph;
+  std::vector<NodeId> clique_of;  // ground-truth clique index per node
+};
+PlantedCliques planted_cliques(NodeId num_cliques, NodeId clique_size,
+                               double noise_p, std::uint64_t seed);
+
+/// Chung–Lu power-law-ish graph: node weights w_i ∝ (i+1)^{-1/(beta-1)},
+/// edge (i,j) kept with probability min(1, w_i w_j / sum_w). Produces a
+/// skewed degree sequence (mix of sparse and uneven nodes).
+Graph power_law(NodeId n, double beta, double avg_degree, std::uint64_t seed);
+
+/// A "barbell of cliques" — two cliques of size k bridged by a path of
+/// length len. Stresses leaders/outliers at the clique boundary.
+Graph clique_barbell(NodeId k, NodeId len);
+
+/// Union of a dense core (clique of size k) and a sparse G(n-k, p)
+/// periphery with random attachment edges. Exercises all three ACD
+/// classes in one instance.
+Graph core_periphery(NodeId n, NodeId core_size, double periphery_p,
+                     double attach_p, std::uint64_t seed);
+
+/// Random bipartite G(a, b, p): sides of size a and b, each cross pair
+/// kept with probability p. Bipartite graphs are 2-list-colorable with
+/// the right lists and stress the disparity/discrepancy parameters.
+Graph bipartite(NodeId a, NodeId b, double p, std::uint64_t seed);
+
+/// Uniform random recursive tree on n nodes (each node attaches to a
+/// uniform earlier node). Degeneracy 1; the easiest D1LC instances.
+Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// Ring of `k` cliques of size `s`, adjacent cliques joined by a single
+/// bridge edge — many well-separated almost-cliques with leaders at the
+/// bridge endpoints.
+Graph ring_of_cliques(NodeId k, NodeId s);
+
+/// d-dimensional hypercube (n = 2^d nodes): regular, vertex-transitive,
+/// sparsity exactly (d-1)/2 everywhere.
+Graph hypercube(int dims);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors
+/// per side, each edge rewired with probability beta.
+Graph small_world(NodeId n, std::uint32_t k, double beta,
+                  std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m` existing nodes proportionally to degree. Heavy-tailed degrees —
+/// the unevenness-dominated regime.
+Graph preferential_attachment(NodeId n, std::uint32_t m, std::uint64_t seed);
+
+}  // namespace pdc::gen

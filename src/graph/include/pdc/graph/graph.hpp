@@ -1,0 +1,79 @@
+#pragma once
+// Immutable CSR graph — the shared substrate for the LOCAL and MPC
+// simulators and all coloring algorithms.
+//
+// Graphs are simple and undirected. Neighbor lists are sorted, which the
+// parameter computations of Definition 2 exploit (sparsity needs
+// |N(u) ∩ N(v)| via sorted intersection).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list. Self-loops are dropped and
+  /// duplicate edges collapsed; endpoints must be < n.
+  static Graph from_edges(NodeId n,
+                          std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Builds directly from CSR arrays (adjacency must be symmetric,
+  /// per-node sorted, no self-loops). Checked in debug builds.
+  static Graph from_csr(std::vector<std::uint64_t> offsets,
+                        std::vector<NodeId> adjacency);
+
+  NodeId num_nodes() const { return n_; }
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::uint32_t degree(NodeId v) const {
+    PDC_ASSERT(v < n_);
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    PDC_ASSERT(v < n_);
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Number of edges inside the subgraph induced by the (sorted) node
+  /// set `nodes`. Used by sparsity ζ_v (m(N(v))) and ACD checks.
+  std::uint64_t induced_edge_count(std::span<const NodeId> nodes) const;
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& adjacency() const { return adjacency_; }
+
+ private:
+  NodeId n_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::uint64_t> offsets_;  // n+1 entries
+  std::vector<NodeId> adjacency_;       // 2m entries, per-node sorted
+};
+
+/// An induced subgraph together with the mapping back to the parent
+/// graph's node ids. Central to the recursion in Theorem 12 (deferred
+/// nodes) and LowSpaceColorReduce (degree bins).
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_parent;  // local id -> parent id
+};
+
+/// Induces the subgraph on `nodes` (need not be sorted; duplicates
+/// rejected in debug builds).
+InducedSubgraph induce(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace pdc

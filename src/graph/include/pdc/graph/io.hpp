@@ -1,0 +1,37 @@
+#pragma once
+// Graph and instance (de)serialization.
+//
+// Two text formats:
+//  * edge list: one "u v" pair per line, '#' comments, 0-based ids;
+//    an optional first line "n <count>" pins the node count (isolated
+//    trailing nodes are otherwise unrepresentable).
+//  * DIMACS .col: "p edge <n> <m>" header, "e u v" lines, 1-based ids —
+//    the standard benchmark format for coloring instances.
+//
+// D1LC instances additionally serialize palettes as "c v k c1..ck"
+// lines appended to the edge-list format.
+
+#include <iosfwd>
+#include <string>
+
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::io {
+
+Graph read_edge_list(std::istream& in);
+void write_edge_list(std::ostream& out, const Graph& g);
+
+Graph read_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const Graph& g);
+
+/// Instance = edge-list body + palette lines.
+D1lcInstance read_instance(std::istream& in);
+void write_instance(std::ostream& out, const D1lcInstance& inst);
+
+// File-path conveniences (throw check_error on open failure).
+Graph load_graph(const std::string& path);       // by extension: .col => DIMACS
+void save_graph(const std::string& path, const Graph& g);
+D1lcInstance load_instance(const std::string& path);
+void save_instance(const std::string& path, const D1lcInstance& inst);
+
+}  // namespace pdc::io

@@ -1,0 +1,85 @@
+#pragma once
+// Color palettes and D1LC problem instances.
+//
+// In the (degree+1)-list coloring problem every node v carries a palette
+// Ψ(v) with |Ψ(v)| >= d(v) + 1. Palettes shrink as neighbors get colored
+// (self-reducibility, Definition 11), so PaletteSet supports building
+// residual instances efficiently.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+
+namespace pdc {
+
+using Color = std::int64_t;
+inline constexpr Color kNoColor = -1;
+
+/// Flat storage of per-node sorted color lists.
+class PaletteSet {
+ public:
+  PaletteSet() = default;
+
+  /// From per-node lists (each list is sorted + deduped internally).
+  static PaletteSet from_lists(std::vector<std::vector<Color>> lists);
+
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  std::span<const Color> palette(NodeId v) const {
+    PDC_ASSERT(v + 1 < offsets_.size() + 0ull + 1);
+    return {colors_.data() + offsets_[v], colors_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t size(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  bool contains(NodeId v, Color c) const;
+
+  std::uint64_t total_size() const { return colors_.size(); }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Color> colors_;
+};
+
+/// A D1LC instance: graph + palettes with |Ψ(v)| >= d(v)+1.
+struct D1lcInstance {
+  Graph graph;
+  PaletteSet palettes;
+
+  /// Verifies the degree+1 palette invariant; returns the first violating
+  /// node, or kInvalidNode if valid.
+  NodeId first_palette_violation() const;
+  bool valid() const { return first_palette_violation() == kInvalidNode; }
+};
+
+/// Classic (Δ+1)-coloring as a D1LC instance: every palette is
+/// {0, ..., Δ}. This is the reduction noted in the paper's introduction.
+D1lcInstance make_delta_plus_one(const Graph& g);
+
+/// Per-node palette {0, ..., d(v)} — the tightest valid D1LC instance.
+D1lcInstance make_degree_plus_one(const Graph& g);
+
+/// Random palettes: each node draws d(v)+1+extra distinct colors from a
+/// universe of `universe` colors (universe >= Δ+1+extra enforced).
+/// Exercises the list-coloring generality (palettes disagree between
+/// neighbors, driving disparity/discrepancy in Definition 2).
+D1lcInstance make_random_lists(const Graph& g, Color universe,
+                               std::uint32_t extra, std::uint64_t seed);
+
+/// Residual instance after partially coloring `g`: keep uncolored nodes,
+/// remove colors taken by colored neighbors. Always yields a valid D1LC
+/// instance (self-reducibility of D1LC).
+struct ResidualInstance {
+  D1lcInstance instance;
+  std::vector<NodeId> to_parent;
+};
+ResidualInstance residual(const Graph& g, const PaletteSet& palettes,
+                          std::span<const Color> coloring);
+
+}  // namespace pdc

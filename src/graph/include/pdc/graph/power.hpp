@@ -1,0 +1,34 @@
+#pragma once
+// Distance-bounded neighborhoods and distance colorings.
+//
+// Lemma 10 assigns pseudorandom chunks via an O(Δ^{8τ})-coloring of the
+// power graph G^{4τ}: any two nodes within distance 4τ must receive
+// distinct chunks so their PRG bits are disjoint. We never materialize
+// G^{4τ}; distance_coloring() colors it directly by bounded BFS, which is
+// the same O(n·Δ^{4τ}) work without the edge-list blowup.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+
+namespace pdc {
+
+/// All nodes within distance <= dist of v (excluding v), in sorted order.
+std::vector<NodeId> ball(const Graph& g, NodeId v, int dist);
+
+/// A proper coloring of G^dist (distinct values for any two nodes at
+/// distance <= dist), computed greedily in node order. Returns per-node
+/// chunk ids in [0, num_chunks). Deterministic.
+struct DistanceColoring {
+  std::vector<std::uint32_t> chunk_of;
+  std::uint32_t num_chunks = 0;
+};
+DistanceColoring distance_coloring(const Graph& g, int dist);
+
+/// Estimated work (sum over v of |ball(v, dist)|) without running the
+/// full BFS — used to decide whether the proper power coloring is
+/// affordable or the caller should fall back to per-node-unique chunks.
+std::uint64_t ball_work_upper_bound(const Graph& g, int dist);
+
+}  // namespace pdc

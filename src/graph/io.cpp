@@ -1,0 +1,189 @@
+#include "pdc/graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::io {
+
+namespace {
+
+bool is_comment(const std::string& line) {
+  for (char ch : line) {
+    if (ch == ' ' || ch == '\t') continue;
+    return ch == '#' || ch == '%';
+  }
+  return true;  // blank line
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId n = 0;
+  bool n_pinned = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "n") {
+      std::uint64_t count = 0;
+      ls >> count;
+      n = static_cast<NodeId>(count);
+      n_pinned = true;
+      continue;
+    }
+    if (head == "c") continue;  // palette line (instance format)
+    std::uint64_t u = std::stoull(head), v = 0;
+    ls >> v;
+    PDC_CHECK_MSG(!ls.fail(), "malformed edge line: " << line);
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (!n_pinned) {
+      n = std::max<NodeId>(n, static_cast<NodeId>(std::max(u, v)) + 1);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# pdc edge list\n";
+  out << "n " << g.num_nodes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) out << v << " " << u << "\n";
+    }
+  }
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'c') continue;
+    if (kind == 'p') {
+      std::string fmt;
+      std::uint64_t nn = 0, mm = 0;
+      ls >> fmt >> nn >> mm;
+      PDC_CHECK_MSG(fmt == "edge" || fmt == "col",
+                    "unsupported DIMACS problem type: " << fmt);
+      n = static_cast<NodeId>(nn);
+      continue;
+    }
+    if (kind == 'e') {
+      std::uint64_t u = 0, v = 0;
+      ls >> u >> v;
+      PDC_CHECK_MSG(u >= 1 && v >= 1, "DIMACS ids are 1-based");
+      edges.emplace_back(static_cast<NodeId>(u - 1),
+                         static_cast<NodeId>(v - 1));
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void write_dimacs(std::ostream& out, const Graph& g) {
+  out << "c pdc DIMACS export\n";
+  out << "p edge " << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u > v) out << "e " << v + 1 << " " << u + 1 << "\n";
+    }
+  }
+}
+
+D1lcInstance read_instance(std::istream& in) {
+  // First pass: buffer the stream so the edge reader and palette reader
+  // both see it (instances are file-sized, not streams).
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string body = buf.str();
+
+  std::istringstream pass1(body);
+  Graph g = read_edge_list(pass1);
+
+  std::vector<std::vector<Color>> lists(g.num_nodes());
+  std::istringstream pass2(body);
+  std::string line;
+  bool any_palette = false;
+  while (std::getline(pass2, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head != "c") continue;
+    std::uint64_t v = 0, k = 0;
+    ls >> v >> k;
+    PDC_CHECK_MSG(v < g.num_nodes(), "palette for unknown node " << v);
+    lists[v].resize(k);
+    for (std::uint64_t i = 0; i < k; ++i) ls >> lists[v][i];
+    PDC_CHECK_MSG(!ls.fail(), "malformed palette line: " << line);
+    any_palette = true;
+  }
+  if (!any_palette) return make_degree_plus_one(g);
+  D1lcInstance inst{std::move(g), PaletteSet::from_lists(std::move(lists))};
+  PDC_CHECK_MSG(inst.valid(), "instance violates the degree+1 invariant");
+  return inst;
+}
+
+void write_instance(std::ostream& out, const D1lcInstance& inst) {
+  write_edge_list(out, inst.graph);
+  out << "# palettes: c <node> <k> <colors...>\n";
+  for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
+    auto pal = inst.palettes.palette(v);
+    out << "c " << v << " " << pal.size();
+    for (Color c : pal) out << " " << c;
+    out << "\n";
+  }
+}
+
+namespace {
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path);
+  PDC_CHECK_MSG(f.good(), "cannot open " << path);
+  return f;
+}
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path);
+  PDC_CHECK_MSG(f.good(), "cannot open " << path);
+  return f;
+}
+bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+}  // namespace
+
+Graph load_graph(const std::string& path) {
+  auto f = open_in(path);
+  return ends_with(path, ".col") ? read_dimacs(f) : read_edge_list(f);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  auto f = open_out(path);
+  if (ends_with(path, ".col")) {
+    write_dimacs(f, g);
+  } else {
+    write_edge_list(f, g);
+  }
+}
+
+D1lcInstance load_instance(const std::string& path) {
+  auto f = open_in(path);
+  return read_instance(f);
+}
+
+void save_instance(const std::string& path, const D1lcInstance& inst) {
+  auto f = open_out(path);
+  write_instance(f, inst);
+}
+
+}  // namespace pdc::io

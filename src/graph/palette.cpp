@@ -1,0 +1,114 @@
+#include "pdc/graph/palette.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc {
+
+PaletteSet PaletteSet::from_lists(std::vector<std::vector<Color>> lists) {
+  PaletteSet ps;
+  ps.offsets_.assign(lists.size() + 1, 0);
+  for (std::size_t v = 0; v < lists.size(); ++v) {
+    auto& l = lists[v];
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+    ps.offsets_[v + 1] = ps.offsets_[v] + l.size();
+  }
+  ps.colors_.resize(ps.offsets_.back());
+  for (std::size_t v = 0; v < lists.size(); ++v) {
+    std::copy(lists[v].begin(), lists[v].end(),
+              ps.colors_.begin() + static_cast<std::ptrdiff_t>(ps.offsets_[v]));
+  }
+  return ps;
+}
+
+bool PaletteSet::contains(NodeId v, Color c) const {
+  auto p = palette(v);
+  return std::binary_search(p.begin(), p.end(), c);
+}
+
+NodeId D1lcInstance::first_palette_violation() const {
+  PDC_CHECK(palettes.num_nodes() == graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (palettes.size(v) < graph.degree(v) + 1) return v;
+  }
+  return kInvalidNode;
+}
+
+D1lcInstance make_delta_plus_one(const Graph& g) {
+  const Color top = static_cast<Color>(g.max_degree());
+  std::vector<std::vector<Color>> lists(g.num_nodes());
+  for (auto& l : lists) {
+    l.resize(static_cast<std::size_t>(top) + 1);
+    for (Color c = 0; c <= top; ++c) l[static_cast<std::size_t>(c)] = c;
+  }
+  return {g, PaletteSet::from_lists(std::move(lists))};
+}
+
+D1lcInstance make_degree_plus_one(const Graph& g) {
+  std::vector<std::vector<Color>> lists(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    lists[v].resize(g.degree(v) + 1);
+    for (std::uint32_t c = 0; c <= g.degree(v); ++c)
+      lists[v][c] = static_cast<Color>(c);
+  }
+  return {g, PaletteSet::from_lists(std::move(lists))};
+}
+
+D1lcInstance make_random_lists(const Graph& g, Color universe,
+                               std::uint32_t extra, std::uint64_t seed) {
+  PDC_CHECK_MSG(universe >= static_cast<Color>(g.max_degree() + 1 + extra),
+                "universe too small for degree+1+extra lists");
+  std::vector<std::vector<Color>> lists(g.num_nodes());
+  parallel_for(g.num_nodes(), [&](std::size_t v) {
+    auto rng = substream(seed, v);
+    const std::uint32_t want = g.degree(static_cast<NodeId>(v)) + 1 + extra;
+    // Floyd's sampling of `want` distinct values from [0, universe).
+    std::vector<Color> sample;
+    sample.reserve(want);
+    for (Color j = universe - static_cast<Color>(want); j < universe; ++j) {
+      Color t = static_cast<Color>(rng.below(static_cast<std::uint64_t>(j) + 1));
+      if (std::find(sample.begin(), sample.end(), t) == sample.end()) {
+        sample.push_back(t);
+      } else {
+        sample.push_back(j);
+      }
+    }
+    lists[v] = std::move(sample);
+  });
+  return {g, PaletteSet::from_lists(std::move(lists))};
+}
+
+ResidualInstance residual(const Graph& g, const PaletteSet& palettes,
+                          std::span<const Color> coloring) {
+  PDC_CHECK(coloring.size() == g.num_nodes());
+  std::vector<NodeId> uncolored;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (coloring[v] == kNoColor) uncolored.push_back(v);
+
+  InducedSubgraph sub = induce(g, uncolored);
+  std::vector<std::vector<Color>> lists(sub.to_parent.size());
+  parallel_for(sub.to_parent.size(), [&](std::size_t i) {
+    NodeId p = sub.to_parent[i];
+    auto pal = palettes.palette(p);
+    std::vector<Color> blocked;
+    for (NodeId u : g.neighbors(p))
+      if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
+    std::sort(blocked.begin(), blocked.end());
+    std::vector<Color> keep;
+    keep.reserve(pal.size());
+    for (Color c : pal)
+      if (!std::binary_search(blocked.begin(), blocked.end(), c))
+        keep.push_back(c);
+    lists[i] = std::move(keep);
+  });
+  ResidualInstance out;
+  out.instance.graph = std::move(sub.graph);
+  out.instance.palettes = PaletteSet::from_lists(std::move(lists));
+  out.to_parent = std::move(sub.to_parent);
+  return out;
+}
+
+}  // namespace pdc

@@ -1,0 +1,86 @@
+#include "pdc/graph/power.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc {
+
+std::vector<NodeId> ball(const Graph& g, NodeId v, int dist) {
+  PDC_CHECK(dist >= 1);
+  std::vector<NodeId> frontier{v};
+  std::vector<NodeId> seen{v};
+  for (int h = 0; h < dist; ++h) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId w : g.neighbors(u)) {
+        next.push_back(w);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    // next \ seen
+    std::vector<NodeId> fresh;
+    std::set_difference(next.begin(), next.end(), seen.begin(), seen.end(),
+                        std::back_inserter(fresh));
+    if (fresh.empty()) break;
+    std::vector<NodeId> merged;
+    std::merge(seen.begin(), seen.end(), fresh.begin(), fresh.end(),
+               std::back_inserter(merged));
+    seen = std::move(merged);
+    frontier = std::move(fresh);
+  }
+  // Exclude v itself.
+  std::vector<NodeId> out;
+  out.reserve(seen.size() - 1);
+  for (NodeId u : seen)
+    if (u != v) out.push_back(u);
+  return out;
+}
+
+DistanceColoring distance_coloring(const Graph& g, int dist) {
+  DistanceColoring dc;
+  dc.chunk_of.assign(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  // Greedy in node order: v takes the smallest chunk unused in its ball.
+  // Sequential (the chunk coloring is a preprocessing step charged
+  // O(τ + log* n) rounds in Theorem 12; here we care about determinism).
+  std::vector<std::uint32_t> blocked;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    blocked.clear();
+    for (NodeId u : ball(g, v, dist)) {
+      if (dc.chunk_of[u] != static_cast<std::uint32_t>(-1))
+        blocked.push_back(dc.chunk_of[u]);
+    }
+    std::sort(blocked.begin(), blocked.end());
+    blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+    std::uint32_t c = 0;
+    for (std::uint32_t b : blocked) {
+      if (b == c) {
+        ++c;
+      } else if (b > c) {
+        break;
+      }
+    }
+    dc.chunk_of[v] = c;
+    dc.num_chunks = std::max(dc.num_chunks, c + 1);
+  }
+  return dc;
+}
+
+std::uint64_t ball_work_upper_bound(const Graph& g, int dist) {
+  // sum_v min(n, Δ^dist) with overflow care.
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t d = std::max<std::uint64_t>(1, g.max_degree());
+  std::uint64_t per = 1;
+  for (int i = 0; i < dist; ++i) {
+    if (per > n / std::max<std::uint64_t>(d, 1) + 1) {
+      per = n;
+      break;
+    }
+    per *= d;
+  }
+  per = std::min(per, n);
+  return n * per;
+}
+
+}  // namespace pdc

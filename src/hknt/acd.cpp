@@ -1,0 +1,277 @@
+#include "pdc/hknt/acd.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+namespace {
+
+std::uint64_t sorted_intersection_size(std::span<const NodeId> a,
+                                       std::span<const NodeId> b) {
+  std::uint64_t c = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++c;
+      ++i;
+      ++j;
+    }
+  }
+  return c;
+}
+
+/// Simple union-find for friend components.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Acd compute_acd(const D1lcInstance& inst, const NodeParams& params,
+                const HkntConfig& cfg, mpc::CostModel* cost) {
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+  Acd acd;
+  acd.cls.assign(n, NodeClass::kSparse);
+  acd.clique_of.assign(n, static_cast<std::uint32_t>(-1));
+
+  if (cost) {
+    // Lemma 19: classification from precomputed parameters is local;
+    // clique identification gathers 2-hop neighborhoods (diameter of an
+    // almost-clique is at most 2).
+    cost->charge_neighborhood_gather(g.max_degree());
+  }
+
+  // Classification by Definition 3 (i)/(ii).
+  std::vector<std::uint8_t> dense_candidate(n, 0);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const double dv = static_cast<double>(g.degree(v));
+    if (params.sparsity[v] >= cfg.eps_sparse * dv) {
+      acd.cls[v] = NodeClass::kSparse;
+    } else if (params.unevenness[v] >= cfg.eps_sparse * dv) {
+      acd.cls[v] = NodeClass::kUneven;
+    } else {
+      dense_candidate[v] = 1;
+    }
+  });
+
+  // Friend edges among dense candidates.
+  UnionFind uf(n);
+  std::vector<std::vector<NodeId>> friend_of(n);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!dense_candidate[v]) return;
+    auto nbv = g.neighbors(v);
+    for (NodeId u : nbv) {
+      if (u < v || !dense_candidate[u]) continue;
+      double mind = static_cast<double>(std::min(g.degree(u), g.degree(v)));
+      std::uint64_t common =
+          sorted_intersection_size(nbv, g.neighbors(u));
+      if (static_cast<double>(common) >= (1.0 - cfg.eps_friend) * mind) {
+        friend_of[v].push_back(u);
+      }
+    }
+  });
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId u : friend_of[v]) uf.unite(v, u);
+
+  // Components of size >= 2 become candidate almost-cliques; validate
+  // (iii)/(iv) and demote violators (then re-validate once — demotion
+  // shrinks cliques, so one extra sweep keeps things stable enough; E8
+  // measures what is left).
+  std::vector<std::vector<NodeId>> comp(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (dense_candidate[v]) comp[uf.find(v)].push_back(v);
+
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (NodeId root = 0; root < n; ++root) {
+      auto& members = comp[root];
+      if (members.empty()) continue;
+      if (members.size() == 1) {
+        acd.cls[members[0]] = NodeClass::kSparse;
+        if (sweep == 0) ++acd.demoted;
+        members.clear();
+        continue;
+      }
+      std::vector<NodeId> keep;
+      std::vector<NodeId> sorted_members = members;
+      std::sort(sorted_members.begin(), sorted_members.end());
+      const double size_c = static_cast<double>(members.size());
+      for (NodeId v : members) {
+        std::uint64_t inside =
+            sorted_intersection_size(g.neighbors(v),
+                                     std::span<const NodeId>(sorted_members));
+        bool ok_iii = static_cast<double>(g.degree(v)) <=
+                      (1.0 + cfg.eps_ac) * size_c;
+        bool ok_iv = size_c <= (1.0 + cfg.eps_ac) *
+                                   static_cast<double>(inside);
+        if (ok_iii && ok_iv) {
+          keep.push_back(v);
+        } else {
+          acd.cls[v] = NodeClass::kSparse;
+          ++acd.demoted;
+        }
+      }
+      members = std::move(keep);
+    }
+  }
+
+  for (NodeId root = 0; root < n; ++root) {
+    auto& members = comp[root];
+    if (members.size() < 2) {
+      for (NodeId v : members) acd.cls[v] = NodeClass::kSparse;
+      continue;
+    }
+    const std::uint32_t id = acd.num_cliques++;
+    for (NodeId v : members) {
+      acd.cls[v] = NodeClass::kDense;
+      acd.clique_of[v] = id;
+    }
+    acd.cliques.push_back(std::move(members));
+  }
+  return acd;
+}
+
+AcdViolations check_acd(const D1lcInstance& inst, const NodeParams& params,
+                        const Acd& acd, const HkntConfig& cfg) {
+  const Graph& g = inst.graph;
+  AcdViolations out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double dv = static_cast<double>(g.degree(v));
+    switch (acd.cls[v]) {
+      case NodeClass::kSparse:
+        // Demoted dense candidates are tolerated as "sparse" only if
+        // they are at least weakly sparse; count strict violations of
+        // (i) at half the threshold to flag genuinely-dense misfits.
+        if (params.sparsity[v] < 0.5 * cfg.eps_sparse * dv && dv > 4)
+          ++out.sparse_not_sparse;
+        break;
+      case NodeClass::kUneven:
+        if (params.unevenness[v] < cfg.eps_sparse * dv)
+          ++out.uneven_not_uneven;
+        break;
+      case NodeClass::kDense: {
+        const auto& members = acd.cliques[acd.clique_of[v]];
+        std::vector<NodeId> sorted_members = members;
+        std::sort(sorted_members.begin(), sorted_members.end());
+        double size_c = static_cast<double>(members.size());
+        std::uint64_t inside = 0;
+        for (NodeId u : g.neighbors(v))
+          if (std::binary_search(sorted_members.begin(), sorted_members.end(),
+                                 u))
+            ++inside;
+        if (dv > (1.0 + cfg.eps_ac) * size_c) ++out.degree_vs_clique;
+        if (size_c > (1.0 + cfg.eps_ac) * static_cast<double>(inside))
+          ++out.clique_vs_inside;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StartSets compute_vstart(const D1lcInstance& inst, const NodeParams& params,
+                         const Acd& acd, const HkntConfig& cfg,
+                         mpc::CostModel* cost) {
+  const Graph& g = inst.graph;
+  const PaletteSet& pal = inst.palettes;
+  const NodeId n = g.num_nodes();
+  StartSets s;
+  s.balanced.assign(n, 0);
+  s.disc.assign(n, 0);
+  s.easy.assign(n, 0);
+  s.heavy.assign(n, 0);
+  s.start.assign(n, 0);
+
+  if (cost) {
+    // Lemma 21: two Lemma-17 gathers (neighbor degrees/sets, palettes).
+    cost->charge_neighborhood_gather(g.max_degree());
+    cost->charge_neighborhood_gather(g.max_degree());
+  }
+
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (acd.cls[v] != NodeClass::kSparse) return;
+    const double dv = static_cast<double>(g.degree(v));
+    std::uint64_t high_deg_nb = 0;
+    for (NodeId u : g.neighbors(v))
+      if (static_cast<double>(g.degree(u)) > 2.0 * dv / 3.0) ++high_deg_nb;
+    if (static_cast<double>(high_deg_nb) >= cfg.eps1 * dv) s.balanced[v] = 1;
+    if (params.discrepancy[v] >= cfg.eps2 * dv) s.disc[v] = 1;
+  });
+
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const double dv = static_cast<double>(g.degree(v));
+    bool easy = s.balanced[v] || s.disc[v] || acd.is_uneven(v);
+    if (!easy && acd.is_sparse(v)) {
+      std::uint64_t dense_nb = 0;
+      for (NodeId u : g.neighbors(v))
+        if (acd.is_dense(u)) ++dense_nb;
+      easy = static_cast<double>(dense_nb) >= cfg.eps3 * dv;
+    }
+    if (easy) s.easy[v] = 1;
+  });
+
+  // Heavy colors: H(c) wrt v = Σ_{u ∈ N(v), c ∈ Ψ(u)} 1/|Ψ(u)|.
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!acd.is_sparse(v) || s.easy[v]) return;
+    const double dv = static_cast<double>(g.degree(v));
+    auto pv = pal.palette(v);
+    double heavy_mass = 0.0;
+    for (Color c : pv) {
+      double h = 0.0;
+      for (NodeId u : g.neighbors(v)) {
+        if (pal.contains(u, c))
+          h += 1.0 / static_cast<double>(std::max<std::uint32_t>(
+                   1, pal.size(u)));
+      }
+      if (h >= cfg.heavy_color_threshold) heavy_mass += h;
+    }
+    if (heavy_mass >= cfg.eps4 * dv) s.heavy[v] = 1;
+  });
+
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!acd.is_sparse(v) || s.easy[v] || s.heavy[v]) return;
+    const double dv = static_cast<double>(g.degree(v));
+    std::uint64_t easy_nb = 0;
+    for (NodeId u : g.neighbors(v))
+      if (s.easy[u]) ++easy_nb;
+    if (static_cast<double>(easy_nb) >= cfg.eps5 * dv) s.start[v] = 1;
+  });
+
+  s.start_count = parallel_count(n, [&](std::size_t v) {
+    return s.start[v] != 0;
+  });
+  return s;
+}
+
+}  // namespace pdc::hknt

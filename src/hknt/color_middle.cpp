@@ -1,0 +1,174 @@
+#include "pdc/hknt/color_middle.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+namespace {
+
+using derand::ChunkAssignment;
+using derand::ColoringState;
+using derand::Lemma10Report;
+
+/// Runs one procedure under the shared chunk assignment and appends its
+/// report.
+void run_step(const derand::NormalProcedure& proc, ColoringState& state,
+              const ChunkAssignment& chunks, const MiddleOptions& opt,
+              mpc::CostModel* cost, MiddleReport& rep) {
+  rep.steps.push_back(
+      derand::derandomize_procedure(proc, state, chunks, opt.l10, cost));
+}
+
+/// Active mask from a predicate over nodes.
+template <typename Pred>
+std::vector<std::uint8_t> mask_of(NodeId n, Pred&& pred) {
+  std::vector<std::uint8_t> m(n, 0);
+  for (NodeId v = 0; v < n; ++v) m[v] = pred(v) ? 1 : 0;
+  return m;
+}
+
+void run_slack_color(ColoringState& state, const ChunkAssignment& chunks,
+                     const MiddleOptions& opt, mpc::CostModel* cost,
+                     MiddleReport& rep, const std::string& label) {
+  SlackColorSchedule sched = make_slack_color(state, opt.cfg, label);
+  for (const auto& step : sched.steps) {
+    run_step(*step, state, chunks, opt, cost, rep);
+  }
+}
+
+}  // namespace
+
+MiddleReport color_middle(derand::ColoringState& state,
+                          const D1lcInstance& inst, const MiddleOptions& opt,
+                          mpc::CostModel* cost) {
+  MiddleReport rep;
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+  rep.n = n;
+
+  // Remember which nodes this pass is responsible for.
+  std::vector<std::uint8_t> scope(n, 0);
+  for (NodeId v = 0; v < n; ++v) scope[v] = state.participates(v) ? 1 : 0;
+  auto in_scope = [&](NodeId v) { return scope[v] != 0; };
+
+  // ---- Step 1: deterministic decomposition (Lemmas 16–22). ----
+  if (cost) cost->ledger().begin_phase("decomposition");
+  NodeParams params = compute_params(inst, cost);
+  Acd acd = compute_acd(inst, params, opt.cfg, cost);
+  StartSets start = compute_vstart(inst, params, acd, opt.cfg, cost);
+  DenseStructure ds = compute_dense_structure(inst, params, acd, opt.cfg, cost);
+  rep.acd_violations = check_acd(inst, params, acd, opt.cfg);
+  rep.num_cliques = acd.num_cliques;
+  for (NodeId v = 0; v < n; ++v) {
+    switch (acd.cls[v]) {
+      case NodeClass::kSparse: ++rep.sparse; break;
+      case NodeClass::kUneven: ++rep.uneven; break;
+      case NodeClass::kDense: ++rep.dense; break;
+    }
+  }
+  rep.vstart = start.start_count;
+  rep.outliers = ds.count_outliers();
+  rep.inliers = ds.count_inliers();
+
+  // Shared chunk assignment (Theorem 12 computes the power-graph
+  // coloring once for the whole series).
+  ChunkAssignment chunks = derand::assign_chunks(g, /*tau=*/1, opt.l10, cost);
+
+  // ---- Step 2: ColorSparse (Algorithm 5). ----
+  if (cost) cost->ledger().begin_phase("color-sparse");
+  // 2a. GenerateSlack on (Vsparse ∪ Vuneven) \ Vstart.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && !acd.is_dense(v) && !start.start[v];
+  }));
+  GenerateSlackProc gen_sparse(opt.cfg, params, "sparse");
+  run_step(gen_sparse, state, chunks, opt, cost, rep);
+
+  // 2b. SlackColor(Vstart) — Vstart rides on temporary slack from the
+  // not-yet-colored easy nodes.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && start.start[v] != 0;
+  }));
+  run_slack_color(state, chunks, opt, cost, rep, "start");
+
+  // 2c. SlackColor on the remaining sparse/uneven nodes.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && !acd.is_dense(v) && !start.start[v];
+  }));
+  run_slack_color(state, chunks, opt, cost, rep, "sparse");
+
+  // ---- Step 3: ColorDense (Algorithm 7). ----
+  if (cost) cost->ledger().begin_phase("color-dense");
+  // 3a. GenerateSlack on dense nodes.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && acd.is_dense(v);
+  }));
+  GenerateSlackProc gen_dense(opt.cfg, params, "dense");
+  run_step(gen_dense, state, chunks, opt, cost, rep);
+
+  // 3b. PutAside for low-slackability cliques.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    if (!in_scope(v) || !acd.is_dense(v) || !ds.inlier[v]) return false;
+    return ds.low_slackability[acd.clique_of[v]] != 0;
+  }));
+  PutAsideProc put_aside(opt.cfg, acd, ds);
+  run_step(put_aside, state, chunks, opt, cost, rep);
+  rep.put_aside = ds.count_put_aside();
+
+  // 3c. SlackColor on the outliers (temporary slack: inliers wait).
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && acd.is_dense(v) && ds.outlier[v];
+  }));
+  run_slack_color(state, chunks, opt, cost, rep, "outliers");
+
+  // 3d. SynchColorTrial on Vdense \ P.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && acd.is_dense(v) && !ds.put_aside[v];
+  }));
+  SynchColorTrialProc sct(opt.cfg, acd, ds);
+  run_step(sct, state, chunks, opt, cost, rep);
+
+  // 3e. SlackColor on Vdense \ P.
+  state.set_active_mask(mask_of(n, [&](NodeId v) {
+    return in_scope(v) && acd.is_dense(v) && !ds.put_aside[v];
+  }));
+  run_slack_color(state, chunks, opt, cost, rep, "dense");
+
+  // 3f. Leaders color the put-aside sets locally (clique-local greedy;
+  // P-sets of different cliques span no edges, so order is irrelevant).
+  if (cost) {
+    std::uint64_t pa_words = 0;
+    for (NodeId v = 0; v < n; ++v)
+      if (ds.put_aside[v]) pa_words += 1 + inst.palettes.size(v);
+    cost->charge_greedy_finish(pa_words);
+  }
+  for (std::uint32_t c = 0; c < acd.num_cliques; ++c) {
+    for (NodeId v : acd.cliques[c]) {
+      if (!ds.put_aside[v] || state.is_colored(v) || state.is_deferred(v))
+        continue;
+      auto avail = state.available_colors(v);
+      PDC_CHECK_MSG(!avail.empty(), "put-aside node with empty palette");
+      state.set_color(v, avail.front());
+    }
+  }
+
+  // Restore the pass scope and tally the outcome.
+  state.set_active_mask(std::move(scope));
+  rep.colored = parallel_count(n, [&](std::size_t v) {
+    return state.is_active(static_cast<NodeId>(v)) &&
+           state.is_colored(static_cast<NodeId>(v));
+  });
+  rep.deferred = parallel_count(n, [&](std::size_t v) {
+    return state.is_active(static_cast<NodeId>(v)) &&
+           state.is_deferred(static_cast<NodeId>(v));
+  });
+  rep.uncolored = parallel_count(n, [&](std::size_t v) {
+    return state.is_active(static_cast<NodeId>(v)) &&
+           !state.is_colored(static_cast<NodeId>(v)) &&
+           !state.is_deferred(static_cast<NodeId>(v));
+  });
+  return rep;
+}
+
+}  // namespace pdc::hknt

@@ -1,0 +1,82 @@
+#include "pdc/hknt/degree_ranges.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+std::vector<std::uint32_t> degree_range_thresholds(
+    std::uint64_t n, const RangeScheduleOptions& opt) {
+  // The paper's ranges are [log^7 n, n], [ (log log n)^7, (log n)^7 ],
+  // ...: the i-th threshold is (log^{(i)} n)^e — iterate the *inner*
+  // logarithm, which is what makes the count O(log* n).
+  std::vector<std::uint32_t> t;
+  t.push_back(static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(n + 1, 0xFFFFFFFFull)));
+  double x = static_cast<double>(n);
+  for (int i = 0; i < opt.max_ranges; ++i) {
+    x = std::log2(std::max(x, 2.0));
+    std::uint32_t bar = std::max<std::uint32_t>(
+        opt.floor,
+        static_cast<std::uint32_t>(std::pow(x, opt.log_exponent)));
+    if (bar >= t.back()) bar = opt.floor;
+    t.push_back(bar);
+    if (bar <= opt.floor) break;
+  }
+  if (t.back() != opt.floor) t.push_back(opt.floor);
+  return t;
+}
+
+RangeScheduleReport color_by_degree_ranges(derand::ColoringState& state,
+                                           const D1lcInstance& inst,
+                                           const MiddleOptions& mopt,
+                                           const RangeScheduleOptions& ropt,
+                                           mpc::CostModel* cost) {
+  RangeScheduleReport rep;
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+
+  std::vector<std::uint8_t> scope(n, 0);
+  for (NodeId v = 0; v < n; ++v) scope[v] = state.participates(v) ? 1 : 0;
+
+  auto thresholds = degree_range_thresholds(n, ropt);
+  for (std::size_t i = 0; i + 1 < thresholds.size(); ++i) {
+    const std::uint32_t hi = thresholds[i];
+    const std::uint32_t lo = thresholds[i + 1];
+    RangeReport rr;
+    rr.lo = lo;
+    rr.hi = hi;
+    std::vector<std::uint8_t> mask(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (scope[v] && g.degree(v) >= lo && g.degree(v) < hi &&
+          !state.is_colored(v) && !state.is_deferred(v)) {
+        mask[v] = 1;
+        ++rr.nodes;
+      }
+    }
+    if (rr.nodes == 0) continue;
+    state.set_active_mask(std::move(mask));
+    rr.middle = color_middle(state, inst, mopt, cost);
+    rep.ranges.push_back(std::move(rr));
+  }
+
+  state.set_active_mask(std::move(scope));
+  rep.colored = parallel_count(n, [&](std::size_t v) {
+    return state.is_active(static_cast<NodeId>(v)) &&
+           state.is_colored(static_cast<NodeId>(v));
+  });
+  rep.deferred = parallel_count(n, [&](std::size_t v) {
+    return state.is_active(static_cast<NodeId>(v)) &&
+           state.is_deferred(static_cast<NodeId>(v));
+  });
+  rep.uncolored = parallel_count(n, [&](std::size_t v) {
+    NodeId node = static_cast<NodeId>(v);
+    return state.is_active(node) && !state.is_colored(node) &&
+           !state.is_deferred(node);
+  });
+  return rep;
+}
+
+}  // namespace pdc::hknt

@@ -1,0 +1,117 @@
+#include "pdc/hknt/dense.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+namespace {
+std::uint64_t count_mask(const std::vector<std::uint8_t>& m) {
+  std::uint64_t c = 0;
+  for (auto b : m) c += b;
+  return c;
+}
+}  // namespace
+
+std::uint64_t DenseStructure::count_outliers() const {
+  return count_mask(outlier);
+}
+std::uint64_t DenseStructure::count_inliers() const {
+  return count_mask(inlier);
+}
+std::uint64_t DenseStructure::count_put_aside() const {
+  return count_mask(put_aside);
+}
+
+DenseStructure compute_dense_structure(const D1lcInstance& inst,
+                                       const NodeParams& params,
+                                       const Acd& acd, const HkntConfig& cfg,
+                                       mpc::CostModel* cost) {
+  const Graph& g = inst.graph;
+  const NodeId n = g.num_nodes();
+  DenseStructure ds;
+  ds.leader.assign(acd.num_cliques, kInvalidNode);
+  ds.clique_slackability.assign(acd.num_cliques, 0.0);
+  ds.low_slackability.assign(acd.num_cliques, 0);
+  ds.outlier.assign(n, 0);
+  ds.inlier.assign(n, 0);
+  ds.put_aside.assign(n, 0);
+  ds.ell = cfg.ell(g.max_degree());
+
+  if (cost) {
+    // Lemma 22: slackability is already computed (Lemma 18); leader
+    // election + outlier selection are clique-local once each clique is
+    // gathered (diameter <= 2).
+    cost->charge_neighborhood_gather(g.max_degree());
+  }
+
+  parallel_for(acd.num_cliques, [&](std::size_t ci) {
+    const auto& members = acd.cliques[ci];
+    // Leader: minimum slackability, ties to smaller id.
+    NodeId x = members[0];
+    for (NodeId v : members) {
+      if (params.slackability[v] < params.slackability[x] ||
+          (params.slackability[v] == params.slackability[x] && v < x)) {
+        x = v;
+      }
+    }
+    ds.leader[ci] = x;
+    ds.clique_slackability[ci] = params.slackability[x];
+    ds.low_slackability[ci] = ds.clique_slackability[ci] <= ds.ell ? 1 : 0;
+
+    auto nbx = g.neighbors(x);
+    const std::size_t csize = members.size();
+
+    // Common-neighbor counts with the leader.
+    std::vector<std::pair<std::uint64_t, NodeId>> by_common;
+    by_common.reserve(csize);
+    for (NodeId v : members) {
+      if (v == x) continue;
+      auto nbv = g.neighbors(v);
+      std::uint64_t common = 0;
+      std::size_t i = 0, j = 0;
+      while (i < nbx.size() && j < nbv.size()) {
+        if (nbx[i] < nbv[j]) {
+          ++i;
+        } else if (nbx[i] > nbv[j]) {
+          ++j;
+        } else {
+          ++common;
+          ++i;
+          ++j;
+        }
+      }
+      by_common.emplace_back(common, v);
+    }
+    std::sort(by_common.begin(), by_common.end());
+
+    // (a) fewest common neighbors with x_C.
+    std::size_t take_a = std::min<std::size_t>(
+        by_common.size(),
+        std::max<std::size_t>(g.degree(x), csize) / 3);
+    for (std::size_t i = 0; i < take_a; ++i)
+      ds.outlier[by_common[i].second] = 1;
+
+    // (b) largest degree.
+    std::vector<std::pair<std::uint32_t, NodeId>> by_degree;
+    for (NodeId v : members)
+      if (v != x) by_degree.emplace_back(g.degree(v), v);
+    std::sort(by_degree.rbegin(), by_degree.rend());
+    for (std::size_t i = 0; i < std::min(by_degree.size(), csize / 6); ++i)
+      ds.outlier[by_degree[i].second] = 1;
+
+    // (c) non-neighbors of the leader.
+    for (NodeId v : members) {
+      if (v == x) continue;
+      if (!std::binary_search(nbx.begin(), nbx.end(), v)) ds.outlier[v] = 1;
+    }
+
+    for (NodeId v : members)
+      if (v == x || !ds.outlier[v]) ds.inlier[v] = 1;
+  });
+
+  return ds;
+}
+
+}  // namespace pdc::hknt

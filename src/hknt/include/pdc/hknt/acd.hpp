@@ -1,0 +1,68 @@
+#pragma once
+// Almost-clique decomposition (Definition 3) and the Vstart breakdown.
+//
+// V is partitioned into Vsparse ⊔ Vuneven ⊔ Vdense with Vdense split into
+// almost-cliques C_1..C_t satisfying, for every v in C_i,
+//   (iii) d(v) <= (1+ε_ac) |C_i|   and   (iv) |C_i| <= (1+ε_ac)|N(v)∩C_i|.
+//
+// Construction (the classical friend-edge route, cf. [AA20, HKNT22]):
+// nodes that are neither ε_sp-sparse nor ε_sp-uneven are dense
+// candidates; u,v are friends when they are adjacent and share
+// (1-ε_f) min(d(u), d(v)) neighbors; almost-cliques are the connected
+// components of the friend graph on dense candidates. Components whose
+// members violate (iii)/(iv) are demoted to Vsparse; experiment E8
+// measures residual violations rather than assuming them away.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/hknt/config.hpp"
+#include "pdc/hknt/params.hpp"
+#include "pdc/mpc/cost_model.hpp"
+
+namespace pdc::hknt {
+
+enum class NodeClass : std::uint8_t { kSparse, kUneven, kDense };
+
+struct Acd {
+  std::vector<NodeClass> cls;
+  std::vector<std::uint32_t> clique_of;  // valid where cls == kDense
+  std::uint32_t num_cliques = 0;
+  std::vector<std::vector<NodeId>> cliques;  // members per clique
+  std::uint64_t demoted = 0;  // dense candidates pushed back to sparse
+
+  bool is_dense(NodeId v) const { return cls[v] == NodeClass::kDense; }
+  bool is_sparse(NodeId v) const { return cls[v] == NodeClass::kSparse; }
+  bool is_uneven(NodeId v) const { return cls[v] == NodeClass::kUneven; }
+};
+
+/// Computes the (deg+1)-ACD. Charges Lemma-19 round costs.
+Acd compute_acd(const D1lcInstance& inst, const NodeParams& params,
+                const HkntConfig& cfg, mpc::CostModel* cost);
+
+/// Property check of Definition 3 on an ACD; returns per-property
+/// violation counts (0 everywhere = valid decomposition).
+struct AcdViolations {
+  std::uint64_t sparse_not_sparse = 0;   // (i)
+  std::uint64_t uneven_not_uneven = 0;   // (ii)
+  std::uint64_t degree_vs_clique = 0;    // (iii)
+  std::uint64_t clique_vs_inside = 0;    // (iv)
+  std::uint64_t total() const {
+    return sparse_not_sparse + uneven_not_uneven + degree_vs_clique +
+           clique_vs_inside;
+  }
+};
+AcdViolations check_acd(const D1lcInstance& inst, const NodeParams& params,
+                        const Acd& acd, const HkntConfig& cfg);
+
+/// The Vstart decomposition of Section 5.2 (heavy colors, Vbalanced,
+/// Vdisc, Veasy, Vheavy, Vstart). Lemma 21 computes it in O(1) rounds.
+struct StartSets {
+  std::vector<std::uint8_t> balanced, disc, easy, heavy, start;
+  std::uint64_t start_count = 0;
+};
+StartSets compute_vstart(const D1lcInstance& inst, const NodeParams& params,
+                         const Acd& acd, const HkntConfig& cfg,
+                         mpc::CostModel* cost);
+
+}  // namespace pdc::hknt

@@ -1,0 +1,60 @@
+#pragma once
+// ColorMiddle (Algorithm 1): the full [HKNT22] pass for one degree range,
+// runnable in randomized mode (true randomness, failures retry) or
+// derandomized mode (Lemma 10 per procedure, failures deferred).
+//
+//   1. ACD + parameters + Vstart + dense structure (Lemmas 16–22,
+//      deterministic, O(1) rounds).
+//   2. ColorSparse (Algorithm 5): GenerateSlack on
+//      (Vsparse ∪ Vuneven) \ Vstart, then SlackColor(Vstart), then
+//      SlackColor on the rest of the sparse/uneven nodes.
+//   3. ColorDense (Algorithm 7): GenerateSlack on dense nodes, PutAside
+//      for low-slackability cliques, SlackColor(outliers),
+//      SynchColorTrial(Vdense \ P), SlackColor(Vdense \ P), then leaders
+//      color the put-aside sets locally.
+//
+// Uncolored non-deferred nodes after the pass (randomized-mode failures)
+// and deferred nodes (derandomized mode) are left to the caller, which
+// recurses via self-reducibility (Theorem 12 / the d1lc driver).
+
+#include <vector>
+
+#include "pdc/derand/theorem12.hpp"
+#include "pdc/hknt/acd.hpp"
+#include "pdc/hknt/dense.hpp"
+#include "pdc/hknt/slack_color.hpp"
+
+namespace pdc::hknt {
+
+struct MiddleOptions {
+  HkntConfig cfg;
+  derand::Lemma10Options l10;  // strategy kTrueRandom => randomized pass
+};
+
+struct MiddleReport {
+  // Decomposition statistics.
+  std::uint64_t n = 0;
+  std::uint64_t sparse = 0, uneven = 0, dense = 0;
+  std::uint32_t num_cliques = 0;
+  std::uint64_t vstart = 0, outliers = 0, inliers = 0, put_aside = 0;
+  AcdViolations acd_violations;
+  // Per-procedure derandomization reports, in execution order.
+  std::vector<derand::Lemma10Report> steps;
+  // End-of-pass state.
+  std::uint64_t colored = 0, deferred = 0, uncolored = 0;
+
+  std::uint64_t total_ssp_failures() const {
+    std::uint64_t t = 0;
+    for (const auto& s : steps) t += s.ssp_failures;
+    return t;
+  }
+};
+
+/// Runs one ColorMiddle pass over the participants of `state` (callers
+/// usually set_active_all() first). `inst` must be the instance `state`
+/// was built on.
+MiddleReport color_middle(derand::ColoringState& state,
+                          const D1lcInstance& inst, const MiddleOptions& opt,
+                          mpc::CostModel* cost);
+
+}  // namespace pdc::hknt

@@ -1,0 +1,61 @@
+#pragma once
+// Tunable constants of the HKNT22 pipeline.
+//
+// The paper (and [HKNT22]) fix these as unspecified "suitable constants";
+// at asymptotic n any choice works, at laptop n they need calibration.
+// Defaults here are the values the test suite validates; experiments
+// sweep several of them.
+
+#include <cmath>
+#include <cstdint>
+
+namespace pdc::hknt {
+
+struct HkntConfig {
+  // --- ACD (Definition 3) ---
+  double eps_sparse = 0.10;  // ε_sp: v sparse iff ζ_v >= ε_sp d(v)
+  double eps_ac = 0.50;      // ε_ac: clique size vs degree tolerances
+  double eps_friend = 0.20;  // friend edge: |N(u)∩N(v)| >= (1-ε_f) min(d)
+
+  // --- Vstart decomposition (Section 5.2 constants ε_1..ε_5) ---
+  double eps1 = 0.30;  // Vbalanced: many similar-degree neighbors
+  double eps2 = 0.30;  // Vdisc: discrepancy >= ε_2 d(v)
+  double eps3 = 0.30;  // easy: many dense neighbors
+  double eps4 = 0.20;  // Vheavy: total heavy-color mass >= ε_4 d(v)
+  double eps5 = 0.30;  // Vstart: many easy neighbors
+  double heavy_color_threshold = 1.0;  // H(c) >= this => heavy
+
+  // --- Degree thresholds (Section 5's log^7 n analog; see DESIGN.md §5)
+  // Nodes below low_degree(n) are exempted from SSPs (handled by the
+  // Lemma-14 low-degree solver afterwards).
+  std::uint32_t low_degree_floor = 8;
+  double low_degree_log_factor = 1.0;  // low = max(floor, factor * log2 n)
+
+  // --- GenerateSlack (Algorithm 6) ---
+  std::uint64_t sample_num = 1, sample_den = 10;  // S-sampling prob 1/10
+  double slack_gen_fraction = 0.02;  // SSP target: slack >= frac * ζ_v
+
+  // --- SlackColor (Algorithm 2) ---
+  int amplify_rounds = 2;      // leading TryRandomColor calls
+  double kappa = 0.27;         // κ parameter
+  std::uint32_t multitrial_cap = 512;  // cap on x (palette samples)
+
+  // --- Dense coloring ---
+  double ell_exponent = 2.1;   // ℓ = log^2.1 Δ
+  double put_aside_den = 48.0; // sampling prob ℓ^2 / (48 Δ_C)
+  double sct_fail_factor = 2.0;  // SynchColorTrial SSP: fails <= f*ℓ
+  double put_aside_min_factor = 0.02;  // SSP: |P_C| >= factor * ℓ^2
+
+  std::uint32_t low_degree(std::uint64_t n) const {
+    double l = low_degree_log_factor * std::log2(std::max<double>(n, 2.0));
+    return std::max<std::uint32_t>(low_degree_floor,
+                                   static_cast<std::uint32_t>(l));
+  }
+
+  double ell(std::uint32_t max_degree) const {
+    double lg = std::log2(std::max<double>(max_degree, 4.0));
+    return std::pow(lg, ell_exponent);
+  }
+};
+
+}  // namespace pdc::hknt

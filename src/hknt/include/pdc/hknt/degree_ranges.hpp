@@ -1,0 +1,49 @@
+#pragma once
+// Degree-range scheduling (Section 3 / the [HKNT22] LOCAL driver).
+//
+// The LOCAL algorithm colors the graph in O(log* n) degree ranges:
+// first nodes with degree in [f(n), n], then [f(f(n)), f(n)], and so on,
+// where f is the paper's log^7 threshold. Each range runs the full
+// ColorMiddle machinery restricted to its nodes; lower ranges enjoy the
+// slack created by the colored higher ranges. At laptop scale we expose
+// f as `threshold(x) = max(floor, log2(x)^e)` with the paper's shape.
+
+#include <vector>
+
+#include "pdc/hknt/color_middle.hpp"
+
+namespace pdc::hknt {
+
+struct RangeScheduleOptions {
+  double log_exponent = 3.0;   // paper: 7; calibrated down for laptop n
+  std::uint32_t floor = 8;     // stop once thresholds reach this
+  int max_ranges = 8;          // O(log* n) in theory; tiny in practice
+};
+
+/// Descending degree thresholds t_0 = n+1 > t_1 > ... > t_k = floor:
+/// range i covers degrees [t_{i+1}, t_i).
+std::vector<std::uint32_t> degree_range_thresholds(
+    std::uint64_t n, const RangeScheduleOptions& opt);
+
+struct RangeReport {
+  std::uint32_t lo = 0, hi = 0;   // degree range [lo, hi)
+  std::uint64_t nodes = 0;
+  MiddleReport middle;
+};
+
+struct RangeScheduleReport {
+  std::vector<RangeReport> ranges;
+  std::uint64_t colored = 0, deferred = 0, uncolored = 0;
+};
+
+/// Runs ColorMiddle per degree range, highest range first, over the
+/// participants of `state`. Degrees are measured in the input graph
+/// (the paper's ranges are over input degrees; lower-range nodes keep
+/// gaining slack as higher ranges commit).
+RangeScheduleReport color_by_degree_ranges(derand::ColoringState& state,
+                                           const D1lcInstance& inst,
+                                           const MiddleOptions& mopt,
+                                           const RangeScheduleOptions& ropt,
+                                           mpc::CostModel* cost);
+
+}  // namespace pdc::hknt

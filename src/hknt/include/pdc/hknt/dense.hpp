@@ -1,0 +1,38 @@
+#pragma once
+// Leaders, outliers, inliers and put-aside bookkeeping for almost-cliques
+// (Lemma 22 and Algorithm 7 context).
+//
+// Per clique C: the leader x_C is the member with minimum slackability;
+// the outliers O_C are the union of (a) the max{d(x_C), |C|}/3 members
+// with the fewest common neighbors with x_C, (b) the |C|/6 members of
+// largest degree, and (c) members not adjacent to x_C. Inliers are the
+// rest. A clique is low-slackability when σ̄(x_C) <= ℓ = log^2.1 Δ; those
+// cliques get put-aside sets (filled in by the PutAside procedure).
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/hknt/acd.hpp"
+
+namespace pdc::hknt {
+
+struct DenseStructure {
+  std::vector<NodeId> leader;                 // per clique
+  std::vector<double> clique_slackability;    // σ̄(x_C)
+  std::vector<std::uint8_t> low_slackability; // per clique
+  std::vector<std::uint8_t> outlier;          // per node
+  std::vector<std::uint8_t> inlier;           // per node
+  std::vector<std::uint8_t> put_aside;        // per node; set by PutAside
+  double ell = 0.0;                           // ℓ = log^2.1 Δ
+
+  std::uint64_t count_outliers() const;
+  std::uint64_t count_inliers() const;
+  std::uint64_t count_put_aside() const;
+};
+
+DenseStructure compute_dense_structure(const D1lcInstance& inst,
+                                       const NodeParams& params,
+                                       const Acd& acd, const HkntConfig& cfg,
+                                       mpc::CostModel* cost);
+
+}  // namespace pdc::hknt

@@ -1,0 +1,39 @@
+#pragma once
+// The node parameters of Definition 2 (from [HKNT22]).
+//
+//  slack(v)        = p(v) - d(v)
+//  sparsity ζ_v    = (1/d(v)) [ C(d(v),2) - m(N(v)) ]
+//  disparity η̄_uv  = |Ψ(u) \ Ψ(v)| / |Ψ(u)|
+//  discrepancy η̄_v = Σ_{u∈N(v)} η̄_uv
+//  unevenness η_v  = Σ_{u∈N(v)} max(0, d(u)-d(v)) / (d(u)+1)
+//  slackability σ̄_v = η̄_v + ζ_v ; strong slackability σ_v = η_v + ζ_v
+//
+// Lemma 18 computes these in O(1) MPC rounds given Δ <= sqrt(s) via the
+// Lemma-17 gathers; compute_params charges exactly those operations.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/palette.hpp"
+#include "pdc/mpc/cost_model.hpp"
+
+namespace pdc::hknt {
+
+struct NodeParams {
+  std::vector<std::int64_t> slack;
+  std::vector<double> sparsity;             // ζ_v
+  std::vector<double> discrepancy;          // η̄_v
+  std::vector<double> unevenness;           // η_v
+  std::vector<double> slackability;         // σ̄_v
+  std::vector<double> strong_slackability;  // σ_v
+  std::vector<std::uint64_t> nbhd_edges;    // m(N(v))
+};
+
+/// Computes every Definition-2 parameter for all nodes in parallel.
+/// Charges Lemma-17/Lemma-18 round costs when `cost` is provided.
+NodeParams compute_params(const D1lcInstance& inst, mpc::CostModel* cost);
+
+/// Disparity of a single ordered pair (helper; exposed for tests).
+double disparity(const PaletteSet& palettes, NodeId u, NodeId v);
+
+}  // namespace pdc::hknt

@@ -1,0 +1,194 @@
+#pragma once
+// The randomized subroutines of [HKNT22] packaged as normal (O(1), Δ)
+// distributed procedures (Lemma 13).
+//
+// Every procedure here:
+//  * runs in O(1) LOCAL rounds and consumes O~(Δ) random bits per node,
+//  * resolves its color conflicts internally (simulate never proposes a
+//    monochromatic edge),
+//  * exempts nodes of degree < cfg.low_degree(n) from its SSP (the paper
+//    handles those with the Lemma-14 low-degree algorithm afterwards),
+//  * has WSP == SSP modulo Defer extension (deferral only creates slack
+//    — the property the paper highlights for coloring subroutines).
+//
+// Conflict checks and degree/slack quantities use the *participating*
+// subsets (temporary-slack semantics; see ColoringState).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdc/derand/normal_procedure.hpp"
+#include "pdc/hknt/config.hpp"
+#include "pdc/hknt/dense.hpp"
+#include "pdc/hknt/params.hpp"
+
+namespace pdc::hknt {
+
+using derand::ColoringState;
+using derand::NormalProcedure;
+using derand::ProcedureRun;
+
+/// Shared helpers over a run (exposed for tests).
+namespace post {
+/// v's degree among participants that remain uncolored after the run.
+std::uint32_t degree(const ColoringState& s, const ProcedureRun& r, NodeId v);
+/// v's available-palette size after the run's proposals commit.
+std::uint32_t available(const ColoringState& s, const ProcedureRun& r,
+                        NodeId v);
+inline std::int64_t slack(const ColoringState& s, const ProcedureRun& r,
+                          NodeId v) {
+  return static_cast<std::int64_t>(available(s, r, v)) -
+         static_cast<std::int64_t>(degree(s, r, v));
+}
+}  // namespace post
+
+/// Algorithm 3 — TryRandomColor. Each participant picks a uniformly
+/// random available color and keeps it unless a participating neighbor
+/// picked the same. SSP selectable:
+///  * kNone           — trivially true (used for the leading amplification
+///                      rounds of SlackColor, whose guarantee attaches to
+///                      the final round);
+///  * kSlackTwiceDegree — colored, or post-run slack >= 2 * post-run
+///                      degree (SlackColor line 2's continuation bar).
+class TryRandomColorProc final : public NormalProcedure {
+ public:
+  enum class Ssp { kNone, kSlackTwiceDegree };
+
+  TryRandomColorProc(const HkntConfig& cfg, Ssp ssp, std::string label)
+      : cfg_(cfg), ssp_(ssp), label_(std::move(label)) {}
+
+  std::string name() const override { return "TryRandomColor/" + label_; }
+  std::uint64_t rand_words_per_node(const ColoringState&) const override {
+    return 1;
+  }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override;
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override;
+
+ private:
+  HkntConfig cfg_;
+  Ssp ssp_;
+  std::string label_;
+};
+
+/// Algorithm 6 — GenerateSlack. Participants are sampled into S with
+/// probability 1/10; sampled nodes run one TryRandomColor among
+/// themselves. SSP: post-run slack >= max(1, frac * ζ_v) (the shape of
+/// [HKNT22] Lemmas 10–18's slack guarantees), or degree exempt.
+class GenerateSlackProc final : public NormalProcedure {
+ public:
+  GenerateSlackProc(const HkntConfig& cfg, const NodeParams& params,
+                    std::string label)
+      : cfg_(cfg), params_(&params), label_(std::move(label)) {}
+
+  std::string name() const override { return "GenerateSlack/" + label_; }
+  std::uint64_t rand_words_per_node(const ColoringState&) const override {
+    return 2;  // sampling coin + color pick
+  }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override;
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override;
+
+ private:
+  HkntConfig cfg_;
+  const NodeParams* params_;
+  std::string label_;
+};
+
+/// Algorithm 4 — MultiTrial(x). Each participant samples x distinct
+/// available colors and keeps one sampled by no participating neighbor.
+/// SSP: colored, or post-run degree <= post-run available / divisor
+/// (SlackColor lines 7/12's continuation checks); `final_round` demands
+/// being colored outright (line 14).
+class MultiTrialProc final : public NormalProcedure {
+ public:
+  MultiTrialProc(const HkntConfig& cfg, std::uint32_t x, double divisor,
+                 bool final_round, std::string label)
+      : cfg_(cfg), x_(x), divisor_(divisor), final_(final_round),
+        label_(std::move(label)) {}
+
+  std::string name() const override { return "MultiTrial/" + label_; }
+  std::uint64_t rand_words_per_node(const ColoringState&) const override {
+    return x_ + 1;
+  }
+  std::uint32_t x() const { return x_; }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override;
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override;
+
+ private:
+  HkntConfig cfg_;
+  std::uint32_t x_;
+  double divisor_;
+  bool final_;
+  std::string label_;
+};
+
+/// Algorithm 8 — SynchColorTrial. Each almost-clique's leader permutes
+/// its available palette and proposes a distinct color to every
+/// participating inlier (itself included); proposals survive unless an
+/// adjacent participant got the same color (only possible across
+/// cliques) or the color is missing from the inlier's own available
+/// palette. SSP: at most max(4, f*ℓ) inliers of v's clique remain
+/// uncolored, or v's degree is exempt.
+class SynchColorTrialProc final : public NormalProcedure {
+ public:
+  SynchColorTrialProc(const HkntConfig& cfg, const Acd& acd,
+                      const DenseStructure& ds)
+      : cfg_(cfg), acd_(&acd), ds_(&ds) {}
+
+  std::string name() const override { return "SynchColorTrial"; }
+  std::uint64_t rand_words_per_node(const ColoringState& s) const override {
+    return s.graph().max_degree() + 2;  // leader permutation
+  }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override;
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override;
+
+ private:
+  HkntConfig cfg_;
+  const Acd* acd_;
+  const DenseStructure* ds_;
+};
+
+/// Algorithm 9 — PutAside. Participants (inliers of low-slackability
+/// cliques) sample themselves with probability ℓ^2/(48 Δ_C); a sampled
+/// node joins P_C if it has no sampled neighbor *outside its own clique*
+/// (this is what guarantees put-aside sets of different cliques span no
+/// edges; within-clique adjacency is the point of the set). Colors no
+/// one; commit writes the put_aside mask into the DenseStructure. SSP:
+/// |P_C| >= max(1, min(c * ℓ^2, |I_C|/8)).
+class PutAsideProc final : public NormalProcedure {
+ public:
+  PutAsideProc(const HkntConfig& cfg, const Acd& acd, DenseStructure& ds)
+      : cfg_(cfg), acd_(&acd), ds_(&ds) {}
+
+  std::string name() const override { return "PutAside"; }
+  std::uint64_t rand_words_per_node(const ColoringState&) const override {
+    return 1;
+  }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override;
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override;
+  void commit(ColoringState& state, const ProcedureRun& run,
+              const std::vector<std::uint8_t>& defer) const override;
+
+  /// aux codes produced by simulate.
+  static constexpr std::int64_t kSampled = 1;
+  static constexpr std::int64_t kInP = 2;
+
+ private:
+  double sample_prob(const ColoringState& state, std::uint32_t clique) const;
+
+  HkntConfig cfg_;
+  const Acd* acd_;
+  DenseStructure* ds_;
+};
+
+}  // namespace pdc::hknt

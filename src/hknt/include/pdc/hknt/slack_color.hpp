@@ -1,0 +1,43 @@
+#pragma once
+// SlackColor (Algorithm 2) as a schedule of normal procedures.
+//
+// SlackColor(s_min, κ) colors nodes whose slack is linear in their degree
+// in O(log* s_min) rounds:
+//   1. O(1) TryRandomColor rounds (degree amplification; the last one
+//      carries the s(v) >= 2 d(v) continuation bar of line 2);
+//   2. for i = 0..log* ρ: MultiTrial(x_i) twice, x_i = 2↑↑i, with the
+//      line-7 check d(v) <= s(v) / min(2 x_i, ρ^κ);
+//   3. for i = 1..⌈1/κ⌉: MultiTrial(ρ^{iκ}) three times, with the
+//      line-12 check d(v) <= s(v) / min(ρ^{(i+1)κ}, ρ);
+//   4. a final MultiTrial(ρ) whose success property is being colored.
+// Here ρ = s_min^{1/(1+κ)}. Each step is a normal (O(1), Δ)-round
+// procedure (Lemma 13), so the whole schedule feeds Lemma 10 directly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdc/derand/coloring_state.hpp"
+#include "pdc/hknt/procedures.hpp"
+
+namespace pdc::hknt {
+
+struct SlackColorSchedule {
+  std::vector<std::unique_ptr<derand::NormalProcedure>> steps;
+  std::int64_t smin = 1;
+  double rho = 1.0;
+};
+
+/// Builds the schedule for the *current* participants of `state`
+/// (s_min is their minimum participating slack, floored at 1).
+SlackColorSchedule make_slack_color(const derand::ColoringState& state,
+                                    const HkntConfig& cfg,
+                                    const std::string& label);
+
+/// 2↑↑i with saturation at `cap`.
+std::uint32_t tower(int i, std::uint32_t cap);
+
+/// Smallest i with 2↑↑i >= x (the log* in the schedule bound).
+int log_star_of(double x);
+
+}  // namespace pdc::hknt

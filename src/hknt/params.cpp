@@ -1,0 +1,114 @@
+#include "pdc/hknt/params.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+namespace {
+
+/// |sorted_a ∩ sorted_b| by merge walk.
+std::uint64_t sorted_intersection_size(std::span<const NodeId> a,
+                                       std::span<const NodeId> b) {
+  std::uint64_t c = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++c;
+      ++i;
+      ++j;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double disparity(const PaletteSet& palettes, NodeId u, NodeId v) {
+  auto pu = palettes.palette(u);
+  auto pv = palettes.palette(v);
+  if (pu.empty()) return 0.0;
+  // |Ψ(u) \ Ψ(v)| via merge walk over the sorted palettes.
+  std::uint64_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < pu.size() && j < pv.size()) {
+    if (pu[i] < pv[j]) {
+      ++i;
+    } else if (pu[i] > pv[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(pu.size() - common) /
+         static_cast<double>(pu.size());
+}
+
+NodeParams compute_params(const D1lcInstance& inst, mpc::CostModel* cost) {
+  const Graph& g = inst.graph;
+  const PaletteSet& pal = inst.palettes;
+  const NodeId n = g.num_nodes();
+
+  NodeParams p;
+  p.slack.resize(n);
+  p.sparsity.resize(n);
+  p.discrepancy.resize(n);
+  p.unevenness.resize(n);
+  p.slackability.resize(n);
+  p.strong_slackability.resize(n);
+  p.nbhd_edges.resize(n);
+
+  if (cost) {
+    // Lemma 18: slack via sorting; sparsity/disparity/unevenness via the
+    // two Lemma-17 subroutines; the rest are local arithmetic.
+    cost->charge_sort(g.num_edges() * 2 + pal.total_size());
+    cost->charge_neighborhood_gather(g.max_degree());
+    cost->charge_neighborhood_gather(g.max_degree());
+  }
+
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const auto nb = g.neighbors(v);
+    const double dv = static_cast<double>(nb.size());
+
+    p.slack[v] = static_cast<std::int64_t>(pal.size(v)) -
+                 static_cast<std::int64_t>(nb.size());
+
+    // m(N(v)): each edge (u,w) inside N(v) counted from both ends.
+    std::uint64_t twice = 0;
+    for (NodeId u : nb)
+      twice += sorted_intersection_size(g.neighbors(u), nb);
+    p.nbhd_edges[v] = twice / 2;
+
+    if (nb.size() >= 1) {
+      double pairs = dv * (dv - 1.0) / 2.0;
+      p.sparsity[v] =
+          (pairs - static_cast<double>(p.nbhd_edges[v])) / std::max(dv, 1.0);
+    } else {
+      p.sparsity[v] = 0.0;
+    }
+
+    double disc = 0.0;
+    double uneven = 0.0;
+    for (NodeId u : nb) {
+      disc += disparity(pal, u, v);
+      double du = static_cast<double>(g.degree(u));
+      uneven += std::max(0.0, du - dv) / (du + 1.0);
+    }
+    p.discrepancy[v] = disc;
+    p.unevenness[v] = uneven;
+    p.slackability[v] = disc + p.sparsity[v];
+    p.strong_slackability[v] = uneven + p.sparsity[v];
+  });
+
+  return p;
+}
+
+}  // namespace pdc::hknt

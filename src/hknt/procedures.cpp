@@ -1,0 +1,304 @@
+#include "pdc/hknt/procedures.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::hknt {
+
+namespace post {
+
+std::uint32_t degree(const ColoringState& s, const ProcedureRun& r,
+                     NodeId v) {
+  std::uint32_t d = 0;
+  for (NodeId u : s.graph().neighbors(v)) {
+    if (s.is_colored(u) || s.is_deferred(u)) continue;
+    if (s.participates(u) && r.proposed[u] != kNoColor) continue;  // colors now
+    ++d;
+  }
+  return d;
+}
+
+std::uint32_t available(const ColoringState& s, const ProcedureRun& r,
+                        NodeId v) {
+  auto pal = s.palettes().palette(v);
+  std::vector<Color> blocked;
+  for (NodeId u : s.graph().neighbors(v)) {
+    if (s.is_colored(u)) {
+      blocked.push_back(s.color(u));
+    } else if (s.participates(u) && r.proposed[u] != kNoColor) {
+      blocked.push_back(r.proposed[u]);
+    }
+  }
+  std::sort(blocked.begin(), blocked.end());
+  blocked.erase(std::unique(blocked.begin(), blocked.end()), blocked.end());
+  std::uint32_t cnt = 0;
+  for (Color c : pal)
+    if (!std::binary_search(blocked.begin(), blocked.end(), c)) ++cnt;
+  return cnt;
+}
+
+}  // namespace post
+
+namespace {
+
+bool degree_exempt(const HkntConfig& cfg, const ColoringState& s, NodeId v) {
+  return s.graph().degree(v) < cfg.low_degree(s.num_nodes());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TryRandom
+
+ProcedureRun TryRandomColorProc::simulate(
+    const ColoringState& state, const prg::BitSourceFactory& bits) const {
+  const NodeId n = state.num_nodes();
+  ProcedureRun run(n);
+  std::vector<Color> pick(n, kNoColor);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v)) return;
+    BitStream bs = bits.stream(v, 0);
+    pick[v] = state.sample_available(v, bs);
+  });
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v) || pick[v] == kNoColor) return;
+    for (NodeId u : state.graph().neighbors(v)) {
+      if (state.participates(u) && pick[u] == pick[v]) return;  // conflict
+    }
+    run.proposed[v] = pick[v];
+  });
+  return run;
+}
+
+bool TryRandomColorProc::ssp(const ColoringState& state,
+                             const ProcedureRun& run, NodeId v) const {
+  if (ssp_ == Ssp::kNone) return true;
+  if (degree_exempt(cfg_, state, v)) return true;
+  if (run.proposed[v] != kNoColor) return true;
+  std::int64_t s = post::slack(state, run, v);
+  std::int64_t d = post::degree(state, run, v);
+  return s >= 2 * d;
+}
+
+// ------------------------------------------------------------ GenerateSlack
+
+ProcedureRun GenerateSlackProc::simulate(
+    const ColoringState& state, const prg::BitSourceFactory& bits) const {
+  const NodeId n = state.num_nodes();
+  ProcedureRun run(n);
+  std::vector<Color> pick(n, kNoColor);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v)) return;
+    BitStream bs = bits.stream(v, 0);
+    bool sampled = bs.coin(cfg_.sample_num, cfg_.sample_den);
+    if (!sampled) return;
+    run.aux[v] = 1;
+    pick[v] = state.sample_available(v, bs);
+  });
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (run.aux[v] != 1 || pick[v] == kNoColor) return;
+    for (NodeId u : state.graph().neighbors(v)) {
+      if (run.aux[u] == 1 && pick[u] == pick[v]) return;
+    }
+    run.proposed[v] = pick[v];
+  });
+  return run;
+}
+
+bool GenerateSlackProc::ssp(const ColoringState& state,
+                            const ProcedureRun& run, NodeId v) const {
+  if (degree_exempt(cfg_, state, v)) return true;
+  if (run.proposed[v] != kNoColor) return true;
+  double target =
+      std::max(1.0, cfg_.slack_gen_fraction * params_->sparsity[v]);
+  return static_cast<double>(post::slack(state, run, v)) >= target;
+}
+
+// --------------------------------------------------------------- MultiTrial
+
+ProcedureRun MultiTrialProc::simulate(
+    const ColoringState& state, const prg::BitSourceFactory& bits) const {
+  const NodeId n = state.num_nodes();
+  ProcedureRun run(n);
+  std::vector<std::vector<Color>> picks(n);
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v)) return;
+    BitStream bs = bits.stream(v, 0);
+    picks[v] = state.sample_available_distinct(v, x_, bs);
+  });
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v) || picks[v].empty()) return;
+    for (Color c : picks[v]) {
+      bool clash = false;
+      for (NodeId u : state.graph().neighbors(v)) {
+        if (state.participates(u) &&
+            std::binary_search(picks[u].begin(), picks[u].end(), c)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        run.proposed[v] = c;
+        break;
+      }
+    }
+  });
+  return run;
+}
+
+bool MultiTrialProc::ssp(const ColoringState& state, const ProcedureRun& run,
+                         NodeId v) const {
+  if (degree_exempt(cfg_, state, v)) return true;
+  if (run.proposed[v] != kNoColor) return true;
+  if (final_) return false;  // last MultiTrial: success means colored
+  double d = static_cast<double>(post::degree(state, run, v));
+  double a = static_cast<double>(post::available(state, run, v));
+  return d <= a / divisor_;
+}
+
+// ---------------------------------------------------------- SynchColorTrial
+
+ProcedureRun SynchColorTrialProc::simulate(
+    const ColoringState& state, const prg::BitSourceFactory& bits) const {
+  const NodeId n = state.num_nodes();
+  ProcedureRun run(n);
+  std::vector<Color> candidate(n, kNoColor);
+
+  parallel_for(acd_->num_cliques, [&](std::size_t ci) {
+    const NodeId x = ds_->leader[ci];
+    // The leader permutes its available palette with its own randomness
+    // and hands out distinct colors; if the leader is already colored or
+    // deferred, the clique sits this trial out (its inliers retry via
+    // SlackColor / recursion).
+    if (!state.participates(x)) return;
+    auto avail = state.available_colors(x);
+    if (avail.empty()) return;
+    BitStream bs = bits.stream(x, 0);
+    for (std::size_t i = 0; i + 1 < avail.size(); ++i) {
+      std::uint64_t j = i + bs.below(avail.size() - i);
+      std::swap(avail[i], avail[j]);
+    }
+    std::size_t next = 0;
+    // Leader takes the first color, inliers the rest in member order.
+    candidate[x] = avail[next++];
+    for (NodeId v : acd_->cliques[ci]) {
+      if (next >= avail.size()) break;
+      if (v == x || !ds_->inlier[v] || ds_->put_aside[v]) continue;
+      if (!state.participates(v)) continue;
+      candidate[v] = avail[next++];
+    }
+  });
+
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (candidate[v] == kNoColor) return;
+    // Candidate must sit in v's own available palette (leader palettes
+    // only resemble inlier palettes).
+    auto mine = state.available_colors(v);
+    if (!std::binary_search(mine.begin(), mine.end(), candidate[v])) return;
+    // Cross-clique conflicts (within a clique candidates are distinct).
+    for (NodeId u : state.graph().neighbors(v)) {
+      if (candidate[u] == candidate[v] && u != v) return;
+    }
+    run.proposed[v] = candidate[v];
+  });
+  return run;
+}
+
+bool SynchColorTrialProc::ssp(const ColoringState& state,
+                              const ProcedureRun& run, NodeId v) const {
+  if (degree_exempt(cfg_, state, v)) return true;
+  const std::uint32_t ci = acd_->clique_of[v];
+  if (ci == static_cast<std::uint32_t>(-1)) return true;
+  std::uint64_t failed = 0;
+  for (NodeId u : acd_->cliques[ci]) {
+    if (!ds_->inlier[u] || ds_->put_aside[u]) continue;
+    if (!state.participates(u)) continue;
+    if (run.proposed[u] == kNoColor) ++failed;
+  }
+  double bar = std::max(4.0, cfg_.sct_fail_factor * ds_->ell);
+  return static_cast<double>(failed) <= bar;
+}
+
+// ------------------------------------------------------------------ PutAside
+
+double PutAsideProc::sample_prob(const ColoringState& state,
+                                 std::uint32_t clique) const {
+  std::uint32_t delta_c = 1;
+  for (NodeId v : acd_->cliques[clique])
+    delta_c = std::max(delta_c, state.graph().degree(v));
+  double p = ds_->ell * ds_->ell /
+             (cfg_.put_aside_den * static_cast<double>(delta_c));
+  return std::clamp(p, 0.0, 0.5);
+}
+
+ProcedureRun PutAsideProc::simulate(const ColoringState& state,
+                                    const prg::BitSourceFactory& bits) const {
+  const NodeId n = state.num_nodes();
+  ProcedureRun run(n);
+  std::vector<double> prob(acd_->num_cliques, 0.0);
+  for (std::uint32_t c = 0; c < acd_->num_cliques; ++c) {
+    if (ds_->low_slackability[c]) prob[c] = sample_prob(state, c);
+  }
+  // Sample S.
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (!state.participates(v)) return;
+    const std::uint32_t ci = acd_->clique_of[v];
+    if (ci == static_cast<std::uint32_t>(-1) || !ds_->low_slackability[ci])
+      return;
+    if (!ds_->inlier[v]) return;
+    BitStream bs = bits.stream(v, 0);
+    const std::uint64_t den = 1u << 20;
+    if (bs.below(den) <
+        static_cast<std::uint64_t>(prob[ci] * static_cast<double>(den))) {
+      run.aux[v] = kSampled;
+    }
+  });
+  // P_C = sampled nodes with no sampled neighbor outside their clique.
+  parallel_for(n, [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (run.aux[v] != kSampled) return;
+    const std::uint32_t ci = acd_->clique_of[v];
+    for (NodeId u : state.graph().neighbors(v)) {
+      if (run.aux[u] >= kSampled && acd_->clique_of[u] != ci) return;
+    }
+    run.aux[v] = kInP;
+  });
+  return run;
+}
+
+bool PutAsideProc::ssp(const ColoringState& state, const ProcedureRun& run,
+                       NodeId v) const {
+  if (degree_exempt(cfg_, state, v)) return true;
+  const std::uint32_t ci = acd_->clique_of[v];
+  if (ci == static_cast<std::uint32_t>(-1) || !ds_->low_slackability[ci])
+    return true;
+  std::uint64_t in_p = 0, inliers = 0;
+  for (NodeId u : acd_->cliques[ci]) {
+    if (!ds_->inlier[u]) continue;
+    ++inliers;
+    if (run.aux[u] == kInP) ++in_p;
+  }
+  double bar = std::max(
+      1.0, std::min(cfg_.put_aside_min_factor * ds_->ell * ds_->ell,
+                    static_cast<double>(inliers) / 8.0));
+  return static_cast<double>(in_p) >= bar;
+}
+
+void PutAsideProc::commit(ColoringState& state, const ProcedureRun& run,
+                          const std::vector<std::uint8_t>& defer) const {
+  (void)state;
+  for (NodeId v = 0; v < static_cast<NodeId>(run.aux.size()); ++v) {
+    if (defer[v]) continue;
+    if (run.aux[v] == kInP) ds_->put_aside[v] = 1;
+  }
+}
+
+}  // namespace pdc::hknt

@@ -1,0 +1,95 @@
+#include "pdc/hknt/slack_color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdc::hknt {
+
+std::uint32_t tower(int i, std::uint32_t cap) {
+  double x = 1.0;
+  for (int k = 0; k < i; ++k) {
+    x = std::pow(2.0, x);
+    if (x >= static_cast<double>(cap)) return cap;
+  }
+  return static_cast<std::uint32_t>(std::min<double>(x, cap));
+}
+
+int log_star_of(double x) {
+  int i = 0;
+  double t = 1.0;
+  while (t < x && i < 6) {
+    t = std::pow(2.0, t);
+    ++i;
+  }
+  return i;
+}
+
+SlackColorSchedule make_slack_color(const derand::ColoringState& state,
+                                    const HkntConfig& cfg,
+                                    const std::string& label) {
+  SlackColorSchedule sched;
+
+  // s_min: minimum participating slack among current participants.
+  std::int64_t smin = std::numeric_limits<std::int64_t>::max();
+  bool any = false;
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (!state.participates(v)) continue;
+    any = true;
+    smin = std::min(smin, state.participating_slack(v));
+  }
+  if (!any) smin = 1;
+  sched.smin = std::max<std::int64_t>(1, smin);
+  sched.rho = std::pow(static_cast<double>(sched.smin),
+                       1.0 / (1.0 + cfg.kappa));
+  const double rho = std::max(1.0, sched.rho);
+  const double rho_kappa = std::pow(rho, cfg.kappa);
+
+  // 1. Amplification TryRandomColor rounds.
+  for (int r = 0; r < cfg.amplify_rounds; ++r) {
+    bool last = (r + 1 == cfg.amplify_rounds);
+    sched.steps.push_back(std::make_unique<TryRandomColorProc>(
+        cfg,
+        last ? TryRandomColorProc::Ssp::kSlackTwiceDegree
+             : TryRandomColorProc::Ssp::kNone,
+        label + "/amp" + std::to_string(r)));
+  }
+
+  // 2. Tower loop: MultiTrial(2↑↑i) twice.
+  const int lstar = log_star_of(rho);
+  for (int i = 0; i <= lstar; ++i) {
+    std::uint32_t x = tower(i, cfg.multitrial_cap);
+    double divisor =
+        std::max(1.0, std::min(2.0 * static_cast<double>(x), rho_kappa));
+    for (int rep = 0; rep < 2; ++rep) {
+      sched.steps.push_back(std::make_unique<MultiTrialProc>(
+          cfg, x, divisor, /*final_round=*/false,
+          label + "/t" + std::to_string(i) + "." + std::to_string(rep)));
+    }
+  }
+
+  // 3. Geometric loop: MultiTrial(ρ^{iκ}) three times.
+  const int geo = static_cast<int>(std::ceil(1.0 / cfg.kappa));
+  for (int i = 1; i <= geo; ++i) {
+    std::uint32_t x = static_cast<std::uint32_t>(std::clamp(
+        std::pow(rho, cfg.kappa * i), 1.0,
+        static_cast<double>(cfg.multitrial_cap)));
+    double divisor = std::max(
+        1.0, std::min(std::pow(rho, cfg.kappa * (i + 1)), rho));
+    for (int rep = 0; rep < 3; ++rep) {
+      sched.steps.push_back(std::make_unique<MultiTrialProc>(
+          cfg, x, divisor, /*final_round=*/false,
+          label + "/g" + std::to_string(i) + "." + std::to_string(rep)));
+    }
+  }
+
+  // 4. Closing MultiTrial(ρ): success == colored.
+  sched.steps.push_back(std::make_unique<MultiTrialProc>(
+      cfg,
+      static_cast<std::uint32_t>(
+          std::clamp(rho, 1.0, static_cast<double>(cfg.multitrial_cap))),
+      1.0, /*final_round=*/true, label + "/final"));
+
+  return sched;
+}
+
+}  // namespace pdc::hknt

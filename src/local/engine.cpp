@@ -1,0 +1,25 @@
+#include "pdc/local/engine.hpp"
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::local {
+
+void Engine::round(const StepFn& step) {
+  const NodeId n = g_->num_nodes();
+  parallel_for(n, [&](std::size_t v) {
+    Context ctx(*this, static_cast<NodeId>(v));
+    step(ctx);
+  });
+  // Deliver: clear inboxes, then route queued sends (serial per dest to
+  // stay race-free; message volume here is O(m) per round).
+  for (auto& ib : inbox_) ib.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    for (auto& [to, msg] : outbox_[v]) {
+      inbox_[to].push_back(std::move(msg));
+    }
+    outbox_[v].clear();
+  }
+  ++rounds_;
+}
+
+}  // namespace pdc::local

@@ -1,0 +1,37 @@
+#pragma once
+// Message-passing reference implementations of the coloring trials on
+// the LOCAL engine.
+//
+// The production procedures (pdc/hknt/procedures.hpp) simulate their
+// LOCAL semantics with shared arrays for speed. These reference versions
+// run the *actual* message exchanges of Algorithms 3 and 4 — pick,
+// send to neighbors, receive conflict set, commit, announce — and exist
+// so tests can cross-check the array semantics (conflict freedom,
+// success-rate agreement) against the model-faithful execution.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::local {
+
+struct TrialResult {
+  Coloring committed;            // kNoColor where the node failed
+  std::uint64_t engine_rounds = 0;
+};
+
+/// Algorithm 3 (TryRandomColor) over the engine: one pick round, one
+/// conflict round, one announce round. `coloring` holds pre-existing
+/// colors (those nodes do not participate; their colors block palettes).
+TrialResult try_random_color_local(const Graph& g, const PaletteSet& palettes,
+                                   const Coloring& coloring,
+                                   std::uint64_t seed);
+
+/// Algorithm 4 (MultiTrial(x)) over the engine.
+TrialResult multi_trial_local(const Graph& g, const PaletteSet& palettes,
+                              const Coloring& coloring, std::uint32_t x,
+                              std::uint64_t seed);
+
+}  // namespace pdc::local

@@ -1,0 +1,112 @@
+#include "pdc/local/reference.hpp"
+
+#include <algorithm>
+
+#include "pdc/local/engine.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc::local {
+
+namespace {
+
+std::vector<Color> available(const Graph& g, const PaletteSet& palettes,
+                             const Coloring& coloring, NodeId v) {
+  std::vector<Color> blocked;
+  for (NodeId u : g.neighbors(v))
+    if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
+  std::sort(blocked.begin(), blocked.end());
+  std::vector<Color> out;
+  for (Color c : palettes.palette(v))
+    if (!std::binary_search(blocked.begin(), blocked.end(), c))
+      out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+TrialResult try_random_color_local(const Graph& g, const PaletteSet& palettes,
+                                   const Coloring& coloring,
+                                   std::uint64_t seed) {
+  Engine engine(g);
+  const NodeId n = g.num_nodes();
+  std::vector<Color> pick(n, kNoColor);
+
+  // Round 1: pick ψ_v u.a.r. from the current palette, send to all
+  // conflicting (uncolored) neighbors.
+  engine.round([&](Engine::Context& ctx) {
+    NodeId v = ctx.self();
+    if (coloring[v] != kNoColor) return;
+    auto avail = available(g, palettes, coloring, v);
+    if (avail.empty()) return;
+    auto rng = substream(seed, v);
+    pick[v] = avail[rng.below(avail.size())];
+    ctx.broadcast({pick[v]});
+  });
+
+  // Round 2: receive the conflict set T; commit iff ψ_v ∉ T; announce
+  // the permanent color (the announcement round exists in Algorithm 3;
+  // receivers would prune palettes — our caller recomputes instead).
+  TrialResult out;
+  out.committed.assign(n, kNoColor);
+  engine.round([&](Engine::Context& ctx) {
+    NodeId v = ctx.self();
+    if (pick[v] == kNoColor) return;
+    for (const auto& m : ctx.inbox()) {
+      if (!m.payload.empty() && m.payload[0] == pick[v]) return;
+    }
+    out.committed[v] = pick[v];
+    ctx.broadcast({pick[v]});
+  });
+  engine.round([](Engine::Context&) {});  // announcement delivery
+  out.engine_rounds = engine.rounds_run();
+  return out;
+}
+
+TrialResult multi_trial_local(const Graph& g, const PaletteSet& palettes,
+                              const Coloring& coloring, std::uint32_t x,
+                              std::uint64_t seed) {
+  Engine engine(g);
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<Color>> picks(n);
+
+  engine.round([&](Engine::Context& ctx) {
+    NodeId v = ctx.self();
+    if (coloring[v] != kNoColor) return;
+    auto avail = available(g, palettes, coloring, v);
+    auto rng = substream(seed, v);
+    // Partial Fisher–Yates sample of min(x, |avail|) colors.
+    std::uint32_t want = std::min<std::uint32_t>(
+        x, static_cast<std::uint32_t>(avail.size()));
+    for (std::uint32_t i = 0; i < want; ++i) {
+      std::uint64_t j = i + rng.below(avail.size() - i);
+      std::swap(avail[i], avail[j]);
+    }
+    avail.resize(want);
+    std::sort(avail.begin(), avail.end());
+    picks[v] = avail;
+    std::vector<std::int64_t> payload(picks[v].begin(), picks[v].end());
+    ctx.broadcast(std::move(payload));
+  });
+
+  TrialResult out;
+  out.committed.assign(n, kNoColor);
+  engine.round([&](Engine::Context& ctx) {
+    NodeId v = ctx.self();
+    if (picks[v].empty()) return;
+    // Union of neighbors' sampled sets.
+    std::vector<Color> taken;
+    for (const auto& m : ctx.inbox())
+      taken.insert(taken.end(), m.payload.begin(), m.payload.end());
+    std::sort(taken.begin(), taken.end());
+    for (Color c : picks[v]) {
+      if (!std::binary_search(taken.begin(), taken.end(), c)) {
+        out.committed[v] = c;
+        break;
+      }
+    }
+  });
+  out.engine_rounds = engine.rounds_run();
+  return out;
+}
+
+}  // namespace pdc::local

@@ -1,0 +1,61 @@
+#include "pdc/mpc/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::mpc {
+
+void Cluster::check_space(MachineId m, std::uint64_t words, const char* what) {
+  ledger_.observe_local_space(words);
+  if (words > cfg_.local_space_words) {
+    std::ostringstream os;
+    os << what << " on machine " << m << ": " << words << " words > s="
+       << cfg_.local_space_words;
+    ledger_.record_violation(os.str());
+    PDC_CHECK_MSG(!strict_, os.str());
+  }
+}
+
+void Cluster::round(const StepFn& step) {
+  const MachineId p = num_machines();
+  std::vector<Outbox> outboxes(p);
+
+  parallel_for(p, [&](std::size_t m) {
+    step(static_cast<MachineId>(m), inbox_[m], storage_[m], outboxes[m]);
+  });
+
+  // Validate per-machine storage and outgoing volume.
+  std::uint64_t global = 0;
+  for (MachineId m = 0; m < p; ++m) {
+    check_space(m, storage_[m].size(), "local storage");
+    check_space(m, outboxes[m].words_sent(), "outgoing messages");
+    global += storage_[m].size();
+  }
+  ledger_.observe_global_space(global);
+
+  // Exchange: deliver messages, each with {sender, length} header.
+  std::vector<std::uint64_t> incoming_words(p, 0);
+  for (MachineId m = 0; m < p; ++m) {
+    for (auto& [to, payload] : outboxes[m].msgs_) {
+      PDC_CHECK_MSG(to < p, "message to nonexistent machine " << to);
+      incoming_words[to] += payload.size();
+    }
+  }
+  for (MachineId m = 0; m < p; ++m)
+    check_space(m, incoming_words[m], "incoming messages");
+
+  for (auto& ib : inbox_) ib.clear();
+  for (MachineId m = 0; m < p; ++m) {
+    for (auto& [to, payload] : outboxes[m].msgs_) {
+      auto& ib = inbox_[to];
+      ib.push_back(m);
+      ib.push_back(payload.size());
+      ib.insert(ib.end(), payload.begin(), payload.end());
+    }
+  }
+  ledger_.add_rounds(1);
+}
+
+}  // namespace pdc::mpc

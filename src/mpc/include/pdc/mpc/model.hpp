@@ -1,0 +1,46 @@
+#pragma once
+// MPC model parameters (Section 2.1 of the paper).
+//
+// The sublinear-space regime fixes local space s = O(n^phi) words for a
+// constant phi in (0,1), and requires enough machines to hold the input:
+// number of machines = Theta((n + m) / s), with global space O(m + n^{1+phi}).
+
+#include <cmath>
+#include <cstdint>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::mpc {
+
+struct Config {
+  std::uint64_t n = 0;                 // number of graph nodes
+  double phi = 0.5;                    // local-space exponent
+  std::uint64_t local_space_words = 0; // s
+  std::uint32_t num_machines = 0;
+
+  /// Standard sublinear configuration: s = headroom * ceil(n^phi),
+  /// machines = ceil(total_input_words / s) + n/s slack so each node can
+  /// be assigned a home machine (the paper allows O~(n+m)/s machines and
+  /// explicitly "the ability to assign a machine to each node").
+  static Config sublinear(std::uint64_t n, double phi,
+                          std::uint64_t total_input_words,
+                          double headroom = 4.0) {
+    PDC_CHECK(phi > 0.0 && phi < 1.0);
+    Config c;
+    c.n = n;
+    c.phi = phi;
+    c.local_space_words = static_cast<std::uint64_t>(
+        std::ceil(headroom * std::pow(static_cast<double>(n), phi)));
+    c.local_space_words = std::max<std::uint64_t>(c.local_space_words, 64);
+    std::uint64_t need = total_input_words / c.local_space_words + 1;
+    std::uint64_t node_homes = n / c.local_space_words + 1;
+    c.num_machines = static_cast<std::uint32_t>(need + node_homes + 1);
+    return c;
+  }
+
+  std::uint64_t global_space_words() const {
+    return static_cast<std::uint64_t>(num_machines) * local_space_words;
+  }
+};
+
+}  // namespace pdc::mpc

@@ -1,0 +1,65 @@
+#pragma once
+// Constant-round MPC primitives (Goodrich–Sitchinava–Zhang style):
+// deterministic sample sort, tree broadcast/reduction, prefix sums.
+//
+// Section 2.1 of the paper leans on [GSZ11]: sorting and prefix sums run
+// in O(1) rounds in sublinear-space MPC, which in turn enables gathering
+// node neighborhoods onto contiguous machine blocks. These are the
+// genuinely message-passed versions, run on the Cluster substrate with
+// its space checks active; tests and experiment E7 verify both results
+// and round counts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/mpc/cluster.hpp"
+
+namespace pdc::mpc {
+
+/// A sortable record: 64-bit key, 64-bit value.
+struct Record {
+  Word key = 0;
+  Word value = 0;
+  friend bool operator<(const Record& a, const Record& b) {
+    return a.key < b.key || (a.key == b.key && a.value < b.value);
+  }
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Loads records into cluster storage, balanced round-robin by blocks.
+/// (Input distribution is arbitrary in the model; this is round-free.)
+void scatter_records(Cluster& c, std::span<const Record> records);
+
+/// Reads all records back (host-side test/verification helper, not an
+/// MPC operation — charges no rounds).
+std::vector<Record> collect_records(const Cluster& c);
+
+/// Broadcast `payload` from machine `root` to every machine via a
+/// fanout-sqrt(p) tree: O(1) rounds, O(sqrt(p) * |payload|) words per
+/// machine per round. Result lands in each machine's inbox-processing;
+/// on return every machine's storage tail holds the payload.
+/// Returns the number of rounds used.
+int broadcast(Cluster& c, MachineId root, std::span<const Word> payload,
+              std::vector<std::vector<Word>>& received);
+
+/// Sum-reduction of one word per machine to the root via the same tree;
+/// returns the total (also left on root). Rounds used: O(1).
+Word reduce_sum(Cluster& c, MachineId root, std::span<const Word> local_values,
+                int* rounds_used = nullptr);
+
+/// Exclusive prefix sums across machines: out[m] = sum of in[m'] for
+/// m' < m. O(1) rounds via gather-to-root + broadcast.
+std::vector<Word> exclusive_prefix(Cluster& c,
+                                   std::span<const Word> local_values);
+
+/// Deterministic sample sort of the records resident in cluster storage:
+/// local sort, regular sampling, splitter broadcast, routed exchange,
+/// local merge. O(1) rounds for inputs with total size <= s * p / 4 and
+/// s >= ~p^2 samples capacity (asserted). After return, records are
+/// globally sorted across machines in machine order.
+void sample_sort(Cluster& c);
+
+}  // namespace pdc::mpc

@@ -1,0 +1,267 @@
+#include "pdc/mpc/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdc::mpc {
+
+namespace {
+
+std::vector<Record> unpack(const std::vector<Word>& words) {
+  PDC_CHECK(words.size() % 2 == 0);
+  std::vector<Record> out(words.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = {words[2 * i], words[2 * i + 1]};
+  return out;
+}
+
+void pack_into(std::span<const Record> recs, std::vector<Word>& words) {
+  words.clear();
+  words.reserve(recs.size() * 2);
+  for (const auto& r : recs) {
+    words.push_back(r.key);
+    words.push_back(r.value);
+  }
+}
+
+/// Iterate messages in an inbox: header {sender, len} then payload.
+template <typename Fn>
+void for_each_message(const std::vector<Word>& inbox, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < inbox.size()) {
+    Word sender = inbox[i];
+    Word len = inbox[i + 1];
+    fn(static_cast<MachineId>(sender),
+       std::span<const Word>(inbox.data() + i + 2, len));
+    i += 2 + len;
+  }
+}
+
+std::uint32_t tree_fanout(MachineId p) {
+  return std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::ceil(std::sqrt(double(p)))));
+}
+
+}  // namespace
+
+void scatter_records(Cluster& c, std::span<const Record> records) {
+  const MachineId p = c.num_machines();
+  const std::size_t per = (records.size() + p - 1) / p;
+  for (MachineId m = 0; m < p; ++m) {
+    std::size_t lo = std::min(records.size(), per * m);
+    std::size_t hi = std::min(records.size(), per * (m + 1));
+    pack_into(records.subspan(lo, hi - lo), c.storage(m));
+  }
+}
+
+std::vector<Record> collect_records(const Cluster& c) {
+  std::vector<Record> out;
+  for (MachineId m = 0; m < c.num_machines(); ++m) {
+    auto recs = unpack(c.storage(m));
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  return out;
+}
+
+int broadcast(Cluster& c, MachineId root, std::span<const Word> payload,
+              std::vector<std::vector<Word>>& received) {
+  const MachineId p = c.num_machines();
+  const std::uint32_t f = tree_fanout(p);
+  received.assign(p, {});
+  received[root].assign(payload.begin(), payload.end());
+  // Level 1: root -> relay leaders (machines m with m % f == 0 style
+  // grouping on the rotated index space so root is its own leader).
+  // We rotate indices so the tree is rooted at `root`.
+  auto rot = [&](MachineId m) { return (m + p - root) % p; };    // logical
+  auto unrot = [&](MachineId lm) { return (lm + root) % p; };    // physical
+  int rounds = 0;
+
+  // Round A: root sends to each group leader (logical indices 0, f, 2f..).
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    if (m != root) return;
+    for (MachineId leader = 0; leader < p; leader += f) {
+      if (leader == 0) continue;  // root is leader of group 0
+      out.send(unrot(leader), std::vector<Word>(payload.begin(), payload.end()));
+    }
+  });
+  ++rounds;
+  // Stash leader copies.
+  for (MachineId m = 0; m < p; ++m) {
+    for_each_message(c.inbox(m), [&](MachineId, std::span<const Word> pl) {
+      received[m].assign(pl.begin(), pl.end());
+    });
+  }
+  // Round B: each leader fans out within its group.
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    MachineId lm = rot(m);
+    if (lm % f != 0) return;
+    if (received[m].empty()) return;
+    for (std::uint32_t i = 1; i < f; ++i) {
+      MachineId member = lm + i;
+      if (member >= p) break;
+      out.send(unrot(member), received[m]);
+    }
+  });
+  ++rounds;
+  for (MachineId m = 0; m < p; ++m) {
+    for_each_message(c.inbox(m), [&](MachineId, std::span<const Word> pl) {
+      received[m].assign(pl.begin(), pl.end());
+    });
+  }
+  return rounds;
+}
+
+Word reduce_sum(Cluster& c, MachineId root, std::span<const Word> local_values,
+                int* rounds_used) {
+  const MachineId p = c.num_machines();
+  PDC_CHECK(local_values.size() == p);
+  const std::uint32_t f = tree_fanout(p);
+  auto rot = [&](MachineId m) { return (m + p - root) % p; };
+  auto unrot = [&](MachineId lm) { return (lm + root) % p; };
+
+  std::vector<Word> partial(p, 0);
+  // Round A: members send to their group leader.
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    MachineId lm = rot(m);
+    MachineId leader = unrot(lm - lm % f);
+    if (leader != m) out.send(leader, {local_values[m]});
+  });
+  for (MachineId m = 0; m < p; ++m) {
+    MachineId lm = rot(m);
+    if (lm % f == 0) {
+      Word sum = local_values[m];
+      for_each_message(c.inbox(m), [&](MachineId, std::span<const Word> pl) {
+        sum += pl[0];
+      });
+      partial[m] = sum;
+    }
+  }
+  // Round B: leaders send partials to root.
+  Word total = 0;
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    MachineId lm = rot(m);
+    if (lm % f == 0 && m != root) out.send(root, {partial[m]});
+  });
+  total = partial[root];
+  for_each_message(c.inbox(root), [&](MachineId, std::span<const Word> pl) {
+    total += pl[0];
+  });
+  if (rounds_used) *rounds_used = 2;
+  return total;
+}
+
+std::vector<Word> exclusive_prefix(Cluster& c,
+                                   std::span<const Word> local_values) {
+  const MachineId p = c.num_machines();
+  PDC_CHECK(local_values.size() == p);
+  // Gather all per-machine values to machine 0 via the two-level tree,
+  // compute prefixes locally, broadcast back. O(1) rounds; the gathered
+  // vector is p words, within s for the configurations we run (p <= s).
+  const std::uint32_t f = tree_fanout(p);
+  std::vector<std::vector<Word>> group_vals(p);
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    MachineId leader = m - m % f;
+    if (leader != m) out.send(leader, {m, local_values[m]});
+  });
+  for (MachineId m = 0; m < p; m += f) {
+    auto& gv = group_vals[m];
+    gv.resize(2);
+    gv[0] = m;
+    gv[1] = local_values[m];
+    for_each_message(c.inbox(m), [&](MachineId, std::span<const Word> pl) {
+      gv.push_back(pl[0]);
+      gv.push_back(pl[1]);
+    });
+  }
+  std::vector<Word> all(p, 0);
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    if (m % f == 0 && m != 0) out.send(0, group_vals[m]);
+  });
+  for (std::size_t i = 0; i + 1 < group_vals[0].size(); i += 2)
+    all[group_vals[0][i]] = group_vals[0][i + 1];
+  for_each_message(c.inbox(0), [&](MachineId, std::span<const Word> pl) {
+    for (std::size_t i = 0; i + 1 < pl.size(); i += 2) all[pl[i]] = pl[i + 1];
+  });
+  std::vector<Word> prefix(p, 0);
+  for (MachineId m = 1; m < p; ++m) prefix[m] = prefix[m - 1] + all[m - 1];
+  // Broadcast the prefix vector (p words) to everyone.
+  std::vector<std::vector<Word>> received;
+  broadcast(c, 0, prefix, received);
+  return prefix;
+}
+
+void sample_sort(Cluster& c) {
+  const MachineId p = c.num_machines();
+
+  // Phase 1 (local): sort each machine's records; pick p regular samples.
+  std::vector<std::vector<Record>> local(p);
+  for (MachineId m = 0; m < p; ++m) {
+    local[m] = unpack(c.storage(m));
+    std::sort(local[m].begin(), local[m].end());
+  }
+  std::vector<std::vector<Word>> samples(p);
+  for (MachineId m = 0; m < p; ++m) {
+    const auto& l = local[m];
+    for (MachineId i = 0; i < p; ++i) {
+      if (l.empty()) break;
+      samples[m].push_back(l[i * l.size() / p].key);
+    }
+  }
+
+  // Phase 2: ship samples to machine 0 (<= p^2 words at root — the
+  // standard sample-sort constraint s >= p^2; enforced by the cluster's
+  // space checks).
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+              Outbox& out) {
+    if (m != 0 && !samples[m].empty()) out.send(0, samples[m]);
+  });
+  std::vector<Word> all_samples = samples[0];
+  for_each_message(c.inbox(0), [&](MachineId, std::span<const Word> pl) {
+    all_samples.insert(all_samples.end(), pl.begin(), pl.end());
+  });
+  std::sort(all_samples.begin(), all_samples.end());
+  std::vector<Word> splitters;  // p-1 splitters
+  for (MachineId i = 1; i < p; ++i) {
+    if (all_samples.empty()) break;
+    splitters.push_back(all_samples[i * all_samples.size() / p]);
+  }
+
+  // Phase 3: broadcast splitters.
+  std::vector<std::vector<Word>> recv;
+  broadcast(c, 0, splitters, recv);
+
+  // Phase 4: route records to their destination machine.
+  c.round([&](MachineId m, const std::vector<Word>&, std::vector<Word>& st,
+              Outbox& out) {
+    const auto& spl = recv[m];
+    std::vector<std::vector<Word>> buckets(p);
+    for (const auto& r : local[m]) {
+      auto it = std::upper_bound(spl.begin(), spl.end(), r.key);
+      MachineId dest = static_cast<MachineId>(it - spl.begin());
+      buckets[dest].push_back(r.key);
+      buckets[dest].push_back(r.value);
+    }
+    st.clear();  // records leave this machine
+    for (MachineId d = 0; d < p; ++d)
+      if (!buckets[d].empty()) out.send(d, std::move(buckets[d]));
+  });
+
+  // Phase 5 (local): merge received runs into storage.
+  for (MachineId m = 0; m < p; ++m) {
+    std::vector<Record> mine;
+    for_each_message(c.inbox(m), [&](MachineId, std::span<const Word> pl) {
+      for (std::size_t i = 0; i + 1 < pl.size(); i += 2)
+        mine.push_back({pl[i], pl[i + 1]});
+    });
+    std::sort(mine.begin(), mine.end());
+    pack_into(mine, c.storage(m));
+  }
+}
+
+}  // namespace pdc::mpc

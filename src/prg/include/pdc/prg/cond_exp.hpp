@@ -1,0 +1,52 @@
+#pragma once
+// Seed selection: exhaustive search and the method of conditional
+// expectations over an enumerable seed space.
+//
+// Lemma 10 selects a PRG seed for which the number of SSP-failing nodes
+// is at most its expectation; the classic derandomization argument is
+// that fixing seed bits one at a time, always picking the branch with the
+// smaller conditional expectation, ends at such a seed. Both routes are
+// implemented (they provably return seeds with cost <= mean cost); the
+// E10 ablation contrasts their work and results. Costs are evaluated by
+// the caller-provided function — in Lemma 10 that is "simulate the
+// procedure under this seed and count SSP failures", which machines can
+// evaluate locally and aggregate, matching the MPC implementation of
+// [CDP21b].
+
+#include <cstdint>
+#include <functional>
+
+namespace pdc::prg {
+
+/// cost(seed) -> aggregate objective (e.g. number of failing nodes).
+/// Must be deterministic. May be called concurrently for distinct seeds.
+using SeedCostFn = std::function<double(std::uint64_t seed)>;
+
+struct SeedChoice {
+  std::uint64_t seed = 0;
+  double cost = 0.0;            // objective at chosen seed
+  double mean_cost = 0.0;       // expectation over the whole seed space
+  std::uint64_t evaluations = 0;
+};
+
+/// Evaluate every seed (parallel over seeds), return the argmin.
+/// Guarantees cost <= mean_cost.
+SeedChoice select_seed_exhaustive(int seed_bits, const SeedCostFn& cost);
+
+/// Method of conditional expectations: fix bits b_0..b_{d-1} in order; at
+/// each step compute E[cost | prefix, b_i = 0] and E[cost | prefix,
+/// b_i = 1] exactly (by averaging over all completions) and keep the
+/// smaller branch. Returns a seed with cost <= mean_cost. Work is
+/// ~2 * 2^d cost evaluations; the exhaustive route is ~2^d — the method's
+/// value in real MPC is that per-node conditional expectations are
+/// computed analytically and aggregated, not enumerated; we enumerate
+/// because our procedures' success events have no closed form.
+SeedChoice select_seed_conditional_expectation(int seed_bits,
+                                               const SeedCostFn& cost);
+
+/// Generic argmin over an enumerable hash family (used by Lemma 23's
+/// partition-hash selection, where the "seed" indexes the family).
+SeedChoice select_index_exhaustive(std::uint64_t family_size,
+                                   const SeedCostFn& cost);
+
+}  // namespace pdc::prg

@@ -1,0 +1,46 @@
+#pragma once
+// Bounded-independence bit source.
+//
+// The pre-PRG derandomization line ([CHPS20], [CDP21b]) compresses seeds
+// with k-wise independent hash families instead of PRGs. The paper's
+// Related Work explains why that fails for sublogarithmic coloring
+// algorithms: their analyses effectively use Δ-wise independence or
+// more. This source makes that contrast measurable (E10's independence
+// ablation): node v's bits come from a degree-(k-1) polynomial over
+// GF(2^61-1) evaluated at per-(node, word) points — any k nodes' bits
+// are mutually independent, but k+1 may not be.
+
+#include "pdc/prg/prg.hpp"
+#include "pdc/util/hashing.hpp"
+
+namespace pdc::prg {
+
+class KWiseSource final : public BitSourceFactory {
+ public:
+  /// k >= 1: the independence parameter. Seeds the k coefficients from
+  /// `master_seed` deterministically.
+  KWiseSource(int k, std::uint64_t master_seed) : hash_(make(k, master_seed)) {}
+
+  BitStream stream(std::uint32_t node, std::uint32_t /*chunk*/) const override {
+    const KWiseHash* h = &hash_;
+    const std::uint64_t base = static_cast<std::uint64_t>(node) << 32;
+    return BitStream([h, base](std::uint64_t w) {
+      // 61 pseudorandom bits per evaluation; top 3 bits filled by a
+      // second evaluation so consumers see full 64-bit words.
+      std::uint64_t lo = (*h)(base + 2 * w);
+      std::uint64_t hi = (*h)(base + 2 * w + 1);
+      return lo ^ (hi << 61);
+    });
+  }
+
+  int independence() const { return hash_.independence(); }
+
+ private:
+  static KWiseHash make(int k, std::uint64_t master_seed) {
+    Xoshiro256 rng(master_seed);
+    return KWiseHash::random(k, rng);
+  }
+  KWiseHash hash_;
+};
+
+}  // namespace pdc::prg

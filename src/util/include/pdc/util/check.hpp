@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight runtime-check macros used across the library.
+//
+// PDC_CHECK is always-on (models invariants whose violation means the
+// simulation or an algorithm's contract is broken — e.g. an MPC machine
+// exceeding its local space). PDC_ASSERT compiles out in NDEBUG builds
+// and guards internal consistency only.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdc {
+
+/// Thrown when a PDC_CHECK fails. Carries the failing expression and a
+/// user-supplied context message.
+class check_error : public std::runtime_error {
+ public:
+  explicit check_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "PDC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pdc
+
+#define PDC_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::pdc::detail::check_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define PDC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream pdc_os_;                                       \
+      pdc_os_ << msg;                                                   \
+      ::pdc::detail::check_fail(#expr, __FILE__, __LINE__, pdc_os_.str()); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define PDC_ASSERT(expr) ((void)0)
+#else
+#define PDC_ASSERT(expr) PDC_CHECK(expr)
+#endif

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal command-line flag parser for the tools and examples.
+// Supports --flag=value, --flag value, and boolean --flag forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(a));
+        continue;
+      }
+      a = a.substr(2);
+      auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        flags_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[a] = argv[++i];
+      } else {
+        flags_[a] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& dflt) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return dflt;
+    PDC_CHECK_MSG(!it->second.empty(), "--" << name << " needs a value");
+    return std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double dflt) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return dflt;
+    PDC_CHECK_MSG(!it->second.empty(), "--" << name << " needs a value");
+    return std::stod(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pdc

@@ -1,0 +1,130 @@
+#pragma once
+// Bounded-independence hash families.
+//
+// The derandomization literature this library reproduces (Sec. 4.2 of the
+// paper; CDP21b/CDP21d for the partition step) uses two seed-compression
+// devices: pseudorandom generators and k-wise independent hash families.
+// This header provides the latter: polynomials of degree k-1 over the
+// Mersenne-prime field GF(2^61 - 1), which give exactly k-wise independent
+// outputs and have seeds of k field elements — small enough to enumerate
+// or to search with the method of conditional expectations.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc {
+
+/// Arithmetic over GF(p) with p = 2^61 - 1 (Mersenne prime).
+struct MersenneField {
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  static constexpr std::uint64_t reduce(unsigned __int128 x) {
+    std::uint64_t lo = static_cast<std::uint64_t>(x & kPrime);
+    std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+    std::uint64_t r = lo + hi;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  static constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t r = a + b;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  static constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    return reduce(static_cast<unsigned __int128>(a) * b);
+  }
+};
+
+/// A k-wise independent hash function h : [2^61-1] -> [2^61-1] given by a
+/// random degree-(k-1) polynomial. Evaluations at any k distinct points
+/// are independent and uniform over the field.
+class KWiseHash {
+ public:
+  /// Constructs a hash with explicit coefficients (the "seed").
+  explicit KWiseHash(std::vector<std::uint64_t> coeffs)
+      : coeffs_(std::move(coeffs)) {
+    PDC_CHECK(!coeffs_.empty());
+    for (auto& c : coeffs_) c %= MersenneField::kPrime;
+  }
+
+  /// Draws a random member of the k-wise independent family.
+  static KWiseHash random(int k, Xoshiro256& rng) {
+    PDC_CHECK(k >= 1);
+    std::vector<std::uint64_t> c(static_cast<std::size_t>(k));
+    for (auto& x : c) x = rng.below(MersenneField::kPrime);
+    return KWiseHash(std::move(c));
+  }
+
+  /// Horner evaluation of the seed polynomial at x.
+  std::uint64_t operator()(std::uint64_t x) const {
+    x %= MersenneField::kPrime;
+    std::uint64_t acc = 0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+      acc = MersenneField::add(MersenneField::mul(acc, x), coeffs_[i]);
+    }
+    return acc;
+  }
+
+  /// Output reduced to [0, m). Near-uniform for m << 2^61.
+  std::uint64_t bucket(std::uint64_t x, std::uint64_t m) const {
+    PDC_CHECK(m > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)(x)) * m) >> 61);
+  }
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+  const std::vector<std::uint64_t>& coefficients() const { return coeffs_; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;
+};
+
+/// A small *enumerable* pairwise-independent family h : [U] -> [m], of the
+/// form h(x) = ((a x + b) mod p) mod-range m, with (a, b) drawn from a
+/// deterministic grid of `size()` members. Enumerability is what lets
+/// deterministic algorithms try every member (or walk it with the method
+/// of conditional expectations) and keep the best — the pattern used by
+/// LowSpacePartition's hash selection (Lemma 23).
+class EnumerablePairwiseFamily {
+ public:
+  /// family_log2: log2 of the number of members to expose.
+  EnumerablePairwiseFamily(std::uint64_t salt, int family_log2)
+      : salt_(salt), log2_(family_log2) {
+    PDC_CHECK(family_log2 >= 1 && family_log2 <= 30);
+  }
+
+  std::uint64_t size() const { return 1ULL << log2_; }
+
+  /// The i-th member's (a, b) parameters, derived deterministically.
+  std::pair<std::uint64_t, std::uint64_t> params(std::uint64_t index) const {
+    PDC_CHECK(index < size());
+    std::uint64_t a = mix64(hash_combine(salt_, 2 * index + 1));
+    std::uint64_t b = mix64(hash_combine(salt_ ^ 0x5bf03635ULL, 2 * index));
+    a %= MersenneField::kPrime;
+    if (a == 0) a = 1;
+    b %= MersenneField::kPrime;
+    return {a, b};
+  }
+
+  /// Evaluate member `index` on x, mapping into [0, m).
+  std::uint64_t eval(std::uint64_t index, std::uint64_t x,
+                     std::uint64_t m) const {
+    auto [a, b] = params(index);
+    std::uint64_t v = MersenneField::add(
+        MersenneField::mul(a, x % MersenneField::kPrime), b);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(v) * m) >> 61);
+  }
+
+ private:
+  std::uint64_t salt_;
+  int log2_;
+};
+
+}  // namespace pdc

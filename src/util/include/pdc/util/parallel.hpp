@@ -1,0 +1,84 @@
+#pragma once
+// Shared-memory parallel loop helpers (OpenMP-backed when available).
+//
+// The MPC and LOCAL simulators execute one step per machine / per node in
+// each synchronous round; those steps are independent by construction, so
+// a parallel_for over them is race-free. Keeping the OpenMP pragmas behind
+// these helpers keeps the algorithm code readable and lets the library
+// build without OpenMP.
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef PDC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace pdc {
+
+inline int max_threads() {
+#ifdef PDC_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline void set_threads(int t) {
+#ifdef PDC_HAVE_OPENMP
+  if (t > 0) omp_set_num_threads(t);
+#else
+  (void)t;
+#endif
+}
+
+/// Parallel loop over [0, n). `fn` must be safe to run concurrently for
+/// distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+#ifdef PDC_HAVE_OPENMP
+  // Guided scheduling: large early chunks shrinking towards the end.
+  // (A fixed chunk size starves the pool when n is small relative to
+  // chunk * threads — e.g. a 128-seed search must still fan out.)
+#pragma omp parallel for schedule(guided)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Parallel sum-reduction of fn(i) over [0, n).
+template <typename Fn>
+double parallel_sum(std::size_t n, Fn&& fn) {
+  double total = 0.0;
+#ifdef PDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    total += fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) total += fn(i);
+#endif
+  return total;
+}
+
+/// Parallel count of indices in [0, n) where pred(i) is true.
+template <typename Pred>
+std::size_t parallel_count(std::size_t n, Pred&& pred) {
+  std::int64_t total = 0;
+#ifdef PDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (pred(static_cast<std::size_t>(i))) ++total;
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) ++total;
+  }
+#endif
+  return static_cast<std::size_t>(total);
+}
+
+}  // namespace pdc

@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic, splittable pseudorandom number generation.
+//
+// All randomness in the library flows through these generators so that
+// every "randomized" run is reproducible from a single 64-bit seed, and
+// so that per-node random streams can be split deterministically (node v
+// in round r always sees the same stream for a given master seed).
+
+#include <cstdint>
+#include <limits>
+
+namespace pdc {
+
+/// SplitMix64 — used for seeding and as a cheap mixing finalizer.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Stateless 64-bit mix; good avalanche. Used to derive independent
+/// per-(seed, node, round) streams without storing per-node state.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine values into one well-mixed word (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a + 0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2) + mix64(b));
+}
+
+/// xoshiro256** — the main work-horse generator. Satisfies the C++
+/// UniformRandomBitGenerator concept so it can drive std::shuffle etc.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection-free mapping (bias < 2^-64 * bound, which
+  /// is negligible for the bounds used here and keeps runs reproducible
+  /// across platforms).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Derive a generator for a (seed, stream) pair; used for per-node and
+/// per-round independent streams.
+inline Xoshiro256 substream(std::uint64_t master_seed, std::uint64_t stream) {
+  return Xoshiro256(hash_combine(master_seed, stream));
+}
+
+}  // namespace pdc

@@ -1,0 +1,80 @@
+#pragma once
+// Aligned-text table printer for the experiment harnesses (bench/).
+//
+// Every experiment binary prints its rows through this so that
+// EXPERIMENTS.md and bench_output.txt share one stable format, and can
+// optionally mirror the table to a CSV file for downstream plotting.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  /// Append one row; the number of cells must match the header.
+  Table& row(const std::vector<std::string>& cells) {
+    PDC_CHECK_MSG(cells.size() == columns_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << columns_.size());
+    rows_.push_back(cells);
+    return *this;
+  }
+
+  /// Format a double compactly (used by bench code building cells).
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+      for (const auto& r : rows_) width[c] = std::max(width[c], r[c].size());
+    }
+    os << "== " << title_ << " ==\n";
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+           << cells[c];
+      }
+      os << '\n';
+    };
+    line(columns_);
+    std::string rule;
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      rule += std::string(width[c] + 2, '-');
+    os << rule << '\n';
+    for (const auto& r : rows_) line(r);
+    os << '\n';
+  }
+
+  /// Also mirror as CSV (no quoting; cells must not contain commas).
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    PDC_CHECK_MSG(f.good(), "cannot open " << path);
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      f << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size(); ++c)
+        f << r[c] << (c + 1 < r.size() ? "," : "\n");
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdc

@@ -1,0 +1,182 @@
+// Tests for the almost-clique decomposition (Definition 3), its
+// validation, the Vstart decomposition, and the dense structure
+// (leaders / outliers / inliers, Lemma 22).
+
+#include <gtest/gtest.h>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/acd.hpp"
+#include "pdc/hknt/dense.hpp"
+
+namespace pdc::hknt {
+namespace {
+
+TEST(Acd, PlantedCliquesRecoveredExactly) {
+  auto pc = gen::planted_cliques(6, 15, 0.0, 1);
+  D1lcInstance inst = make_degree_plus_one(pc.graph);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  EXPECT_EQ(acd.num_cliques, 6u);
+  for (NodeId v = 0; v < pc.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(acd.is_dense(v)) << "node " << v;
+  }
+  // Clique labels agree with ground truth up to renaming.
+  for (NodeId v = 0; v < pc.graph.num_nodes(); ++v) {
+    for (NodeId u = v + 1; u < pc.graph.num_nodes(); ++u) {
+      EXPECT_EQ(acd.clique_of[u] == acd.clique_of[v],
+                pc.clique_of[u] == pc.clique_of[v]);
+    }
+  }
+  AcdViolations viol = check_acd(inst, p, acd, cfg);
+  EXPECT_EQ(viol.total(), 0u);
+}
+
+TEST(Acd, NoisyPlantedCliquesStillRecovered) {
+  auto pc = gen::planted_cliques(5, 20, 0.5, 3);
+  D1lcInstance inst = make_degree_plus_one(pc.graph);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  EXPECT_EQ(acd.num_cliques, 5u);
+  std::uint64_t dense = 0;
+  for (NodeId v = 0; v < pc.graph.num_nodes(); ++v)
+    dense += acd.is_dense(v);
+  EXPECT_GT(dense, pc.graph.num_nodes() * 9 / 10);
+}
+
+TEST(Acd, SparseGnpIsAllSparse) {
+  Graph g = gen::gnp(400, 0.02, 5);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  EXPECT_EQ(acd.num_cliques, 0u);
+  std::uint64_t sparse = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sparse += acd.is_sparse(v);
+  // Degree-0/1 stragglers may classify as uneven; everything of real
+  // degree must be sparse.
+  EXPECT_GE(sparse, g.num_nodes() * 95 / 100);
+}
+
+TEST(Acd, StarLeavesClassifiedUneven) {
+  Graph g = gen::star(40);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  std::uint64_t uneven = 0;
+  for (NodeId v = 1; v < 40; ++v) uneven += acd.is_uneven(v);
+  EXPECT_GT(uneven, 35u);
+}
+
+TEST(Acd, CorePeripheryMixesClasses) {
+  // Light attachment (0.3): heavy attachment dilutes the core's local
+  // density until it is legitimately ε-sparse — covered elsewhere.
+  Graph g = gen::core_periphery(500, 50, 0.015, 0.3, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  std::uint64_t dense = 0, sparse = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dense += acd.is_dense(v);
+    sparse += acd.is_sparse(v);
+  }
+  EXPECT_GT(dense, 30u);   // most of the planted core
+  EXPECT_GT(sparse, 300u); // most of the periphery
+}
+
+// ---- Vstart decomposition. ----
+
+TEST(Vstart, SubsetChainHolds) {
+  Graph g = gen::core_periphery(400, 40, 0.02, 2.0, 9);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  StartSets s = compute_vstart(inst, p, acd, cfg, nullptr);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Vbalanced, Vdisc ⊆ Vsparse.
+    if (s.balanced[v] || s.disc[v]) {
+      EXPECT_TRUE(acd.is_sparse(v));
+    }
+    // Vstart ⊆ Vsparse \ (Veasy ∪ Vheavy).
+    if (s.start[v]) {
+      EXPECT_TRUE(acd.is_sparse(v));
+      EXPECT_FALSE(s.easy[v]);
+      EXPECT_FALSE(s.heavy[v]);
+    }
+    // balanced/disc/uneven nodes are all easy.
+    if (s.balanced[v] || s.disc[v] || acd.is_uneven(v)) {
+      EXPECT_TRUE(s.easy[v]);
+    }
+  }
+  EXPECT_EQ(s.start_count, static_cast<std::uint64_t>(std::count(
+                               s.start.begin(), s.start.end(), 1)));
+}
+
+TEST(Vstart, IdenticalPalettesMakeDiscEmpty) {
+  Graph g = gen::gnp(200, 0.05, 3);
+  D1lcInstance inst = make_delta_plus_one(g);  // identical palettes
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  StartSets s = compute_vstart(inst, p, acd, cfg, nullptr);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(s.disc[v], 0);
+}
+
+// ---- Dense structure (Lemma 22). ----
+
+TEST(DenseStructure, LeaderMinimizesSlackabilityAndSetsPartition) {
+  auto pc = gen::planted_cliques(4, 18, 0.2, 11);
+  D1lcInstance inst = make_degree_plus_one(pc.graph);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  ASSERT_EQ(acd.num_cliques, 4u);
+  DenseStructure ds = compute_dense_structure(inst, p, acd, cfg, nullptr);
+
+  for (std::uint32_t c = 0; c < acd.num_cliques; ++c) {
+    NodeId x = ds.leader[c];
+    ASSERT_NE(x, kInvalidNode);
+    EXPECT_EQ(acd.clique_of[x], c);
+    for (NodeId v : acd.cliques[c]) {
+      EXPECT_LE(p.slackability[x], p.slackability[v]);
+      // Outlier xor inlier, never both; leader is an inlier.
+      EXPECT_EQ(ds.outlier[v] + ds.inlier[v], 1);
+    }
+    EXPECT_TRUE(ds.inlier[x]);
+  }
+  // Outliers exist (|C|/6 largest-degree members at least).
+  EXPECT_GT(ds.count_outliers(), 0u);
+  EXPECT_GT(ds.count_inliers(), ds.count_outliers());
+}
+
+TEST(DenseStructure, NonNeighborsOfLeaderAreOutliers) {
+  // Barbell: bridge path nodes may join a clique component; any clique
+  // member not adjacent to its leader must be an outlier.
+  Graph g = gen::clique_barbell(12, 2);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  HkntConfig cfg;
+  Acd acd = compute_acd(inst, p, cfg, nullptr);
+  DenseStructure ds = compute_dense_structure(inst, p, acd, cfg, nullptr);
+  for (std::uint32_t c = 0; c < acd.num_cliques; ++c) {
+    NodeId x = ds.leader[c];
+    for (NodeId v : acd.cliques[c]) {
+      if (v != x && !g.has_edge(x, v)) {
+        EXPECT_TRUE(ds.outlier[v]);
+      }
+    }
+  }
+}
+
+TEST(DenseStructure, EllGrowsWithDegree) {
+  HkntConfig cfg;
+  EXPECT_LT(cfg.ell(8), cfg.ell(64));
+  EXPECT_GT(cfg.ell(16), 1.0);
+}
+
+}  // namespace
+}  // namespace pdc::hknt

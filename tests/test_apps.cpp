@@ -1,0 +1,184 @@
+// Tests for the application layer: line graphs, (2Δ-1)-edge-coloring,
+// degree-range scheduling, and the LOCAL-engine reference trials
+// cross-checked against the array-based procedure semantics.
+
+#include <gtest/gtest.h>
+
+#include "pdc/apps/edge_coloring.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/degree_ranges.hpp"
+#include "pdc/hknt/procedures.hpp"
+#include "pdc/local/reference.hpp"
+
+namespace pdc {
+namespace {
+
+// ---- Line graph & edge coloring. ----
+
+TEST(LineGraph, TriangleBecomesTriangle) {
+  Graph g = gen::complete(3);
+  apps::LineGraph lg = apps::build_line_graph(g);
+  EXPECT_EQ(lg.graph.num_nodes(), 3u);
+  EXPECT_EQ(lg.graph.num_edges(), 3u);
+}
+
+TEST(LineGraph, StarBecomesClique) {
+  Graph g = gen::star(6);  // 5 edges all sharing the hub
+  apps::LineGraph lg = apps::build_line_graph(g);
+  EXPECT_EQ(lg.graph.num_nodes(), 5u);
+  EXPECT_EQ(lg.graph.num_edges(), 10u);  // K5
+}
+
+TEST(LineGraph, PathDegreesMatchSharedEndpoints) {
+  Graph g = gen::grid(1, 5);  // path with 4 edges
+  apps::LineGraph lg = apps::build_line_graph(g);
+  EXPECT_EQ(lg.graph.num_nodes(), 4u);
+  EXPECT_EQ(lg.graph.num_edges(), 3u);  // a path in the line graph
+}
+
+TEST(EdgeColoring, InstanceIsValidD1lc) {
+  Graph g = gen::gnp(150, 0.05, 3);
+  apps::LineGraph lg = apps::build_line_graph(g);
+  D1lcInstance inst = apps::edge_coloring_instance(lg, g);
+  EXPECT_TRUE(inst.valid());
+  // Palette of edge uv has size deg(u)+deg(v)-1 = line-degree + 1.
+  for (NodeId e = 0; e < lg.graph.num_nodes(); ++e) {
+    auto [u, v] = lg.edge_endpoints[e];
+    EXPECT_EQ(inst.palettes.size(e), g.degree(u) + g.degree(v) - 1);
+  }
+}
+
+class EdgeColoringMode : public ::testing::TestWithParam<d1lc::Mode> {};
+
+TEST_P(EdgeColoringMode, ProperWithin2DeltaMinus1) {
+  Graph g = gen::gnp(120, 0.05, 7);
+  d1lc::SolverOptions opt;
+  opt.mode = GetParam();
+  opt.l10.seed_bits = 4;
+  apps::EdgeColoringResult r = apps::edge_color(g, opt);
+  EXPECT_TRUE(r.valid);
+  EXPECT_LE(r.colors_used, 2ull * g.max_degree() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EdgeColoringMode,
+                         ::testing::Values(d1lc::Mode::kDeterministic,
+                                           d1lc::Mode::kRandomized));
+
+TEST(EdgeColoring, CheckerCatchesViolations) {
+  Graph g = gen::complete(4);
+  apps::LineGraph lg = apps::build_line_graph(g);
+  std::vector<Color> colors(lg.edge_endpoints.size(), 0);  // all same slot
+  EXPECT_FALSE(apps::check_edge_coloring(g, lg.edge_endpoints, colors));
+}
+
+// ---- Degree-range scheduling. ----
+
+TEST(DegreeRanges, ThresholdsDescendToFloor) {
+  hknt::RangeScheduleOptions opt;
+  auto t = hknt::degree_range_thresholds(100'000, opt);
+  ASSERT_GE(t.size(), 2u);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_LT(t[i], t[i - 1]);
+  EXPECT_EQ(t.back(), opt.floor);
+  EXPECT_LE(t.size(), 10u);  // O(log* n) ranges
+}
+
+TEST(DegreeRanges, SchedulerColorsByRangeAndStaysValid) {
+  Graph g = gen::preferential_attachment(1200, 4, 11);  // skewed degrees
+  D1lcInstance inst = make_degree_plus_one(g);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::MiddleOptions mo;
+  mo.l10.strategy = derand::SeedStrategy::kTrueRandom;
+  mo.l10.defer_failures = false;
+  mo.l10.true_random_seed = 5;
+  hknt::RangeScheduleOptions ro;
+  auto rep = hknt::color_by_degree_ranges(state, inst, mo, ro, nullptr);
+  EXPECT_GE(rep.ranges.size(), 1u);
+  // Range node counts partition the (high-degree) nodes.
+  std::uint64_t range_nodes = 0;
+  for (const auto& r : rep.ranges) {
+    EXPECT_LT(r.lo, r.hi);
+    range_nodes += r.nodes;
+  }
+  std::uint64_t high = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    high += (g.degree(v) >= ro.floor);
+  EXPECT_EQ(range_nodes, high);
+  // Committed colors proper.
+  auto check = check_coloring(inst, state.colors());
+  EXPECT_EQ(check.monochromatic_edges, 0u);
+  EXPECT_EQ(check.palette_violations, 0u);
+  EXPECT_GT(rep.colored, high / 2);
+}
+
+// ---- LOCAL-engine reference trials vs array semantics. ----
+
+TEST(Reference, TryRandomColorIsConflictFreeAndProductive) {
+  Graph g = gen::gnp(300, 0.03, 9);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 40, 15, 3);
+  Coloring none(g.num_nodes(), kNoColor);
+  auto ref = local::try_random_color_local(g, inst.palettes, none, 21);
+  EXPECT_EQ(ref.engine_rounds, 3u);
+  std::uint64_t committed = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ref.committed[v] == kNoColor) continue;
+    ++committed;
+    EXPECT_TRUE(inst.palettes.contains(v, ref.committed[v]));
+    for (NodeId u : g.neighbors(v))
+      EXPECT_NE(ref.committed[u], ref.committed[v]);
+  }
+  // Cross-check: success rate within 10 points of the array simulation
+  // (same algorithm, independent randomness).
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::HkntConfig cfg;
+  hknt::TryRandomColorProc proc(cfg, hknt::TryRandomColorProc::Ssp::kNone,
+                                "xcheck");
+  prg::TrueRandomSource src(22);
+  auto run = proc.simulate(state, src);
+  std::uint64_t array_committed = 0;
+  for (auto c : run.proposed) array_committed += (c != kNoColor);
+  double ref_rate = static_cast<double>(committed) / g.num_nodes();
+  double arr_rate = static_cast<double>(array_committed) / g.num_nodes();
+  EXPECT_NEAR(ref_rate, arr_rate, 0.10);
+}
+
+TEST(Reference, MultiTrialMatchesArraySemanticsStatistically) {
+  Graph g = gen::gnp(300, 0.03, 13);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 30, 10, 5);
+  Coloring none(g.num_nodes(), kNoColor);
+  auto ref = local::multi_trial_local(g, inst.palettes, none, 4, 31);
+  std::uint64_t committed = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ref.committed[v] == kNoColor) continue;
+    ++committed;
+    for (NodeId u : g.neighbors(v))
+      EXPECT_NE(ref.committed[u], ref.committed[v]);
+  }
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::HkntConfig cfg;
+  hknt::MultiTrialProc proc(cfg, 4, 1.0, false, "xcheck");
+  prg::TrueRandomSource src(32);
+  auto run = proc.simulate(state, src);
+  std::uint64_t array_committed = 0;
+  for (auto c : run.proposed) array_committed += (c != kNoColor);
+  EXPECT_NEAR(static_cast<double>(committed) / g.num_nodes(),
+              static_cast<double>(array_committed) / g.num_nodes(), 0.10);
+}
+
+TEST(Reference, RespectsPrecoloredNeighbors) {
+  Graph g = gen::star(10);
+  D1lcInstance inst = make_degree_plus_one(g);
+  Coloring partial(g.num_nodes(), kNoColor);
+  partial[0] = 3;  // hub precolored
+  auto ref = local::try_random_color_local(g, inst.palettes, partial, 5);
+  for (NodeId v = 1; v < 10; ++v) {
+    if (ref.committed[v] != kNoColor) {
+      EXPECT_NE(ref.committed[v], 3);
+    }
+  }
+  EXPECT_EQ(ref.committed[0], kNoColor);  // precolored nodes sit out
+}
+
+}  // namespace
+}  // namespace pdc

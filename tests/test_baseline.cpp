@@ -1,0 +1,158 @@
+// Tests for the baselines: greedy (all orders), Jones–Plassmann, Luby
+// MIS randomized + derandomized, and Linial's deterministic coloring.
+
+#include <gtest/gtest.h>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/baseline/jones_plassmann.hpp"
+#include "pdc/baseline/linial.hpp"
+#include "pdc/baseline/luby.hpp"
+#include "pdc/graph/generators.hpp"
+
+namespace pdc::baseline {
+namespace {
+
+class GreedyOrderTest : public ::testing::TestWithParam<GreedyOrder> {};
+
+TEST_P(GreedyOrderTest, ProducesCompleteProperColorings) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = gen::gnp(400, 0.03, seed);
+    D1lcInstance inst = make_degree_plus_one(g);
+    Coloring c = greedy_d1lc(inst, GetParam());
+    EXPECT_TRUE(check_coloring(inst, c).complete_proper());
+  }
+}
+
+TEST_P(GreedyOrderTest, WorksOnListInstances) {
+  Graph g = gen::core_periphery(300, 30, 0.03, 2.0, 5);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 20, 2, 7);
+  Coloring c = greedy_d1lc(inst, GetParam());
+  EXPECT_TRUE(check_coloring(inst, c).complete_proper());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GreedyOrderTest,
+                         ::testing::Values(GreedyOrder::kIndex,
+                                           GreedyOrder::kDegreeDesc,
+                                           GreedyOrder::kDegeneracy));
+
+TEST(Greedy, DegeneracyOrderPeelsCorrectly) {
+  // A tree has degeneracy 1: smallest-last order must color with <= 2
+  // colors under (deg+1) lists ... greedy on degeneracy order uses at
+  // most degeneracy+1 distinct colors for identical palettes.
+  Graph g = gen::grid(1, 50);  // path: degeneracy 1
+  D1lcInstance inst = make_delta_plus_one(g);
+  Coloring c = greedy_d1lc(inst, GreedyOrder::kDegeneracy);
+  EXPECT_TRUE(check_coloring(inst, c).complete_proper());
+  EXPECT_LE(count_colors_used(c), 2u);
+}
+
+TEST(Greedy, CompletesPartialColorings) {
+  Graph g = gen::gnp(200, 0.05, 4);
+  D1lcInstance inst = make_degree_plus_one(g);
+  Coloring c(g.num_nodes(), kNoColor);
+  c[0] = inst.palettes.palette(0)[0];
+  greedy_complete_partial(inst, c);
+  EXPECT_TRUE(check_coloring(inst, c).complete_proper());
+  EXPECT_EQ(c[0], inst.palettes.palette(0)[0]);  // untouched
+}
+
+TEST(JonesPlassmann, ColorsEveryInstanceProperly) {
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    Graph g = gen::gnp(500, 0.02, seed);
+    D1lcInstance inst = make_degree_plus_one(g);
+    auto r = jones_plassmann(inst, seed);
+    EXPECT_TRUE(check_coloring(inst, r.coloring).complete_proper());
+    EXPECT_GT(r.rounds, 0u);
+    EXPECT_LT(r.rounds, 100u);  // O(log n) w.h.p.
+  }
+}
+
+// ---- Luby MIS. ----
+
+class LubyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LubyTest, RandomizedProducesValidMis) {
+  Graph g = gen::gnp(400, 0.03, GetParam());
+  MisResult r = luby_mis(g, GetParam());
+  auto [indep, maximal] = check_mis(g, r.in_mis);
+  EXPECT_TRUE(indep);
+  EXPECT_TRUE(maximal);
+  EXPECT_LT(r.rounds, 60u);  // O(log n) w.h.p.
+}
+
+TEST_P(LubyTest, DerandomizedProducesValidMis) {
+  Graph g = gen::gnp(250, 0.03, GetParam());
+  derand::Lemma10Options opt;
+  opt.seed_bits = 5;
+  MisResult r = luby_mis_derandomized(g, opt, /*max_rounds=*/24);
+  auto [indep, maximal] = check_mis(g, r.in_mis);
+  EXPECT_TRUE(indep);
+  EXPECT_TRUE(maximal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubyTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Luby, DerandomizedIsDeterministic) {
+  Graph g = gen::gnp(200, 0.04, 6);
+  derand::Lemma10Options opt;
+  opt.seed_bits = 5;
+  MisResult a = luby_mis_derandomized(g, opt, 16);
+  MisResult b = luby_mis_derandomized(g, opt, 16);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+}
+
+TEST(Luby, UndecidedFractionDecaysPerRound) {
+  Graph g = gen::gnp(800, 0.02, 8);
+  MisResult r = luby_mis(g, 3);
+  ASSERT_GE(r.undecided_after_round.size(), 2u);
+  // Undecided counts are non-increasing and end at zero.
+  for (std::size_t i = 1; i < r.undecided_after_round.size(); ++i)
+    EXPECT_LE(r.undecided_after_round[i], r.undecided_after_round[i - 1]);
+  EXPECT_DOUBLE_EQ(r.undecided_after_round.back(), 0.0);
+}
+
+TEST(Luby, EdgeCases) {
+  // Empty graph: everyone joins.
+  Graph g0 = Graph::from_edges(5, {});
+  MisResult r0 = luby_mis(g0, 1);
+  for (auto b : r0.in_mis) EXPECT_EQ(b, 1);
+  // Complete graph: exactly one joins.
+  Graph g1 = gen::complete(8);
+  MisResult r1 = luby_mis(g1, 1);
+  int members = 0;
+  for (auto b : r1.in_mis) members += b;
+  EXPECT_EQ(members, 1);
+}
+
+// ---- Linial. ----
+
+class LinialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinialTest, ProperWithPolyDeltaColorsInLogStarRounds) {
+  Graph g = gen::near_regular(500, 6, GetParam());
+  LinialResult r = linial_coloring(g);
+  EXPECT_EQ(check_coloring(g, r.coloring, nullptr).monochromatic_edges, 0u);
+  // Color count shrank from n to poly(Δ) territory.
+  EXPECT_LT(r.num_colors, 200u);  // q^2 with q = O(Δ k)
+  EXPECT_LE(r.rounds, 6u);        // log* 500 plus slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinialTest, ::testing::Values(1, 2, 3));
+
+TEST(Linial, NextPrimeBasics) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(17), 17u);
+  EXPECT_EQ(next_prime(90), 97u);
+}
+
+TEST(Linial, HandlesEdgelessAndTinyGraphs) {
+  Graph g = Graph::from_edges(4, {});
+  LinialResult r = linial_coloring(g);
+  EXPECT_EQ(check_coloring(g, r.coloring, nullptr).monochromatic_edges, 0u);
+  EXPECT_LE(r.num_colors, 4u);
+}
+
+}  // namespace
+}  // namespace pdc::baseline

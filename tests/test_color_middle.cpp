@@ -1,0 +1,134 @@
+// Tests for the full ColorMiddle pass (Algorithm 1): randomized and
+// derandomized executions on sparse, dense and mixed instances, validity
+// of whatever got committed, and the decomposition statistics.
+
+#include <gtest/gtest.h>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/color_middle.hpp"
+
+namespace pdc::hknt {
+namespace {
+
+using derand::ColoringState;
+using derand::SeedStrategy;
+
+MiddleOptions randomized_opts(std::uint64_t seed) {
+  MiddleOptions mo;
+  mo.l10.strategy = SeedStrategy::kTrueRandom;
+  mo.l10.defer_failures = false;
+  mo.l10.true_random_seed = seed;
+  return mo;
+}
+
+MiddleOptions derandomized_opts(int seed_bits = 5) {
+  MiddleOptions mo;
+  mo.l10.strategy = SeedStrategy::kExhaustive;
+  mo.l10.defer_failures = true;
+  mo.l10.seed_bits = seed_bits;
+  return mo;
+}
+
+struct MiddleCase {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph mc_sparse() { return gen::gnp(600, 0.02, 5); }
+Graph mc_dense() { return gen::planted_cliques(6, 18, 0.4, 9).graph; }
+Graph mc_mixed() { return gen::core_periphery(500, 40, 0.02, 2.0, 13); }
+
+class ColorMiddleTest : public ::testing::TestWithParam<MiddleCase> {};
+
+TEST_P(ColorMiddleTest, RandomizedPassCommitsOnlyValidColors) {
+  Graph g = GetParam().make();
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  MiddleReport rep = color_middle(state, inst, randomized_opts(3), nullptr);
+
+  auto check = check_coloring(inst, state.colors());
+  EXPECT_EQ(check.monochromatic_edges, 0u);
+  EXPECT_EQ(check.palette_violations, 0u);
+  EXPECT_EQ(rep.deferred, 0u);  // randomized mode never defers
+  EXPECT_EQ(rep.colored + rep.uncolored, rep.n);
+  // The pass makes real progress.
+  EXPECT_GT(rep.colored, rep.n / 3);
+}
+
+TEST_P(ColorMiddleTest, DerandomizedPassCommitsOnlyValidColors) {
+  Graph g = GetParam().make();
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  MiddleReport rep = color_middle(state, inst, derandomized_opts(), nullptr);
+
+  auto check = check_coloring(inst, state.colors());
+  EXPECT_EQ(check.monochromatic_edges, 0u);
+  EXPECT_EQ(check.palette_violations, 0u);
+  EXPECT_EQ(rep.colored + rep.deferred + rep.uncolored, rep.n);
+  // Everything unfinished is explicitly deferred, nothing dangles.
+  EXPECT_EQ(rep.uncolored, 0u);
+  // WSP must hold for all survivors of every step.
+  for (const auto& step : rep.steps) EXPECT_EQ(step.wsp_violations, 0u);
+  EXPECT_GT(rep.colored, rep.n / 4);
+}
+
+TEST_P(ColorMiddleTest, DerandomizedPassIsDeterministic) {
+  Graph g = GetParam().make();
+  D1lcInstance inst = make_degree_plus_one(g);
+  auto run = [&]() {
+    ColoringState state(inst.graph, inst.palettes);
+    color_middle(state, inst, derandomized_opts(4), nullptr);
+    return state.colors();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, ColorMiddleTest,
+    ::testing::Values(MiddleCase{"sparse", mc_sparse},
+                      MiddleCase{"dense", mc_dense},
+                      MiddleCase{"mixed", mc_mixed}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ColorMiddle, DecompositionStatsAreConsistent) {
+  Graph g = mc_mixed();
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  MiddleReport rep = color_middle(state, inst, randomized_opts(5), nullptr);
+  EXPECT_EQ(rep.sparse + rep.uneven + rep.dense, rep.n);
+  EXPECT_LE(rep.vstart, rep.sparse);
+  EXPECT_EQ(rep.outliers + rep.inliers, rep.dense);
+  EXPECT_LE(rep.put_aside, rep.inliers);
+}
+
+TEST(ColorMiddle, ChargesRoundsToPhases) {
+  Graph g = gen::gnp(300, 0.03, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  mpc::Config cfg = mpc::Config::sublinear(300, 0.75, 20'000, 8.0);
+  mpc::Ledger ledger;
+  mpc::CostModel cost(cfg, ledger);
+  color_middle(state, inst, randomized_opts(7), &cost);
+  EXPECT_GT(ledger.rounds(), 0u);
+  EXPECT_TRUE(ledger.rounds_by_phase().count("decomposition"));
+  EXPECT_TRUE(ledger.rounds_by_phase().count("color-sparse"));
+  EXPECT_TRUE(ledger.rounds_by_phase().count("color-dense"));
+}
+
+TEST(ColorMiddle, ScopeRestrictedPassLeavesOthersUntouched) {
+  Graph g = gen::gnp(200, 0.04, 9);
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  // Restrict the pass to even nodes only.
+  std::vector<NodeId> evens;
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) evens.push_back(v);
+  state.set_active(evens);
+  color_middle(state, inst, randomized_opts(11), nullptr);
+  for (NodeId v = 1; v < g.num_nodes(); v += 2) {
+    EXPECT_FALSE(state.is_colored(v)) << "odd node " << v << " was touched";
+    EXPECT_FALSE(state.is_deferred(v));
+  }
+}
+
+}  // namespace
+}  // namespace pdc::hknt

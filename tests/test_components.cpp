@@ -1,0 +1,70 @@
+// Tests for connected components over full graphs and masked subsets.
+
+#include <gtest/gtest.h>
+
+#include "pdc/graph/components.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(Components, WholeGraphBasics) {
+  // Two triangles, disjoint.
+  Graph g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  Components c = connected_components(g, nullptr);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.largest, 3u);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+}
+
+TEST(Components, IsolatedNodesAreSingletons) {
+  Graph g = Graph::from_edges(4, {{0, 1}});
+  Components c = connected_components(g, nullptr);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.largest, 2u);
+}
+
+TEST(Components, MaskRestrictsTheSubgraph) {
+  Graph g = gen::cycle(10);
+  // Mask out node 0 and node 5: the cycle splits into two paths.
+  std::vector<std::uint8_t> mask(10, 1);
+  mask[0] = mask[5] = 0;
+  Components c = connected_components(g, &mask);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.largest, 4u);
+  EXPECT_EQ(c.component_of[0], Components::kNoComponent);
+  EXPECT_EQ(c.component_of[5], Components::kNoComponent);
+}
+
+TEST(Components, EmptyMaskMeansWholeGraph) {
+  Graph g = gen::grid(3, 3);
+  std::vector<std::uint8_t> empty;
+  Components c = connected_components(g, &empty);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.largest, 9u);
+}
+
+TEST(Components, SizesSumToMaskedNodes) {
+  Graph g = gen::gnp(300, 0.008, 5);
+  std::vector<std::uint8_t> mask(300);
+  for (NodeId v = 0; v < 300; ++v) mask[v] = (mix64(v) % 3) != 0;
+  Components c = connected_components(g, &mask);
+  std::uint64_t total = 0;
+  for (auto s : c.sizes) total += s;
+  std::uint64_t expect = 0;
+  for (auto m : mask) expect += m;
+  EXPECT_EQ(total, expect);
+}
+
+TEST(Components, TreeIsOneComponent) {
+  Graph g = gen::random_tree(500, 9);
+  Components c = connected_components(g, nullptr);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.largest, 500u);
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,243 @@
+// Tests for the top-level D1LC pipeline: the low-degree deterministic
+// solver, LowSpacePartition (Lemma 23 properties), and the public
+// solve_d1lc facade in both modes over a family sweep.
+
+#include <gtest/gtest.h>
+
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+
+namespace pdc::d1lc {
+namespace {
+
+// ---- Low-degree solver. ----
+
+TEST(LowDegree, ColorsEverythingDeterministically) {
+  Graph g = gen::gnp(500, 0.015, 3);
+  D1lcInstance inst = make_degree_plus_one(g);
+  auto run = [&]() {
+    derand::ColoringState state(inst.graph, inst.palettes);
+    LowDegreeReport rep = low_degree_color(state, nullptr);
+    EXPECT_EQ(rep.colored, g.num_nodes());
+    EXPECT_TRUE(check_coloring(inst, state.colors()).complete_proper());
+    return std::make_pair(state.colors(), rep.phases);
+  };
+  auto [c1, p1] = run();
+  auto [c2, p2] = run();
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(p1, p2);
+  // Geometric progress: phases should be far below n.
+  EXPECT_LT(p1, 60u);
+}
+
+TEST(LowDegree, RespectsPreexistingColors) {
+  Graph g = gen::gnp(200, 0.03, 5);
+  D1lcInstance inst = make_degree_plus_one(g);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  // Pre-color node 0.
+  Color pre = inst.palettes.palette(0)[0];
+  state.set_color(0, pre);
+  low_degree_color(state, nullptr);
+  EXPECT_EQ(state.color(0), pre);
+  EXPECT_TRUE(check_coloring(inst, state.colors()).complete_proper());
+}
+
+TEST(LowDegree, WorksOnAdversarialShapes) {
+  for (auto make : {+[]() { return gen::complete(40); },
+                    +[]() { return gen::star(60); },
+                    +[]() { return gen::cycle(81); }}) {
+    Graph g = make();
+    D1lcInstance inst = make_degree_plus_one(g);
+    derand::ColoringState state(inst.graph, inst.palettes);
+    low_degree_color(state, nullptr);
+    EXPECT_TRUE(check_coloring(inst, state.colors()).complete_proper());
+  }
+}
+
+// ---- Partition (Lemma 23). ----
+
+TEST(Partition, SplitsHighDegreeNodesAndKeepsMidAside) {
+  Graph g = gen::core_periphery(800, 120, 0.01, 2.0, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  PartitionOptions opt;
+  opt.mid_degree_cap = 40;
+  opt.delta = 0.3;
+  Partition part = low_space_partition(inst, opt, nullptr);
+  ASSERT_GE(part.nbins, 2u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) <= 40) {
+      EXPECT_EQ(part.bin_of[v], Partition::kMid);
+    } else {
+      EXPECT_LT(part.bin_of[v], part.nbins);
+    }
+  }
+}
+
+TEST(Partition, DegreeReductionHoldsForAlmostAllNodes) {
+  // The Lemma-23 guarantee: d'(v) < 2 d(v)/nbins (floored) for all but
+  // a vanishing set under the selected h1.
+  Graph g = gen::gnp(1500, 0.04, 11);  // Δ ≈ 60
+  D1lcInstance inst = make_degree_plus_one(g);
+  PartitionOptions opt;
+  opt.mid_degree_cap = 20;
+  opt.delta = 0.3;
+  Partition part = low_space_partition(inst, opt, nullptr);
+  std::uint64_t high = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    high += (g.degree(v) > opt.mid_degree_cap);
+  ASSERT_GT(high, 500u);
+  EXPECT_LT(part.degree_violations, high / 10);
+}
+
+TEST(Partition, BinInstancesAreValidD1lc) {
+  Graph g = gen::gnp(1000, 0.05, 13);
+  D1lcInstance inst = make_degree_plus_one(g);
+  PartitionOptions opt;
+  opt.mid_degree_cap = 25;
+  Partition part = low_space_partition(inst, opt, nullptr);
+  Coloring none(g.num_nodes(), kNoColor);
+  std::uint64_t total_nodes = 0;
+  for (std::uint32_t b = 0; b < part.nbins; ++b) {
+    BinInstance bi = build_bin_instance(inst, part, b, none);
+    EXPECT_TRUE(bi.instance.valid()) << "bin " << b;
+    total_nodes += bi.instance.graph.num_nodes();
+  }
+  BinInstance mid = build_bin_instance(inst, part, Partition::kMid, none);
+  EXPECT_TRUE(mid.instance.valid());
+  total_nodes += mid.instance.graph.num_nodes();
+  EXPECT_EQ(total_nodes, g.num_nodes());
+}
+
+TEST(Partition, RestrictedBinsUseMostlyOwnColorBins) {
+  Graph g = gen::gnp(1200, 0.05, 17);
+  D1lcInstance inst = make_degree_plus_one(g);
+  PartitionOptions opt;
+  opt.mid_degree_cap = 20;
+  Partition part = low_space_partition(inst, opt, nullptr);
+  if (part.nbins < 3) GTEST_SKIP() << "need >= 3 bins for this property";
+  Coloring none(g.num_nodes(), kNoColor);
+  BinInstance bi = build_bin_instance(inst, part, 0, none);
+  std::uint64_t own = 0, foreign = 0;
+  for (NodeId i = 0; i < bi.instance.graph.num_nodes(); ++i) {
+    for (Color c : bi.instance.palettes.palette(i)) {
+      (part.color_bin(c) == 0 ? own : foreign) += 1;
+    }
+  }
+  // Foreign colors only appear via the finite-n patch; they must be rare.
+  EXPECT_LT(foreign, (own + foreign) / 5 + 10);
+}
+
+TEST(Partition, HashSelectionIsDeterministic) {
+  Graph g = gen::gnp(800, 0.05, 19);
+  D1lcInstance inst = make_degree_plus_one(g);
+  PartitionOptions opt;
+  opt.mid_degree_cap = 20;
+  Partition a = low_space_partition(inst, opt, nullptr);
+  Partition b = low_space_partition(inst, opt, nullptr);
+  EXPECT_EQ(a.h1_index, b.h1_index);
+  EXPECT_EQ(a.h2_index, b.h2_index);
+  EXPECT_EQ(a.bin_of, b.bin_of);
+}
+
+// ---- Full solver, parameterized over instances and modes. ----
+
+struct SolveCase {
+  const char* name;
+  Graph (*make)();
+  std::uint32_t extra_colors;
+};
+
+Graph sc_gnp() { return gen::gnp(800, 0.02, 3); }
+Graph sc_dense() { return gen::planted_cliques(5, 18, 0.4, 5).graph; }
+Graph sc_mixed() { return gen::core_periphery(600, 50, 0.02, 2.0, 7); }
+Graph sc_star() { return gen::star(300); }
+Graph sc_grid() { return gen::grid(20, 30); }
+Graph sc_powerlaw() { return gen::power_law(500, 2.5, 8.0, 9); }
+
+class SolverTest
+    : public ::testing::TestWithParam<std::tuple<SolveCase, Mode>> {};
+
+TEST_P(SolverTest, ProducesValidColoring) {
+  auto [c, mode] = GetParam();
+  Graph g = c.make();
+  D1lcInstance inst =
+      c.extra_colors == 0
+          ? make_degree_plus_one(g)
+          : make_random_lists(g,
+                              static_cast<Color>(g.max_degree()) + 30,
+                              c.extra_colors, 11);
+  SolverOptions opt;
+  opt.mode = mode;
+  opt.l10.seed_bits = 4;  // keep tests fast
+  opt.middle_passes = 2;
+  SolveResult r = solve_d1lc(inst, opt);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(check_coloring(inst, r.coloring).complete_proper());
+  EXPECT_GT(r.ledger.rounds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverTest,
+    ::testing::Combine(
+        ::testing::Values(SolveCase{"gnp", sc_gnp, 0},
+                          SolveCase{"dense", sc_dense, 0},
+                          SolveCase{"mixed", sc_mixed, 0},
+                          SolveCase{"star", sc_star, 0},
+                          SolveCase{"grid", sc_grid, 0},
+                          SolveCase{"powerlaw", sc_powerlaw, 4}),
+        ::testing::Values(Mode::kDeterministic, Mode::kRandomized)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) +
+             (std::get<1>(info.param) == Mode::kDeterministic ? "_det"
+                                                              : "_rand");
+    });
+
+TEST(Solver, DeterministicModeIsReproducible) {
+  Graph g = gen::gnp(400, 0.03, 21);
+  D1lcInstance inst = make_degree_plus_one(g);
+  SolverOptions opt;
+  opt.l10.seed_bits = 4;
+  SolveResult a = solve_d1lc(inst, opt);
+  SolveResult b = solve_d1lc(inst, opt);
+  EXPECT_EQ(a.coloring, b.coloring);
+  EXPECT_EQ(a.ledger.rounds(), b.ledger.rounds());
+}
+
+TEST(Solver, HighDegreeInstanceTriggersPartition) {
+  // A large star forces Δ >> sqrt(s): the pipeline must partition.
+  Graph g = gen::core_periphery(900, 200, 0.005, 1.0, 23);
+  D1lcInstance inst = make_degree_plus_one(g);
+  SolverOptions opt;
+  opt.phi = 0.5;  // small s => low mid-degree cap
+  opt.space_headroom = 2.0;
+  opt.l10.seed_bits = 4;
+  SolveResult r = solve_d1lc(inst, opt);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GE(r.partition_levels, 1u);
+}
+
+TEST(Solver, AttributionSumsToN) {
+  Graph g = gen::gnp(500, 0.03, 25);
+  D1lcInstance inst = make_degree_plus_one(g);
+  SolverOptions opt;
+  opt.l10.seed_bits = 4;
+  SolveResult r = solve_d1lc(inst, opt);
+  EXPECT_EQ(r.colored_middle + r.colored_low_degree + r.colored_greedy,
+            g.num_nodes());
+}
+
+TEST(Solver, EmptyAndTinyInstances) {
+  for (NodeId n : {0u, 1u, 2u}) {
+    Graph g = Graph::from_edges(n, n >= 2 ? std::vector<std::pair<NodeId,
+                                            NodeId>>{{0, 1}}
+                                          : std::vector<std::pair<NodeId,
+                                            NodeId>>{});
+    D1lcInstance inst = make_degree_plus_one(g);
+    SolverOptions opt;
+    SolveResult r = solve_d1lc(inst, opt);
+    EXPECT_TRUE(r.valid) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace pdc::d1lc

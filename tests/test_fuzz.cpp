@@ -1,0 +1,89 @@
+// Randomized robustness sweep ("fuzz") across the public surface: many
+// small random instances with random shapes, palettes, and solver knobs,
+// asserting the unconditional invariants — every mode produces a valid
+// complete coloring, deterministic mode reproduces itself, and committed
+// intermediate states are always proper partial colorings.
+
+#include <gtest/gtest.h>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/color_middle.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc {
+namespace {
+
+/// Random instance whose shape is itself drawn from the seed.
+D1lcInstance random_instance(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const NodeId n = 20 + static_cast<NodeId>(rng.below(400));
+  Graph g;
+  switch (rng.below(7)) {
+    case 0: g = gen::gnp(n, 4.0 / n + 0.02 * double(rng.below(4)), seed); break;
+    case 1: g = gen::near_regular(n, 3 + static_cast<std::uint32_t>(rng.below(6)), seed); break;
+    case 2: g = gen::planted_cliques(2 + static_cast<NodeId>(rng.below(4)),
+                                     4 + static_cast<NodeId>(rng.below(10)),
+                                     0.3, seed).graph; break;
+    case 3: g = gen::random_tree(n, seed); break;
+    case 4: g = gen::star(n); break;
+    case 5: g = gen::small_world(std::max<NodeId>(n, 20), 2, 0.2, seed); break;
+    default: g = gen::power_law(n, 2.4, 5.0, seed); break;
+  }
+  if (rng.below(2) == 0) return make_degree_plus_one(g);
+  std::uint32_t extra = 1 + static_cast<std::uint32_t>(rng.below(8));
+  return make_random_lists(
+      g, static_cast<Color>(g.max_degree()) + 2 * extra + 1, extra, seed + 1);
+}
+
+class FuzzSolve : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSolve, DeterministicModeAlwaysValidAndReproducible) {
+  D1lcInstance inst = random_instance(GetParam());
+  d1lc::SolverOptions opt;
+  opt.l10.seed_bits = 3;
+  opt.middle_passes = 1 + static_cast<int>(GetParam() % 2);
+  d1lc::SolveResult a = d1lc::solve_d1lc(inst, opt);
+  EXPECT_TRUE(a.valid) << "seed " << GetParam();
+  d1lc::SolveResult b = d1lc::solve_d1lc(inst, opt);
+  EXPECT_EQ(a.coloring, b.coloring) << "seed " << GetParam();
+}
+
+TEST_P(FuzzSolve, RandomizedModeAlwaysValid) {
+  D1lcInstance inst = random_instance(GetParam() + 5000);
+  d1lc::SolverOptions opt;
+  opt.mode = d1lc::Mode::kRandomized;
+  opt.seed = GetParam();
+  d1lc::SolveResult r = d1lc::solve_d1lc(inst, opt);
+  EXPECT_TRUE(r.valid) << "seed " << GetParam();
+}
+
+TEST_P(FuzzSolve, MiddlePassNeverCommitsImproperColors) {
+  D1lcInstance inst = random_instance(GetParam() + 9000);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::MiddleOptions mo;
+  mo.l10.seed_bits = 3;
+  mo.l10.strategy = (GetParam() % 2) ? derand::SeedStrategy::kExhaustive
+                                     : derand::SeedStrategy::kTrueRandom;
+  mo.l10.defer_failures = (GetParam() % 2) != 0;
+  hknt::color_middle(state, inst, mo, nullptr);
+  auto check = check_coloring(inst, state.colors());
+  EXPECT_EQ(check.monochromatic_edges, 0u) << "seed " << GetParam();
+  EXPECT_EQ(check.palette_violations, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzSolve,
+    ::testing::Range(std::uint64_t{1}, std::uint64_t{25}));
+
+TEST(FuzzGreedy, OracleAgreesOnEveryFuzzInstance) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    D1lcInstance inst = random_instance(seed);
+    Coloring c = baseline::greedy_d1lc(inst);
+    EXPECT_TRUE(check_coloring(inst, c).complete_proper()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,281 @@
+// Unit + property tests for the graph substrate: CSR construction,
+// generators, palettes, residual instances (self-reducibility), coloring
+// validation, balls and distance colorings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/graph/graph.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/graph/power.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(Graph, FromEdgesDedupsAndSymmetrizes) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);  // self-loop dropped, dup collapsed
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g = gen::gnp(200, 0.05, 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  }
+}
+
+TEST(Graph, InducedEdgeCount) {
+  Graph g = gen::complete(6);
+  std::vector<NodeId> sub{0, 1, 2, 3};
+  EXPECT_EQ(g.induced_edge_count(sub), 6u);  // K4
+}
+
+TEST(Graph, InduceMapsEdgesCorrectly) {
+  Graph g = gen::cycle(10);
+  std::vector<NodeId> nodes{0, 1, 2, 5, 6};
+  InducedSubgraph s = induce(g, nodes);
+  EXPECT_EQ(s.graph.num_nodes(), 5u);
+  // Edges kept: (0,1), (1,2), (5,6) => 3 edges.
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+  // Mapping round-trips.
+  for (NodeId i = 0; i < s.graph.num_nodes(); ++i) {
+    for (NodeId j : s.graph.neighbors(i)) {
+      EXPECT_TRUE(g.has_edge(s.to_parent[i], s.to_parent[j]));
+    }
+  }
+}
+
+// ---- Generator properties, parameterized over families. ----
+
+struct GenCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph make_gnp(std::uint64_t s) { return gen::gnp(500, 0.02, s); }
+Graph make_reg(std::uint64_t s) { return gen::near_regular(400, 8, s); }
+Graph make_pl(std::uint64_t s) { return gen::power_law(400, 2.5, 6.0, s); }
+Graph make_cp(std::uint64_t s) {
+  return gen::core_periphery(400, 40, 0.02, 1.0, s);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorTest, SimpleUndirectedNoSelfLoops) {
+  Graph g = GetParam().make(7);
+  std::uint64_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    degree_sum += nb.size();
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_TRUE(std::adjacent_find(nb.begin(), nb.end()) == nb.end());
+    for (NodeId u : nb) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST_P(GeneratorTest, SeedDeterminism) {
+  Graph a = GetParam().make(11), b = GetParam().make(11);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  Graph c = GetParam().make(12);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorTest,
+    ::testing::Values(GenCase{"gnp", make_gnp}, GenCase{"near_regular", make_reg},
+                      GenCase{"power_law", make_pl},
+                      GenCase{"core_periphery", make_cp}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Generators, GnpDensityMatchesP) {
+  const NodeId n = 600;
+  const double p = 0.03;
+  Graph g = gen::gnp(n, p, 3);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(Generators, NearRegularDegreesTight) {
+  Graph g = gen::near_regular(500, 10, 2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.degree(v), 10u);
+    EXPECT_GE(g.degree(v), 6u);
+  }
+}
+
+TEST(Generators, PlantedCliquesStructure) {
+  auto pc = gen::planted_cliques(5, 20, 0.0, 1);
+  EXPECT_EQ(pc.graph.num_nodes(), 100u);
+  EXPECT_EQ(pc.graph.num_edges(), 5ull * (20 * 19 / 2));
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(pc.graph.degree(v), 19u);
+}
+
+TEST(Generators, StarAndGridShapes) {
+  Graph s = gen::star(10);
+  EXPECT_EQ(s.degree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(s.degree(v), 1u);
+  Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // 9 horizontal + 8 vertical
+}
+
+// ---- Palettes & instances. ----
+
+TEST(Palette, DegreePlusOneIsTightAndValid) {
+  Graph g = gen::gnp(300, 0.03, 4);
+  D1lcInstance inst = make_degree_plus_one(g);
+  EXPECT_TRUE(inst.valid());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(inst.palettes.size(v), g.degree(v) + 1);
+}
+
+TEST(Palette, RandomListsValidAndWithinUniverse) {
+  Graph g = gen::gnp(300, 0.03, 4);
+  Color universe = static_cast<Color>(g.max_degree()) + 40;
+  D1lcInstance inst = make_random_lists(g, universe, 3, 9);
+  EXPECT_TRUE(inst.valid());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(inst.palettes.size(v), g.degree(v) + 4);
+    for (Color c : inst.palettes.palette(v)) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, universe);
+    }
+  }
+}
+
+TEST(Palette, ContainsAgreesWithPaletteScan) {
+  Graph g = gen::gnp(100, 0.05, 5);
+  D1lcInstance inst = make_random_lists(g, 200, 2, 6);
+  for (NodeId v = 0; v < 20; ++v) {
+    auto pal = inst.palettes.palette(v);
+    std::set<Color> set(pal.begin(), pal.end());
+    for (Color c = 0; c < 50; ++c)
+      EXPECT_EQ(inst.palettes.contains(v, c), set.count(c) > 0);
+  }
+}
+
+TEST(Residual, SelfReducibilityPreservesValidity) {
+  // Color a subset arbitrarily-but-properly, then check the residual is
+  // a valid D1LC instance (Definition 11's requirement for D1LC).
+  Graph g = gen::gnp(400, 0.03, 8);
+  D1lcInstance inst = make_degree_plus_one(g);
+  Coloring partial(g.num_nodes(), kNoColor);
+  // Greedy-color even nodes only.
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) {
+    std::set<Color> blocked;
+    for (NodeId u : g.neighbors(v))
+      if (partial[u] != kNoColor) blocked.insert(partial[u]);
+    for (Color c : inst.palettes.palette(v)) {
+      if (!blocked.count(c)) {
+        partial[v] = c;
+        break;
+      }
+    }
+  }
+  ResidualInstance res = residual(g, inst.palettes, partial);
+  EXPECT_TRUE(res.instance.valid());
+  // Residual nodes are exactly the uncolored ones.
+  std::uint64_t uncolored = 0;
+  for (auto c : partial) uncolored += (c == kNoColor);
+  EXPECT_EQ(res.to_parent.size(), uncolored);
+  // Completing the residual greedily and lifting yields a proper total
+  // coloring of the original instance.
+  Coloring sub(res.instance.graph.num_nodes(), kNoColor);
+  for (NodeId v = 0; v < res.instance.graph.num_nodes(); ++v) {
+    std::set<Color> blocked;
+    for (NodeId u : res.instance.graph.neighbors(v))
+      if (sub[u] != kNoColor) blocked.insert(sub[u]);
+    for (Color c : res.instance.palettes.palette(v)) {
+      if (!blocked.count(c)) {
+        sub[v] = c;
+        break;
+      }
+    }
+    ASSERT_NE(sub[v], kNoColor);
+  }
+  lift_coloring(res.to_parent, sub, partial);
+  EXPECT_TRUE(check_coloring(inst, partial).complete_proper());
+}
+
+// ---- Coloring checks. ----
+
+TEST(ColoringCheck, DetectsEachViolationKind) {
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  D1lcInstance inst = make_degree_plus_one(g);
+  Coloring c{0, 0, 1};  // (0,1) monochromatic
+  auto r1 = check_coloring(inst, c);
+  EXPECT_EQ(r1.monochromatic_edges, 1u);
+  c = {0, 1, kNoColor};
+  auto r2 = check_coloring(inst, c);
+  EXPECT_EQ(r2.uncolored, 1u);
+  EXPECT_TRUE(r2.proper_partial());
+  c = {0, 99, 1};  // 99 outside palette
+  auto r3 = check_coloring(inst, c);
+  EXPECT_EQ(r3.palette_violations, 1u);
+}
+
+TEST(ColoringCheck, CountColorsUsed) {
+  Coloring c{2, 2, 5, kNoColor, 7};
+  EXPECT_EQ(count_colors_used(c), 3u);
+}
+
+// ---- Balls and distance colorings. ----
+
+TEST(Power, BallOnCycleHasExpectedSize) {
+  Graph g = gen::cycle(20);
+  for (int d = 1; d <= 4; ++d) {
+    auto b = ball(g, 0, d);
+    EXPECT_EQ(b.size(), static_cast<std::size_t>(2 * d));
+  }
+}
+
+class DistanceColoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceColoringTest, NoTwoNodesWithinDistShareChunk) {
+  const int dist = GetParam();
+  Graph g = gen::gnp(150, 0.03, 13);
+  DistanceColoring dc = distance_coloring(g, dist);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : ball(g, v, dist)) {
+      EXPECT_NE(dc.chunk_of[u], dc.chunk_of[v])
+          << "nodes " << u << "," << v << " within distance " << dist;
+    }
+  }
+  EXPECT_GE(dc.num_chunks, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DistanceColoringTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Power, DistanceColoringChunkCountBounded) {
+  // Greedy distance-d coloring uses at most (ball size bound)+1 chunks.
+  Graph g = gen::near_regular(200, 4, 3);
+  DistanceColoring dc = distance_coloring(g, 2);
+  // Δ=4, dist=2: ball <= 4 + 4*3 = 16, so <= 17 chunks.
+  EXPECT_LE(dc.num_chunks, 21u);
+}
+
+TEST(Power, BallWorkUpperBoundMonotone) {
+  Graph g = gen::gnp(200, 0.05, 21);
+  EXPECT_LE(ball_work_upper_bound(g, 1), ball_work_upper_bound(g, 2));
+  EXPECT_LE(ball_work_upper_bound(g, 2), ball_work_upper_bound(g, 4));
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,110 @@
+// Tests for the Definition-2 parameter computations on graphs with
+// closed-form values (cliques, stars, cycles) plus consistency
+// properties on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/params.hpp"
+
+namespace pdc::hknt {
+namespace {
+
+TEST(Params, CompleteGraphHasZeroSparsity) {
+  Graph g = gen::complete(10);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(p.sparsity[v], 0.0);
+    EXPECT_EQ(p.nbhd_edges[v], 36u);  // K9 among the neighbors
+    EXPECT_EQ(p.slack[v], 1);
+    EXPECT_DOUBLE_EQ(p.unevenness[v], 0.0);  // all degrees equal
+  }
+}
+
+TEST(Params, CycleSparsityIsHalfDegreeScale) {
+  // In C_n (n >= 5), v's two neighbors are non-adjacent: m(N(v)) = 0,
+  // pairs = 1, ζ = 1/2.
+  Graph g = gen::cycle(8);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_DOUBLE_EQ(p.sparsity[v], 0.5);
+}
+
+TEST(Params, StarLeavesAreMaximallyUneven) {
+  const NodeId n = 12;
+  Graph g = gen::star(n);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  // Leaf: one neighbor (hub) of degree n-1: η = (n-1-1)/n.
+  const double expect = static_cast<double>(n - 2) / n;
+  for (NodeId v = 1; v < n; ++v) {
+    EXPECT_NEAR(p.unevenness[v], expect, 1e-12);
+    EXPECT_DOUBLE_EQ(p.sparsity[v], 0.0);  // single neighbor: no pairs
+  }
+  EXPECT_DOUBLE_EQ(p.unevenness[0], 0.0);  // hub sees only lower degrees
+}
+
+TEST(Params, DisparityIdenticalPalettesIsZero) {
+  Graph g = gen::complete(4);
+  D1lcInstance inst = make_delta_plus_one(g);  // identical palettes
+  NodeParams p = compute_params(inst, nullptr);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(p.discrepancy[v], 0.0);
+  EXPECT_DOUBLE_EQ(disparity(inst.palettes, 0, 1), 0.0);
+}
+
+TEST(Params, DisparityDisjointPalettesIsOne) {
+  Graph g = Graph::from_edges(2, {{0, 1}});
+  PaletteSet pal = PaletteSet::from_lists({{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(disparity(pal, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(disparity(pal, 1, 0), 1.0);
+}
+
+TEST(Params, SlackabilityIsSumOfParts) {
+  Graph g = gen::gnp(150, 0.05, 3);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 20, 2, 5);
+  NodeParams p = compute_params(inst, nullptr);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(p.slackability[v], p.discrepancy[v] + p.sparsity[v]);
+    EXPECT_DOUBLE_EQ(p.strong_slackability[v],
+                     p.unevenness[v] + p.sparsity[v]);
+    // Bounds: 0 <= ζ_v <= d(v)/2 + small; 0 <= η̄_v <= d(v).
+    const double dv = g.degree(v);
+    EXPECT_GE(p.sparsity[v], 0.0);
+    EXPECT_LE(p.sparsity[v], dv / 2.0 + 1e-9);
+    EXPECT_GE(p.discrepancy[v], 0.0);
+    EXPECT_LE(p.discrepancy[v], dv + 1e-9);
+    EXPECT_GE(p.unevenness[v], 0.0);
+    EXPECT_LE(p.unevenness[v], dv + 1e-9);
+  }
+}
+
+TEST(Params, SparseGnpIsSparseDenseCliqueIsNot) {
+  // G(n, p) with small p: neighbors rarely adjacent => ζ_v near d(v)/2.
+  Graph g = gen::gnp(400, 0.02, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  NodeParams p = compute_params(inst, nullptr);
+  std::uint64_t sparse_enough = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= 4 &&
+        p.sparsity[v] >= 0.3 * static_cast<double>(g.degree(v)))
+      ++sparse_enough;
+  }
+  EXPECT_GT(sparse_enough, g.num_nodes() / 2);
+}
+
+TEST(Params, ChargesConstantRoundsWhenCostModelGiven) {
+  Graph g = gen::gnp(100, 0.05, 3);
+  D1lcInstance inst = make_degree_plus_one(g);
+  mpc::Config cfg = mpc::Config::sublinear(100, 0.75, 10'000, 8.0);
+  mpc::Ledger ledger;
+  mpc::CostModel cost(cfg, ledger);
+  compute_params(inst, &cost);
+  EXPECT_GT(ledger.rounds(), 0u);
+  EXPECT_LE(ledger.rounds(), 16u);  // O(1) in the model
+  EXPECT_TRUE(ledger.violations().empty());  // Δ <= sqrt(s) holds here
+}
+
+}  // namespace
+}  // namespace pdc::hknt

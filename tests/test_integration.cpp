@@ -1,0 +1,134 @@
+// End-to-end integration tests crossing module boundaries: the
+// deterministic pipeline against the greedy oracle, self-reducibility
+// through partial runs, MPC accounting plausibility for Theorem 1's
+// bounds, and failure injection (deliberately broken chunk discipline).
+
+#include <gtest/gtest.h>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/color_middle.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(Integration, DeterministicSolverMatchesGreedyOnValidity) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = gen::gnp(600, 0.025, seed);
+    D1lcInstance inst = make_random_lists(
+        g, static_cast<Color>(g.max_degree()) + 25, 2, seed);
+    d1lc::SolverOptions opt;
+    opt.l10.seed_bits = 4;
+    auto ours = d1lc::solve_d1lc(inst, opt);
+    auto greedy = baseline::greedy_d1lc(inst);
+    EXPECT_TRUE(ours.valid);
+    EXPECT_TRUE(check_coloring(inst, greedy).complete_proper());
+    // Same problem solved; both must color everything.
+    EXPECT_EQ(check_coloring(inst, ours.coloring).uncolored, 0u);
+  }
+}
+
+TEST(Integration, RoundsGrowSlowlyWithN) {
+  // Theorem 1's shape: rounds are O(log log log n) — in practice the
+  // charged rounds should grow far slower than log n. We check the
+  // ratio of rounds at n and 8n stays near 1 (within 2x).
+  auto rounds_at = [](NodeId n) {
+    Graph g = gen::gnp(n, 12.0 / static_cast<double>(n), 5);
+    D1lcInstance inst = make_degree_plus_one(g);
+    d1lc::SolverOptions opt;
+    opt.l10.seed_bits = 4;
+    opt.middle_passes = 1;
+    auto r = d1lc::solve_d1lc(inst, opt);
+    EXPECT_TRUE(r.valid);
+    return r.ledger.rounds();
+  };
+  const double r1 = static_cast<double>(rounds_at(300));
+  const double r2 = static_cast<double>(rounds_at(2400));
+  EXPECT_LT(r2, 2.5 * r1) << "rounds grew too fast: " << r1 << " -> " << r2;
+}
+
+TEST(Integration, LedgerTracksSpaceWithinBudget) {
+  Graph g = gen::gnp(1000, 0.01, 7);
+  D1lcInstance inst = make_degree_plus_one(g);
+  d1lc::SolverOptions opt;
+  opt.phi = 0.75;
+  opt.space_headroom = 8.0;
+  opt.l10.seed_bits = 4;
+  auto r = d1lc::solve_d1lc(inst, opt);
+  EXPECT_TRUE(r.valid);
+  // No space violations under the configured budget.
+  EXPECT_TRUE(r.ledger.violations().empty())
+      << "first violation: " << r.ledger.violations().front();
+  EXPECT_GT(r.ledger.peak_local_space(), 0u);
+}
+
+TEST(Integration, SelfReducibilityAcrossPartialMiddlePass) {
+  // Run a scope-restricted middle pass, then verify the residual is a
+  // valid instance whose greedy completion extends the partial coloring
+  // to a proper total coloring (Definition 11 in action).
+  Graph g = gen::core_periphery(500, 40, 0.02, 2.0, 9);
+  D1lcInstance inst = make_degree_plus_one(g);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::MiddleOptions mo;
+  mo.l10.strategy = derand::SeedStrategy::kTrueRandom;
+  mo.l10.defer_failures = false;
+  mo.l10.true_random_seed = 13;
+  hknt::color_middle(state, inst, mo, nullptr);
+
+  ResidualInstance res = residual(g, inst.palettes, state.colors());
+  EXPECT_TRUE(res.instance.valid());
+  Coloring sub = baseline::greedy_d1lc(res.instance);
+  Coloring total = state.colors();
+  lift_coloring(res.to_parent, sub, total);
+  EXPECT_TRUE(check_coloring(inst, total).complete_proper());
+}
+
+TEST(Integration, BrokenChunkDisciplineDegradesButStaysSafe) {
+  // Failure injection: force nearby nodes to share PRG chunks. The
+  // committed output must STILL be a proper partial coloring (safety is
+  // unconditional); what degrades is progress (more SSP failures).
+  Graph g = gen::gnp(400, 0.03, 11);
+  D1lcInstance inst = make_degree_plus_one(g);
+
+  auto failures_with = [&](std::uint32_t shared_chunks) {
+    derand::ColoringState state(inst.graph, inst.palettes);
+    hknt::HkntConfig cfg;
+    hknt::TryRandomColorProc proc(cfg, hknt::TryRandomColorProc::Ssp::kNone,
+                                  "inj");
+    derand::Lemma10Options opt;
+    opt.seed_bits = 5;
+    opt.shared_chunk_count = shared_chunks;
+    auto rep = derand::derandomize_procedure(proc, state, opt, nullptr);
+    auto check = check_coloring(inst, state.colors());
+    EXPECT_EQ(check.monochromatic_edges, 0u);
+    EXPECT_EQ(check.palette_violations, 0u);
+    // Return uncolored count as the progress metric.
+    return state.count_uncolored();
+  };
+  std::uint64_t healthy = failures_with(0);
+  std::uint64_t broken = failures_with(2);  // massive chunk sharing
+  // Sharing 2 chunks => adjacent same-chunk nodes draw identical colors
+  // from identical palettes far more often => way less progress.
+  EXPECT_GT(broken, healthy);
+}
+
+TEST(Integration, DeterministicBeatsItsOwnSeedSpaceMean) {
+  // The Lemma-10 guarantee surfaced end-to-end: in every derandomized
+  // step that searched seeds, chosen failures <= mean failures.
+  Graph g = gen::core_periphery(400, 40, 0.02, 2.0, 15);
+  D1lcInstance inst = make_degree_plus_one(g);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::MiddleOptions mo;
+  mo.l10.strategy = derand::SeedStrategy::kExhaustive;
+  mo.l10.seed_bits = 4;
+  auto rep = hknt::color_middle(state, inst, mo, nullptr);
+  for (const auto& step : rep.steps) {
+    EXPECT_LE(static_cast<double>(step.ssp_failures),
+              step.mean_failures + 1e-9)
+        << "step " << step.procedure;
+  }
+}
+
+}  // namespace
+}  // namespace pdc

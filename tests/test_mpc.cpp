@@ -1,0 +1,205 @@
+// Tests for the MPC substrate: cluster round semantics, space
+// enforcement, collectives, deterministic sample sort, distributed graph
+// layout and the Lemma-17 gather, ledger accounting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/mpc/cost_model.hpp"
+#include "pdc/mpc/dgraph.hpp"
+#include "pdc/mpc/primitives.hpp"
+#include "pdc/util/rng.hpp"
+
+namespace pdc::mpc {
+namespace {
+
+Config small_config(std::uint32_t machines, std::uint64_t s) {
+  Config c;
+  c.n = 1000;
+  c.phi = 0.5;
+  c.local_space_words = s;
+  c.num_machines = machines;
+  return c;
+}
+
+TEST(Config, SublinearShapesMatchModel) {
+  Config c = Config::sublinear(10'000, 0.5, 50'000, 4.0);
+  EXPECT_EQ(c.n, 10'000u);
+  // s ~ 4 * sqrt(10000) = 400.
+  EXPECT_NEAR(static_cast<double>(c.local_space_words), 400.0, 1.0);
+  EXPECT_GE(c.global_space_words(), 50'000u);
+}
+
+TEST(Cluster, RoundDeliversMessagesWithHeaders) {
+  Cluster c(small_config(4, 1000));
+  c.round([](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+             Outbox& out) {
+    if (m == 1) out.send(3, {10, 20});
+  });
+  const auto& inbox = c.inbox(3);
+  ASSERT_EQ(inbox.size(), 4u);  // {sender, len, 10, 20}
+  EXPECT_EQ(inbox[0], 1u);
+  EXPECT_EQ(inbox[1], 2u);
+  EXPECT_EQ(inbox[2], 10u);
+  EXPECT_EQ(inbox[3], 20u);
+  EXPECT_EQ(c.ledger().rounds(), 1u);
+}
+
+TEST(Cluster, StrictModeThrowsOnOverflow) {
+  Cluster c(small_config(2, 4));
+  EXPECT_THROW(
+      c.round([](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+                 Outbox& out) {
+        if (m == 0) out.send(1, std::vector<Word>(100, 7));
+      }),
+      check_error);
+}
+
+TEST(Cluster, LenientModeRecordsViolation) {
+  Cluster c(small_config(2, 4), /*strict=*/false);
+  c.round([](MachineId m, const std::vector<Word>&, std::vector<Word>&,
+             Outbox& out) {
+    if (m == 0) out.send(1, std::vector<Word>(100, 7));
+  });
+  EXPECT_FALSE(c.ledger().violations().empty());
+}
+
+TEST(Broadcast, AllMachinesReceivePayload) {
+  Cluster c(small_config(9, 1000));
+  std::vector<Word> payload{1, 2, 3};
+  std::vector<std::vector<Word>> received;
+  int rounds = broadcast(c, 4, payload, received);
+  EXPECT_LE(rounds, 2);
+  for (MachineId m = 0; m < 9; ++m) {
+    EXPECT_EQ(received[m], payload) << "machine " << m;
+  }
+}
+
+TEST(ReduceSum, TotalsAcrossMachines) {
+  Cluster c(small_config(7, 1000));
+  std::vector<Word> vals{1, 2, 3, 4, 5, 6, 7};
+  Word total = reduce_sum(c, 2, vals);
+  EXPECT_EQ(total, 28u);
+}
+
+TEST(ExclusivePrefix, MatchesSerialScan) {
+  Cluster c(small_config(6, 1000));
+  std::vector<Word> vals{5, 1, 0, 7, 2, 9};
+  auto prefix = exclusive_prefix(c, vals);
+  std::vector<Word> expect{0, 5, 6, 6, 13, 15};
+  EXPECT_EQ(prefix, expect);
+}
+
+class SampleSortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SampleSortTest, SortsArbitraryRecordsGlobally) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n);
+  std::vector<Record> recs(n);
+  for (auto& r : recs) r = {rng.below(1'000'000), rng()};
+
+  Config cfg = small_config(8, std::max<std::uint64_t>(512, n));
+  Cluster c(cfg);
+  scatter_records(c, recs);
+  sample_sort(c);
+
+  auto sorted = collect_records(c);
+  ASSERT_EQ(sorted.size(), recs.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  // Same multiset.
+  auto expect = recs;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+  // Constant rounds (4 communication rounds for one sort at this scale).
+  EXPECT_LE(c.ledger().rounds(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SampleSortTest,
+                         ::testing::Values(0, 1, 10, 100, 1000, 5000));
+
+TEST(SampleSort, AlreadySortedAndReversedInputs) {
+  for (bool reversed : {false, true}) {
+    std::vector<Record> recs(500);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      std::uint64_t k = reversed ? recs.size() - i : i;
+      recs[i] = {k, i};
+    }
+    Cluster c(small_config(5, 2048));
+    scatter_records(c, recs);
+    sample_sort(c);
+    auto sorted = collect_records(c);
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    EXPECT_EQ(sorted.size(), recs.size());
+  }
+}
+
+TEST(DistributedGraph, DegreesMatchHostGraph) {
+  Graph g = gen::gnp(120, 0.06, 3);
+  Config cfg = small_config(6, 4096);
+  Cluster c(cfg);
+  DistributedGraph dg(c, g);
+  auto degrees = dg.compute_degrees();
+  ASSERT_EQ(degrees.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(degrees[v], g.degree(v)) << "node " << v;
+}
+
+TEST(DistributedGraph, Lemma17GatherDeliversNeighborLists) {
+  Graph g = gen::gnp(60, 0.1, 5);
+  Config cfg = small_config(4, 1u << 16);
+  Cluster c(cfg);
+  DistributedGraph dg(c, g);
+  auto received = dg.gather_neighbor_lists();
+  // Node v must have received, for every neighbor u, u's full adjacency.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::set<std::pair<NodeId, NodeId>> got(received[v].begin(),
+                                            received[v].end());
+    for (NodeId u : g.neighbors(v)) {
+      for (NodeId w : g.neighbors(u)) {
+        EXPECT_TRUE(got.count({u, w}))
+            << "node " << v << " missing (" << u << "," << w << ")";
+      }
+    }
+  }
+}
+
+TEST(Ledger, PhasesAndParallelAbsorption) {
+  Ledger l;
+  l.begin_phase("a");
+  l.add_rounds(3);
+  l.begin_phase("b");
+  l.add_rounds(2);
+  EXPECT_EQ(l.rounds(), 5u);
+  EXPECT_EQ(l.rounds_by_phase().at("a"), 3u);
+
+  std::vector<Ledger> children(3);
+  children[0].add_rounds(7);
+  children[1].add_rounds(2);
+  children[2].add_rounds(5);
+  l.absorb_parallel(children);
+  EXPECT_EQ(l.rounds(), 12u);  // 5 + max(7,2,5)
+}
+
+TEST(CostModel, ChargesAndFlagsViolations) {
+  Config cfg = small_config(4, 100);  // s = 100 => sqrt(s) = 10
+  Ledger l;
+  CostModel cm(cfg, l);
+  cm.charge_neighborhood_gather(5);  // 25 <= 100: fine
+  EXPECT_TRUE(l.violations().empty());
+  cm.charge_neighborhood_gather(20);  // 400 > 100: flagged
+  EXPECT_FALSE(l.violations().empty());
+  EXPECT_GT(l.rounds(), 0u);
+}
+
+TEST(CostModel, LogStarSmall) {
+  EXPECT_EQ(CostModel::log_star(2), 1u);
+  EXPECT_EQ(CostModel::log_star(16), 3u);
+  EXPECT_LE(CostModel::log_star(1'000'000'000), 5u);
+}
+
+}  // namespace
+}  // namespace pdc::mpc

@@ -1,0 +1,272 @@
+// Tests for the HKNT22 subroutines as normal procedures: conflict
+// freedom (a property over many random sources), SSP semantics, sampling
+// behavior, SynchColorTrial distinctness, PutAside's cross-clique
+// independence, and the SlackColor schedule shape.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/procedures.hpp"
+#include "pdc/hknt/slack_color.hpp"
+
+namespace pdc::hknt {
+namespace {
+
+using derand::ColoringState;
+
+struct Fixture {
+  D1lcInstance inst;
+  HkntConfig cfg;
+
+  explicit Fixture(Graph g, std::uint32_t extra = 8)
+      : inst(make_random_lists(g, static_cast<Color>(g.max_degree()) + 40,
+                               extra, 77)) {}
+};
+
+/// Property: simulate() never proposes a monochromatic edge, over many
+/// random sources. Parameterized across procedures via a factory.
+class ConflictFreedom
+    : public ::testing::TestWithParam<int> {};  // param = master seed
+
+TEST_P(ConflictFreedom, TryRandomColorAndMultiTrial) {
+  Fixture f(gen::gnp(250, 0.04, 5));
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  prg::TrueRandomSource src(GetParam());
+
+  TryRandomColorProc trc(f.cfg, TryRandomColorProc::Ssp::kNone, "p");
+  auto run1 = trc.simulate(state, src);
+  MultiTrialProc mt(f.cfg, 4, 2.0, false, "p");
+  auto run2 = mt.simulate(state, src);
+
+  for (const auto* run : {&run1, &run2}) {
+    for (NodeId v = 0; v < state.num_nodes(); ++v) {
+      if (run->proposed[v] == kNoColor) continue;
+      EXPECT_TRUE(f.inst.palettes.contains(v, run->proposed[v]));
+      for (NodeId u : f.inst.graph.neighbors(v)) {
+        EXPECT_NE(run->proposed[u], run->proposed[v])
+            << "conflict on edge (" << v << "," << u << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictFreedom,
+                         ::testing::Range(1, 13));
+
+TEST(TryRandomColor, ColorsLargeFractionWithAmpleSlack) {
+  Fixture f(gen::gnp(500, 0.02, 3), /*extra=*/30);
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  prg::TrueRandomSource src(9);
+  TryRandomColorProc trc(f.cfg, TryRandomColorProc::Ssp::kNone, "t");
+  auto run = trc.simulate(state, src);
+  std::uint64_t colored = 0;
+  for (auto c : run.proposed) colored += (c != kNoColor);
+  EXPECT_GT(colored, 400u);  // sparse graph, big palettes: most succeed
+}
+
+TEST(GenerateSlack, SamplesRoughlyOneTenth) {
+  Fixture f(gen::gnp(2000, 0.01, 3));
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  NodeParams p = compute_params(f.inst, nullptr);
+  GenerateSlackProc gs(f.cfg, p, "t");
+  prg::TrueRandomSource src(4);
+  auto run = gs.simulate(state, src);
+  std::uint64_t sampled = 0;
+  for (auto a : run.aux) sampled += (a == 1);
+  EXPECT_NEAR(static_cast<double>(sampled) / 2000.0, 0.1, 0.03);
+  // Only sampled nodes propose colors.
+  for (NodeId v = 0; v < 2000; ++v)
+    if (run.proposed[v] != kNoColor) {
+      EXPECT_EQ(run.aux[v], 1);
+    }
+}
+
+TEST(GenerateSlack, SspHoldsForMostSparseNodes) {
+  Graph g = gen::gnp(800, 0.03, 6);
+  D1lcInstance inst = make_degree_plus_one(g);
+  HkntConfig cfg;
+  ColoringState state(inst.graph, inst.palettes);
+  NodeParams p = compute_params(inst, nullptr);
+  GenerateSlackProc gs(cfg, p, "t");
+  prg::TrueRandomSource src(11);
+  auto run = gs.simulate(state, src);
+  std::uint64_t ok = 0, considered = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) < cfg.low_degree(g.num_nodes())) continue;
+    ++considered;
+    ok += gs.ssp(state, run, v);
+  }
+  ASSERT_GT(considered, 100u);
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(considered), 0.9);
+}
+
+TEST(MultiTrial, XCapsAtAvailablePalette) {
+  Graph g = gen::complete(5);
+  D1lcInstance inst = make_degree_plus_one(g);
+  HkntConfig cfg;
+  ColoringState state(inst.graph, inst.palettes);
+  MultiTrialProc mt(cfg, 100, 1.0, false, "cap");
+  prg::TrueRandomSource src(2);
+  auto run = mt.simulate(state, src);
+  // With palettes of size 5 shared by a K5, exactly... at least one node
+  // must fail (everyone sampled the whole palette), and no conflicts.
+  std::set<Color> used;
+  for (NodeId v = 0; v < 5; ++v) {
+    if (run.proposed[v] != kNoColor) {
+      EXPECT_FALSE(used.count(run.proposed[v]));
+      used.insert(run.proposed[v]);
+    }
+  }
+}
+
+TEST(MultiTrial, FinalRoundSspRequiresColored) {
+  Fixture f(gen::gnp(100, 0.05, 3));
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  MultiTrialProc mt(f.cfg, 4, 1.0, /*final=*/true, "fin");
+  prg::TrueRandomSource src(8);
+  auto run = mt.simulate(state, src);
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (f.inst.graph.degree(v) < f.cfg.low_degree(state.num_nodes()))
+      continue;
+    EXPECT_EQ(mt.ssp(state, run, v), run.proposed[v] != kNoColor);
+  }
+}
+
+// ---- Dense procedures on planted cliques. ----
+
+struct DenseFixture {
+  D1lcInstance inst;
+  HkntConfig cfg;
+  NodeParams params;
+  Acd acd;
+  DenseStructure ds;
+
+  DenseFixture()
+      : inst(make_degree_plus_one(
+            gen::planted_cliques(5, 16, 0.3, 21).graph)) {
+    params = compute_params(inst, nullptr);
+    acd = compute_acd(inst, params, cfg, nullptr);
+    ds = compute_dense_structure(inst, params, acd, cfg, nullptr);
+  }
+};
+
+TEST(SynchColorTrial, WithinCliqueCandidatesDistinctAndValid) {
+  DenseFixture f;
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  SynchColorTrialProc sct(f.cfg, f.acd, f.ds);
+  prg::TrueRandomSource src(6);
+  auto run = sct.simulate(state, src);
+  // Proposals are palette-valid and conflict-free.
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (run.proposed[v] == kNoColor) continue;
+    EXPECT_TRUE(f.inst.palettes.contains(v, run.proposed[v]));
+    for (NodeId u : f.inst.graph.neighbors(v))
+      EXPECT_NE(run.proposed[u], run.proposed[v]);
+  }
+  // Most inliers of each clique got colored (leader palettes ≈ member
+  // palettes for degree+1 instances on planted cliques).
+  for (std::uint32_t c = 0; c < f.acd.num_cliques; ++c) {
+    std::uint64_t inliers = 0, colored = 0;
+    for (NodeId v : f.acd.cliques[c]) {
+      if (!f.ds.inlier[v]) continue;
+      ++inliers;
+      colored += (run.proposed[v] != kNoColor);
+    }
+    EXPECT_GT(colored * 2, inliers) << "clique " << c;
+  }
+}
+
+TEST(PutAside, SetsAreCrossCliqueIndependent) {
+  DenseFixture f;
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  PutAsideProc pa(f.cfg, f.acd, f.ds);
+  prg::TrueRandomSource src(14);
+  auto run = pa.simulate(state, src);
+  // Nobody gets colored by PutAside.
+  for (auto c : run.proposed) EXPECT_EQ(c, kNoColor);
+  // P members from different cliques are never adjacent.
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (run.aux[v] != PutAsideProc::kInP) continue;
+    for (NodeId u : f.inst.graph.neighbors(v)) {
+      if (run.aux[u] == PutAsideProc::kInP) {
+        EXPECT_EQ(f.acd.clique_of[u], f.acd.clique_of[v]);
+      }
+    }
+  }
+}
+
+TEST(PutAside, CommitWritesMaskRespectingDefer) {
+  DenseFixture f;
+  ColoringState state(f.inst.graph, f.inst.palettes);
+  PutAsideProc pa(f.cfg, f.acd, f.ds);
+  prg::TrueRandomSource src(14);
+  auto run = pa.simulate(state, src);
+  std::vector<std::uint8_t> defer(state.num_nodes(), 0);
+  // Defer the first P member found; it must not enter the mask.
+  NodeId deferred_node = kInvalidNode;
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    if (run.aux[v] == PutAsideProc::kInP) {
+      defer[v] = 1;
+      deferred_node = v;
+      break;
+    }
+  }
+  pa.commit(state, run, defer);
+  if (deferred_node != kInvalidNode) {
+    EXPECT_EQ(f.ds.put_aside[deferred_node], 0);
+  }
+  std::uint64_t in_mask = f.ds.count_put_aside();
+  std::uint64_t in_run = 0;
+  for (auto a : run.aux) in_run += (a == PutAsideProc::kInP);
+  EXPECT_EQ(in_mask + (deferred_node != kInvalidNode ? 1 : 0), in_run);
+}
+
+// ---- SlackColor schedule shape. ----
+
+TEST(SlackColor, ScheduleShapeTracksPaper) {
+  Graph g = gen::gnp(300, 0.03, 5);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 80, 25, 9);
+  HkntConfig cfg;
+  ColoringState state(inst.graph, inst.palettes);
+  SlackColorSchedule sched = make_slack_color(state, cfg, "t");
+  EXPECT_GE(sched.smin, 20);  // extra = 25 colors of slack
+  // Schedule = amplify + 2*(log*ρ+1) + 3*ceil(1/κ) + 1 steps.
+  const int expect = cfg.amplify_rounds +
+                     2 * (log_star_of(sched.rho) + 1) +
+                     3 * static_cast<int>(std::ceil(1.0 / cfg.kappa)) + 1;
+  EXPECT_EQ(static_cast<int>(sched.steps.size()), expect);
+  // First steps are TryRandomColor, last is a final MultiTrial.
+  EXPECT_NE(sched.steps.front()->name().find("TryRandomColor"),
+            std::string::npos);
+  EXPECT_NE(sched.steps.back()->name().find("final"), std::string::npos);
+}
+
+TEST(SlackColor, TowerFunctionValues) {
+  EXPECT_EQ(tower(0, 1u << 20), 1u);
+  EXPECT_EQ(tower(1, 1u << 20), 2u);
+  EXPECT_EQ(tower(2, 1u << 20), 4u);
+  EXPECT_EQ(tower(3, 1u << 20), 16u);
+  EXPECT_EQ(tower(4, 1u << 20), 65536u);
+  EXPECT_EQ(tower(4, 512), 512u);  // saturation
+  EXPECT_EQ(log_star_of(1.0), 0);
+  EXPECT_EQ(log_star_of(2.0), 1);
+  EXPECT_EQ(log_star_of(16.0), 3);
+  EXPECT_EQ(log_star_of(65536.0), 4);
+}
+
+TEST(SlackColor, EmptyParticipantsYieldDegenerateButSafeSchedule) {
+  Graph g = gen::gnp(50, 0.05, 3);
+  D1lcInstance inst = make_degree_plus_one(g);
+  HkntConfig cfg;
+  ColoringState state(inst.graph, inst.palettes);
+  state.set_active(std::vector<NodeId>{});  // nobody participates
+  SlackColorSchedule sched = make_slack_color(state, cfg, "empty");
+  EXPECT_EQ(sched.smin, 1);
+  EXPECT_FALSE(sched.steps.empty());
+}
+
+}  // namespace
+}  // namespace pdc::hknt

@@ -1,0 +1,131 @@
+// Cross-cutting property sweeps (TEST_P grids over generator × palette):
+// the Lemma-10 guarantee, solver-vs-oracle agreement, Linial properness,
+// and parameter invariants — each property checked across the whole
+// instance zoo rather than a single fixture.
+
+#include <gtest/gtest.h>
+
+#include "pdc/baseline/greedy.hpp"
+#include "pdc/baseline/linial.hpp"
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/params.hpp"
+#include "pdc/hknt/procedures.hpp"
+
+namespace pdc {
+namespace {
+
+enum class Family { kGnp, kRegular, kCliques, kTree, kSmallWorld, kBa };
+enum class Lists { kDegreePlusOne, kRandomLists };
+
+Graph make_family(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kGnp: return gen::gnp(350, 0.03, seed);
+    case Family::kRegular: return gen::near_regular(300, 6, seed);
+    case Family::kCliques:
+      return gen::planted_cliques(4, 14, 0.3, seed).graph;
+    case Family::kTree: return gen::random_tree(300, seed);
+    case Family::kSmallWorld: return gen::small_world(300, 3, 0.15, seed);
+    case Family::kBa: return gen::preferential_attachment(300, 3, seed);
+  }
+  return {};
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGnp: return "gnp";
+    case Family::kRegular: return "regular";
+    case Family::kCliques: return "cliques";
+    case Family::kTree: return "tree";
+    case Family::kSmallWorld: return "smallworld";
+    case Family::kBa: return "ba";
+  }
+  return "?";
+}
+
+D1lcInstance make_lists(const Graph& g, Lists l, std::uint64_t seed) {
+  if (l == Lists::kDegreePlusOne) return make_degree_plus_one(g);
+  return make_random_lists(g, static_cast<Color>(g.max_degree()) + 20, 4,
+                           seed);
+}
+
+class PropertyGrid
+    : public ::testing::TestWithParam<std::tuple<Family, Lists>> {};
+
+TEST_P(PropertyGrid, Lemma10GuaranteeHolds) {
+  auto [fam, lists] = GetParam();
+  Graph g = make_family(fam, 3);
+  D1lcInstance inst = make_lists(g, lists, 5);
+  derand::ColoringState state(inst.graph, inst.palettes);
+  hknt::HkntConfig cfg;
+  hknt::TryRandomColorProc proc(cfg, hknt::TryRandomColorProc::Ssp::kNone,
+                                "grid");
+  derand::Lemma10Options opt;
+  opt.seed_bits = 4;
+  auto rep = derand::derandomize_procedure(proc, state, opt, nullptr);
+  // Core guarantee: chosen seed no worse than the seed-space mean, no
+  // weak-success violations, committed output proper.
+  EXPECT_LE(static_cast<double>(rep.ssp_failures), rep.mean_failures + 1e-9);
+  EXPECT_EQ(rep.wsp_violations, 0u);
+  auto check = check_coloring(inst, state.colors());
+  EXPECT_EQ(check.monochromatic_edges, 0u);
+  EXPECT_EQ(check.palette_violations, 0u);
+}
+
+TEST_P(PropertyGrid, SolverMatchesGreedyOracleOnCompleteness) {
+  auto [fam, lists] = GetParam();
+  Graph g = make_family(fam, 7);
+  D1lcInstance inst = make_lists(g, lists, 9);
+  d1lc::SolverOptions opt;
+  opt.l10.seed_bits = 3;
+  opt.middle_passes = 1;
+  auto ours = d1lc::solve_d1lc(inst, opt);
+  auto oracle = baseline::greedy_d1lc(inst);
+  EXPECT_TRUE(ours.valid);
+  EXPECT_TRUE(check_coloring(inst, oracle).complete_proper());
+}
+
+TEST_P(PropertyGrid, ParameterInvariants) {
+  auto [fam, lists] = GetParam();
+  Graph g = make_family(fam, 11);
+  D1lcInstance inst = make_lists(g, lists, 13);
+  hknt::NodeParams p = hknt::compute_params(inst, nullptr);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // slack >= 1 on every valid instance; all Definition-2 quantities
+    // within their structural ranges.
+    EXPECT_GE(p.slack[v], 1);
+    EXPECT_GE(p.sparsity[v], 0.0);
+    EXPECT_GE(p.unevenness[v], 0.0);
+    double dv = g.degree(v);
+    EXPECT_LE(p.unevenness[v], dv + 1e-9);
+    EXPECT_LE(p.discrepancy[v], dv + 1e-9);
+    // m(N(v)) can't exceed the pair count.
+    EXPECT_LE(static_cast<double>(p.nbhd_edges[v]), dv * (dv - 1) / 2 + 1e-9);
+  }
+}
+
+TEST_P(PropertyGrid, LinialProperAcrossFamilies) {
+  auto [fam, lists] = GetParam();
+  (void)lists;
+  Graph g = make_family(fam, 17);
+  auto r = baseline::linial_coloring(g);
+  EXPECT_EQ(check_coloring(g, r.coloring, nullptr).monochromatic_edges, 0u);
+  EXPECT_LE(r.rounds, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertyGrid,
+    ::testing::Combine(::testing::Values(Family::kGnp, Family::kRegular,
+                                         Family::kCliques, Family::kTree,
+                                         Family::kSmallWorld, Family::kBa),
+                       ::testing::Values(Lists::kDegreePlusOne,
+                                         Lists::kRandomLists)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == Lists::kDegreePlusOne ? "_deg"
+                                                               : "_lists");
+    });
+
+}  // namespace
+}  // namespace pdc

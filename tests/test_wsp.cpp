@@ -1,0 +1,151 @@
+// Exercises the full generality of Definition 5: a procedure whose weak
+// success property is strictly weaker than its strong success property
+// (the paper allows WSP ⊊ SSP "which can provide some leeway"), plus
+// MPC-substrate edge cases not covered by the main suites.
+
+#include <gtest/gtest.h>
+
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/mpc/primitives.hpp"
+
+namespace pdc {
+namespace {
+
+using derand::ColoringState;
+using derand::Lemma10Options;
+using derand::NormalProcedure;
+using derand::ProcedureRun;
+
+/// A deliberately strict/loose split: SSP demands the node colored
+/// itself this run; WSP only demands its post-run slack is positive
+/// once SSP-failures are deferred. SSP ⇒ WSP holds (a colored node's
+/// slack constraint is vacuous), and deferral only raises slack, so the
+/// procedure is normal — but the two predicates genuinely differ.
+class StrictTrialProc final : public NormalProcedure {
+ public:
+  std::string name() const override { return "StrictTrial"; }
+  std::uint64_t rand_words_per_node(const ColoringState&) const override {
+    return 1;
+  }
+  ProcedureRun simulate(const ColoringState& state,
+                        const prg::BitSourceFactory& bits) const override {
+    const NodeId n = state.num_nodes();
+    ProcedureRun run(n);
+    std::vector<Color> pick(n, kNoColor);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!state.participates(v)) continue;
+      BitStream bs = bits.stream(v, 0);
+      pick[v] = state.sample_available(v, bs);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (pick[v] == kNoColor) continue;
+      bool clash = false;
+      for (NodeId u : state.graph().neighbors(v)) {
+        if (state.participates(u) && pick[u] == pick[v]) clash = true;
+      }
+      if (!clash) run.proposed[v] = pick[v];
+    }
+    return run;
+  }
+  bool ssp(const ColoringState& state, const ProcedureRun& run,
+           NodeId v) const override {
+    (void)state;
+    return run.proposed[v] != kNoColor;  // strict: must have colored
+  }
+  bool wsp(const ColoringState& state, const ProcedureRun& run, NodeId v,
+           const std::vector<std::uint8_t>& defer) const override {
+    if (run.proposed[v] != kNoColor) return true;
+    // Weak: positive slack counting deferred neighbors as removed.
+    std::int64_t avail = state.available_count(v);
+    std::int64_t deg = 0;
+    for (NodeId u : state.graph().neighbors(v)) {
+      if (state.is_colored(u) || defer[u] || state.is_deferred(u)) continue;
+      if (state.participates(u) && run.proposed[u] != kNoColor) continue;
+      ++deg;
+    }
+    return avail - deg > 0;
+  }
+};
+
+TEST(WeakSuccess, WspHoldsForSurvivorsEvenWhenSspIsStrict) {
+  Graph g = gen::gnp(400, 0.02, 3);
+  D1lcInstance inst = make_degree_plus_one(g);
+  ColoringState state(inst.graph, inst.palettes);
+  StrictTrialProc proc;
+  Lemma10Options opt;
+  opt.seed_bits = 6;
+  auto rep = derand::derandomize_procedure(proc, state, opt, nullptr);
+  // Plenty of nodes fail the strict SSP and defer...
+  EXPECT_GT(rep.deferred_new, 0u);
+  // ...but the weak property holds for every survivor (D1LC instances
+  // always leave positive slack once failures are deferred).
+  EXPECT_EQ(rep.wsp_violations, 0u);
+  // And the two predicates differed in this run: some non-deferred
+  // participant satisfied WSP without SSP? All SSP-failures were
+  // deferred, so survivors all satisfy SSP here; the distinction shows
+  // in randomized mode below.
+  ColoringState state2(inst.graph, inst.palettes);
+  Lemma10Options opt2;
+  opt2.strategy = derand::SeedStrategy::kTrueRandom;
+  opt2.defer_failures = false;
+  auto rep2 = derand::derandomize_procedure(proc, state2, opt2, nullptr);
+  EXPECT_GT(rep2.ssp_failures, 0u);
+  EXPECT_EQ(rep2.wsp_violations, 0u);  // weak property still universal
+}
+
+// ---- MPC substrate edge cases. ----
+
+TEST(MpcEdge, SingleMachineClusterStillWorks) {
+  mpc::Config cfg;
+  cfg.n = 10;
+  cfg.local_space_words = 4096;
+  cfg.num_machines = 1;
+  mpc::Cluster c(cfg);
+  std::vector<mpc::Record> recs{{3, 0}, {1, 1}, {2, 2}};
+  mpc::scatter_records(c, recs);
+  mpc::sample_sort(c);
+  auto sorted = mpc::collect_records(c);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].key, 1u);
+  EXPECT_EQ(sorted[2].key, 3u);
+}
+
+TEST(MpcEdge, EmptyPayloadAndSelfMessages) {
+  mpc::Config cfg;
+  cfg.n = 10;
+  cfg.local_space_words = 64;
+  cfg.num_machines = 3;
+  mpc::Cluster c(cfg);
+  c.round([](mpc::MachineId m, const std::vector<mpc::Word>&,
+             std::vector<mpc::Word>&, mpc::Outbox& out) {
+    out.send(m, {});            // self-message, empty payload
+    out.send((m + 1) % 3, {7});
+  });
+  for (mpc::MachineId m = 0; m < 3; ++m) {
+    // Two messages each: one empty self, one single-word neighbor.
+    const auto& ib = c.inbox(m);
+    EXPECT_EQ(ib.size(), 2u + 3u);  // {sender,0} + {sender,1,7}
+  }
+}
+
+TEST(MpcEdge, DuplicateKeysSortStably) {
+  mpc::Config cfg;
+  cfg.n = 100;
+  cfg.local_space_words = 4096;
+  cfg.num_machines = 4;
+  mpc::Cluster c(cfg);
+  std::vector<mpc::Record> recs;
+  for (int i = 0; i < 200; ++i)
+    recs.push_back({static_cast<mpc::Word>(i % 3),
+                    static_cast<mpc::Word>(i)});
+  mpc::scatter_records(c, recs);
+  mpc::sample_sort(c);
+  auto sorted = mpc::collect_records(c);
+  EXPECT_EQ(sorted.size(), recs.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+}  // namespace
+}  // namespace pdc
