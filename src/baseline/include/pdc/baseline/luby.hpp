@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pdc/derand/lemma10.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/graph/graph.hpp"
 
 namespace pdc::baseline {
@@ -29,7 +30,30 @@ struct MisResult {
   std::uint64_t rounds = 0;
   std::uint64_t greedy_added = 0;  // derandomized finish only
   std::vector<double> undecided_after_round;  // fraction per round
+  /// Engine accounting summed over the per-round seed searches
+  /// (derandomized variant only).
+  engine::SearchStats search;
 };
+
+/// Node status codes shared by the Luby implementations.
+inline constexpr std::uint8_t kLubyUndecided = 0, kLubyInMis = 1,
+                              kLubyOut = 2;
+
+/// One Luby round under a given per-node bit stream factory; returns
+/// the updated status vector (does not mutate the input). Exposed so
+/// the MPC derandomized variant can score candidate seeds with the
+/// exact shared-memory semantics it then executes through messages.
+std::vector<std::uint8_t> luby_round(
+    const Graph& g, const std::vector<std::uint8_t>& status,
+    const prg::BitSourceFactory& bits,
+    const std::vector<std::uint32_t>& chunk_of);
+
+/// Greedy completion of still-undecided nodes (the Theorem-12 tail):
+/// sequential scan, join unless a neighbor is already in the MIS.
+/// Returns how many nodes joined. Shared by the shared-memory and MPC
+/// derandomized variants so their outputs stay bit-identical.
+std::uint64_t luby_greedy_finish(const Graph& g,
+                                 std::vector<std::uint8_t>& status);
 
 /// Validates independence + maximality; returns {independent, maximal}.
 std::pair<bool, bool> check_mis(const Graph& g,
@@ -44,5 +68,18 @@ MisResult luby_mis(const Graph& g, std::uint64_t seed,
 MisResult luby_mis_derandomized(const Graph& g,
                                 const derand::Lemma10Options& opt,
                                 std::uint64_t max_rounds = 64);
+
+/// Seed selection for one derandomized Luby round: searches the
+/// round's PRG family (salted by `round`) with the engine for a seed
+/// whose number of still-undecided nodes beats the seed-space mean.
+/// Costs are integer counts, so the choice is deterministic; the MPC
+/// variant calls this for selection (machines would score their shards
+/// — same totals) and then replays the round through messages.
+std::uint64_t select_luby_seed(const Graph& g,
+                               const std::vector<std::uint8_t>& status,
+                               const derand::Lemma10Options& opt,
+                               const std::vector<std::uint32_t>& chunk_of,
+                               std::uint64_t round,
+                               engine::SearchStats* stats);
 
 }  // namespace pdc::baseline

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/graph/graph.hpp"
 #include "pdc/mpc/cluster.hpp"
 
@@ -19,6 +21,10 @@ struct MpcMisResult {
   std::vector<std::uint8_t> in_mis;
   std::uint64_t luby_rounds = 0;   // algorithm rounds
   std::uint64_t mpc_rounds = 0;    // cluster communication rounds
+  std::uint64_t greedy_added = 0;  // derandomized finish only
+  /// Engine accounting for the per-round seed searches (derandomized
+  /// variant only).
+  engine::SearchStats search;
 };
 
 /// Runs Luby on `cluster` (which must have >= 1 machine and enough local
@@ -28,5 +34,18 @@ struct MpcMisResult {
 MpcMisResult luby_mis_mpc(mpc::Cluster& cluster, const Graph& g,
                           std::uint64_t seed,
                           std::uint64_t max_rounds = 10'000);
+
+/// Derandomized Luby on the cluster: each round's seed is chosen by the
+/// decomposable seed-search engine (select_luby_seed — in real MPC each
+/// machine scores its shard against the candidate block and the totals
+/// converge-cast; the enumerated totals are identical), then the chosen
+/// round executes genuinely through home-machine messages with the same
+/// chunked PRG coins as luby_mis_derandomized. After `max_rounds`
+/// rounds the undecided remainder is completed greedily (the
+/// Theorem-12 tail), so outputs coincide bit-for-bit with
+/// luby_mis_derandomized under the same options.
+MpcMisResult luby_mis_mpc_derandomized(mpc::Cluster& cluster, const Graph& g,
+                                       const derand::Lemma10Options& opt,
+                                       std::uint64_t max_rounds = 64);
 
 }  // namespace pdc::baseline

@@ -10,11 +10,10 @@
 namespace pdc::baseline {
 
 namespace {
+constexpr std::uint8_t kUndecided = kLubyUndecided, kInMis = kLubyInMis,
+                       kOut = kLubyOut;
+}  // namespace
 
-constexpr std::uint8_t kUndecided = 0, kInMis = 1, kOut = 2;
-
-/// One Luby round under a given per-node bit stream factory; returns the
-/// updated status vector (does not mutate the input).
 std::vector<std::uint8_t> luby_round(
     const Graph& g, const std::vector<std::uint8_t>& status,
     const prg::BitSourceFactory& bits,
@@ -64,13 +63,95 @@ std::vector<std::uint8_t> luby_round(
   return next;
 }
 
+namespace {
+
 std::uint64_t undecided_count(const std::vector<std::uint8_t>& status) {
   std::uint64_t c = 0;
   for (auto s : status) c += (s == kUndecided);
   return c;
 }
 
+/// Decomposed round objective: item = node, contribution = 1 when the
+/// node is still undecided after a Luby round under this seed.
+/// begin_sweep runs one round per seed in the block; the engine's
+/// node-major sweep then counts all blocks' undecided nodes in a single
+/// pass — the scalar route re-counted the whole status vector per seed.
+class LubyRoundOracle final : public engine::CostOracle {
+ public:
+  LubyRoundOracle(const Graph& g, const std::vector<std::uint8_t>& status,
+                  const prg::PrgFamily& family,
+                  const std::vector<std::uint32_t>& chunk_of)
+      : g_(&g), status_(&status), family_(&family), chunk_of_(&chunk_of) {}
+
+  std::size_t item_count() const override { return g_->num_nodes(); }
+
+  void begin_sweep(std::span<const std::uint64_t> seeds) override {
+    seeds_.assign(seeds.begin(), seeds.end());
+    next_.resize(seeds.size());
+    for (std::size_t k = 0; k < seeds_.size(); ++k) {
+      auto src = family_->source(seeds_[k]);
+      next_[k] = luby_round(*g_, *status_, src, *chunk_of_);
+    }
+  }
+
+  void end_sweep() override {
+    next_.clear();
+    seeds_.clear();
+  }
+
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override {
+    // Block-stateful: next_[k] is the round outcome for seeds[k].
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      if (next_[k][item] == kUndecided) sink[k] += 1.0;
+    }
+  }
+
+ private:
+  const Graph* g_;
+  const std::vector<std::uint8_t>* status_;
+  const prg::PrgFamily* family_;
+  const std::vector<std::uint32_t>* chunk_of_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::vector<std::uint8_t>> next_;
+};
+
 }  // namespace
+
+std::uint64_t luby_greedy_finish(const Graph& g,
+                                 std::vector<std::uint8_t>& status) {
+  std::uint64_t added = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (status[v] != kUndecided) continue;
+    bool blocked = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (status[u] == kInMis) {
+        blocked = true;
+        break;
+      }
+    }
+    status[v] = blocked ? kOut : kInMis;
+    if (!blocked) ++added;
+  }
+  return added;
+}
+
+std::uint64_t select_luby_seed(const Graph& g,
+                               const std::vector<std::uint8_t>& status,
+                               const derand::Lemma10Options& opt,
+                               const std::vector<std::uint32_t>& chunk_of,
+                               std::uint64_t round,
+                               engine::SearchStats* stats) {
+  prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, round));
+  LubyRoundOracle oracle(g, status, family, chunk_of);
+  engine::SeedSearch search(oracle);
+  engine::Selection sel =
+      opt.strategy == derand::SeedStrategy::kConditionalExpectation
+          ? search.conditional_expectation(opt.seed_bits)
+          : search.exhaustive_bits(opt.seed_bits);
+  if (stats) stats->absorb(sel.stats);
+  return sel.seed;
+}
 
 std::pair<bool, bool> check_mis(const Graph& g,
                                 const std::vector<std::uint8_t>& in_mis) {
@@ -122,17 +203,10 @@ MisResult luby_mis_derandomized(const Graph& g,
        r < max_rounds && undecided_count(status) > 0; ++r) {
     // Fresh PRG family per round (salted by the round index) so the
     // per-round seed searches are independent.
+    const std::uint64_t seed =
+        select_luby_seed(g, status, opt, chunks.chunk_of, r, &out.search);
     prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, r));
-    auto cost = [&](std::uint64_t seed) -> double {
-      auto src = family.source(seed);
-      auto next = luby_round(g, status, src, chunks.chunk_of);
-      return static_cast<double>(undecided_count(next));
-    };
-    prg::SeedChoice sc =
-        opt.strategy == derand::SeedStrategy::kConditionalExpectation
-            ? prg::select_seed_conditional_expectation(opt.seed_bits, cost)
-            : prg::select_seed_exhaustive(opt.seed_bits, cost);
-    auto src = family.source(sc.seed);
+    auto src = family.source(seed);
     status = luby_round(g, status, src, chunks.chunk_of);
     ++out.rounds;
     out.undecided_after_round.push_back(
@@ -141,18 +215,7 @@ MisResult luby_mis_derandomized(const Graph& g,
   }
 
   // Greedy finish of deferred (undecided) nodes — the Theorem-12 tail.
-  for (NodeId v = 0; v < n; ++v) {
-    if (status[v] != kUndecided) continue;
-    bool blocked = false;
-    for (NodeId u : g.neighbors(v)) {
-      if (status[u] == kInMis) {
-        blocked = true;
-        break;
-      }
-    }
-    status[v] = blocked ? kOut : kInMis;
-    if (!blocked) ++out.greedy_added;
-  }
+  out.greedy_added = luby_greedy_finish(g, status);
   out.in_mis.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) out.in_mis[v] = status[v] == kInMis;
   return out;

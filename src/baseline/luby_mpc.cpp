@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pdc/baseline/luby.hpp"
 #include "pdc/prg/prg.hpp"
 #include "pdc/util/rng.hpp"
 
@@ -9,7 +10,8 @@ namespace pdc::baseline {
 
 namespace {
 
-constexpr std::uint8_t kUndecided = 0, kInMis = 1, kOut = 2;
+constexpr std::uint8_t kUndecided = kLubyUndecided, kInMis = kLubyInMis,
+                       kOut = kLubyOut;
 
 template <typename Fn>
 void for_each_message(const std::vector<mpc::Word>& inbox, Fn&& fn) {
@@ -21,131 +23,175 @@ void for_each_message(const std::vector<mpc::Word>& inbox, Fn&& fn) {
   }
 }
 
+/// One Luby round executed through home-machine messages (3 cluster
+/// rounds: liveness, rivalry, membership). Coins come from
+/// `bits.stream(v, chunk_of[v])` exactly as the shared-memory
+/// luby_round draws them, so the status evolution is bit-identical.
+void mpc_luby_round(mpc::Cluster& cluster, const Graph& g,
+                    std::vector<std::uint8_t>& status,
+                    const prg::BitSourceFactory& bits,
+                    const std::vector<std::uint32_t>& chunk_of) {
+  const NodeId n = g.num_nodes();
+  const mpc::MachineId p = cluster.num_machines();
+  auto home = [p](NodeId v) { return static_cast<mpc::MachineId>(v % p); };
+
+  // R1: liveness exchange — each live node tells its neighbors' homes
+  // "I am live". Homes then know each owned node's live degree.
+  std::vector<std::uint32_t> live_degree(n, 0);
+  cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
+                    std::vector<mpc::Word>&, mpc::Outbox& ob) {
+    std::vector<std::vector<mpc::Word>> buf(p);
+    for (NodeId v = m; v < n; v += p) {
+      if (status[v] != kUndecided) continue;
+      for (NodeId u : g.neighbors(v)) {
+        buf[home(u)].push_back(u);
+      }
+    }
+    for (mpc::MachineId d = 0; d < p; ++d)
+      if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
+  });
+  for (mpc::MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
+      for (mpc::Word u : pl) ++live_degree[u];
+    });
+  }
+
+  // Mark locally with the exact coin sequence of luby_round().
+  std::vector<std::uint8_t> marked(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (status[v] != kUndecided) continue;
+    if (live_degree[v] == 0) {
+      marked[v] = 1;
+      continue;
+    }
+    BitStream bs = bits.stream(v, chunk_of[v]);
+    marked[v] = bs.coin(1, 2ull * live_degree[v]) ? 1 : 0;
+  }
+
+  // R2: marked exchange — marked nodes announce (id, static degree).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> rivals(n);
+  cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
+                    std::vector<mpc::Word>&, mpc::Outbox& ob) {
+    std::vector<std::vector<mpc::Word>> buf(p);
+    for (NodeId v = m; v < n; v += p) {
+      if (status[v] != kUndecided || !marked[v]) continue;
+      for (NodeId u : g.neighbors(v)) {
+        auto& b = buf[home(u)];
+        b.push_back(u);
+        b.push_back(v);
+        b.push_back(g.degree(v));
+      }
+    }
+    for (mpc::MachineId d = 0; d < p; ++d)
+      if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
+  });
+  for (mpc::MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
+      for (std::size_t i = 0; i + 2 < pl.size(); i += 3) {
+        NodeId u = static_cast<NodeId>(pl[i]);
+        rivals[u].emplace_back(static_cast<NodeId>(pl[i + 1]),
+                               static_cast<std::uint32_t>(pl[i + 2]));
+      }
+    });
+  }
+  // Decide against the round-start snapshot: every rival in rivals[v]
+  // was live and marked when R2's messages were sent, so the messages
+  // themselves are the snapshot — no status re-check (which would
+  // race with this loop's own updates).
+  std::vector<std::uint8_t> joins(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (status[v] != kUndecided || !marked[v]) continue;
+    bool beaten = false;
+    for (auto [w, dw] : rivals[v]) {
+      if (dw > g.degree(v) || (dw == g.degree(v) && w < v)) {
+        beaten = true;
+        break;
+      }
+    }
+    joins[v] = !beaten;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (joins[v]) status[v] = kInMis;
+  }
+
+  // R3: membership exchange — new MIS members knock out neighbors.
+  cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
+                    std::vector<mpc::Word>&, mpc::Outbox& ob) {
+    std::vector<std::vector<mpc::Word>> buf(p);
+    for (NodeId v = m; v < n; v += p) {
+      if (status[v] != kInMis) continue;
+      for (NodeId u : g.neighbors(v)) buf[home(u)].push_back(u);
+    }
+    for (mpc::MachineId d = 0; d < p; ++d)
+      if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
+  });
+  for (mpc::MachineId m = 0; m < p; ++m) {
+    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
+      for (mpc::Word u : pl) {
+        if (status[u] == kUndecided) status[u] = kOut;
+      }
+    });
+  }
+}
+
+std::uint64_t undecided_count(const std::vector<std::uint8_t>& status) {
+  std::uint64_t c = 0;
+  for (auto s : status) c += (s == kUndecided);
+  return c;
+}
+
 }  // namespace
 
 MpcMisResult luby_mis_mpc(mpc::Cluster& cluster, const Graph& g,
                           std::uint64_t seed, std::uint64_t max_rounds) {
   const NodeId n = g.num_nodes();
-  const mpc::MachineId p = cluster.num_machines();
-  auto home = [p](NodeId v) { return static_cast<mpc::MachineId>(v % p); };
-
   MpcMisResult out;
   // status[v] is owned by home(v): that machine alone writes it during
   // machine steps; other machines learn it only through messages.
   std::vector<std::uint8_t> status(n, kUndecided);
-
-  auto undecided = [&]() {
-    std::uint64_t c = 0;
-    for (auto s : status) c += (s == kUndecided);
-    return c;
-  };
+  std::vector<std::uint32_t> chunk_of(n);
+  for (NodeId v = 0; v < n; ++v) chunk_of[v] = v;
 
   const std::uint64_t rounds_before = cluster.ledger().rounds();
-  while (undecided() > 0 && out.luby_rounds < max_rounds) {
-    const std::uint64_t r = out.luby_rounds;
-
-    // R1: liveness exchange — each live node tells its neighbors' homes
-    // "I am live". Homes then know each owned node's live degree.
-    std::vector<std::uint32_t> live_degree(n, 0);
-    cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
-                      std::vector<mpc::Word>&, mpc::Outbox& ob) {
-      std::vector<std::vector<mpc::Word>> buf(p);
-      for (NodeId v = m; v < n; v += p) {
-        if (status[v] != kUndecided) continue;
-        for (NodeId u : g.neighbors(v)) {
-          buf[home(u)].push_back(u);
-        }
-      }
-      for (mpc::MachineId d = 0; d < p; ++d)
-        if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
-    });
-    for (mpc::MachineId m = 0; m < p; ++m) {
-      for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-        for (mpc::Word u : pl) ++live_degree[u];
-      });
-    }
-
-    // Mark locally with the exact coin sequence of luby_mis().
-    prg::TrueRandomSource src(hash_combine(seed, r));
-    std::vector<std::uint8_t> marked(n, 0);
-    for (NodeId v = 0; v < n; ++v) {
-      if (status[v] != kUndecided) continue;
-      if (live_degree[v] == 0) {
-        marked[v] = 1;
-        continue;
-      }
-      BitStream bs = src.stream(v, v);
-      marked[v] = bs.coin(1, 2ull * live_degree[v]) ? 1 : 0;
-    }
-
-    // R2: marked exchange — marked nodes announce (id, static degree).
-    std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> rivals(n);
-    cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
-                      std::vector<mpc::Word>&, mpc::Outbox& ob) {
-      std::vector<std::vector<mpc::Word>> buf(p);
-      for (NodeId v = m; v < n; v += p) {
-        if (status[v] != kUndecided || !marked[v]) continue;
-        for (NodeId u : g.neighbors(v)) {
-          auto& b = buf[home(u)];
-          b.push_back(u);
-          b.push_back(v);
-          b.push_back(g.degree(v));
-        }
-      }
-      for (mpc::MachineId d = 0; d < p; ++d)
-        if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
-    });
-    for (mpc::MachineId m = 0; m < p; ++m) {
-      for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-        for (std::size_t i = 0; i + 2 < pl.size() + 1; i += 3) {
-          NodeId u = static_cast<NodeId>(pl[i]);
-          rivals[u].emplace_back(static_cast<NodeId>(pl[i + 1]),
-                                 static_cast<std::uint32_t>(pl[i + 2]));
-        }
-      });
-    }
-    // Decide against the round-start snapshot: every rival in rivals[v]
-    // was live and marked when R2's messages were sent, so the messages
-    // themselves are the snapshot — no status re-check (which would
-    // race with this loop's own updates).
-    std::vector<std::uint8_t> joins(n, 0);
-    for (NodeId v = 0; v < n; ++v) {
-      if (status[v] != kUndecided || !marked[v]) continue;
-      bool beaten = false;
-      for (auto [w, dw] : rivals[v]) {
-        if (dw > g.degree(v) || (dw == g.degree(v) && w < v)) {
-          beaten = true;
-          break;
-        }
-      }
-      joins[v] = !beaten;
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      if (joins[v]) status[v] = kInMis;
-    }
-
-    // R3: membership exchange — new MIS members knock out neighbors.
-    cluster.round([&](mpc::MachineId m, const std::vector<mpc::Word>&,
-                      std::vector<mpc::Word>&, mpc::Outbox& ob) {
-      std::vector<std::vector<mpc::Word>> buf(p);
-      for (NodeId v = m; v < n; v += p) {
-        if (status[v] != kInMis) continue;
-        for (NodeId u : g.neighbors(v)) buf[home(u)].push_back(u);
-      }
-      for (mpc::MachineId d = 0; d < p; ++d)
-        if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
-    });
-    for (mpc::MachineId m = 0; m < p; ++m) {
-      for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-        for (mpc::Word u : pl) {
-          if (status[u] == kUndecided) status[u] = kOut;
-        }
-      });
-    }
+  while (undecided_count(status) > 0 && out.luby_rounds < max_rounds) {
+    prg::TrueRandomSource src(hash_combine(seed, out.luby_rounds));
+    mpc_luby_round(cluster, g, status, src, chunk_of);
     ++out.luby_rounds;
   }
 
   out.mpc_rounds = cluster.ledger().rounds() - rounds_before;
+  out.in_mis.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) out.in_mis[v] = (status[v] == kInMis);
+  return out;
+}
+
+MpcMisResult luby_mis_mpc_derandomized(mpc::Cluster& cluster, const Graph& g,
+                                       const derand::Lemma10Options& opt,
+                                       std::uint64_t max_rounds) {
+  const NodeId n = g.num_nodes();
+  MpcMisResult out;
+  std::vector<std::uint8_t> status(n, kUndecided);
+
+  // Same distance-4 chunk discipline as the shared-memory variant
+  // (one Luby round is a normal (1, Δ)-round procedure).
+  derand::ChunkAssignment chunks =
+      derand::assign_chunks(g, /*tau=*/1, opt, nullptr);
+
+  const std::uint64_t rounds_before = cluster.ledger().rounds();
+  for (std::uint64_t r = 0;
+       r < max_rounds && undecided_count(status) > 0; ++r) {
+    const std::uint64_t seed =
+        select_luby_seed(g, status, opt, chunks.chunk_of, r, &out.search);
+    prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, r));
+    auto src = family.source(seed);
+    mpc_luby_round(cluster, g, status, src, chunks.chunk_of);
+    ++out.luby_rounds;
+  }
+  out.mpc_rounds = cluster.ledger().rounds() - rounds_before;
+
+  // Greedy finish of the undecided remainder — the Theorem-12 tail,
+  // the same routine luby_mis_derandomized runs.
+  out.greedy_added = luby_greedy_finish(g, status);
   out.in_mis.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) out.in_mis[v] = (status[v] == kInMis);
   return out;

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "pdc/derand/coloring_state.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/mpc/cost_model.hpp"
 
 namespace pdc::d1lc {
@@ -22,6 +23,8 @@ struct LowDegreeReport {
   std::uint64_t phases = 0;
   std::uint64_t colored = 0;
   std::uint64_t fallback_steps = 0;  // phases that used the 1-node fallback
+  /// Engine accounting summed over all per-phase hash searches.
+  engine::SearchStats search;
 };
 
 /// Colors every remaining uncolored (and deferred) participant of

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/mpc/cluster.hpp"
@@ -53,6 +54,8 @@ struct MpcLowDegreeResult {
   std::uint64_t phases = 0;
   std::uint64_t mpc_rounds = 0;
   bool valid = false;
+  /// Engine accounting summed over the per-phase family searches.
+  engine::SearchStats search;
 };
 MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
                                         const D1lcInstance& inst,

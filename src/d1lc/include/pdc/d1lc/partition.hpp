@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/mpc/cost_model.hpp"
@@ -38,6 +39,8 @@ struct Partition {
   std::uint64_t degree_violations = 0;   // d'(v) >= 2 d(v) / nbins
   std::uint64_t palette_violations = 0;  // d'(v) >= p'(v)
   double max_degree_ratio = 0.0;         // max_v d'(v) * nbins / (2 d(v))
+  /// Combined engine accounting for the h1 + h2 index searches.
+  engine::SearchStats search;
   /// Color-bin of each palette color under h2 (for bins 0..nbins-2).
   std::uint64_t color_bin(Color c) const;
   std::uint64_t h2_a = 0, h2_b = 0;      // chosen h2 parameters

@@ -23,6 +23,7 @@
 
 #include "pdc/d1lc/low_degree.hpp"
 #include "pdc/d1lc/partition.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/hknt/color_middle.hpp"
 #include "pdc/mpc/ledger.hpp"
 
@@ -67,6 +68,10 @@ struct SolveResult {
   std::uint64_t partition_degree_violations = 0;
   std::uint64_t partition_palette_violations = 0;
   std::vector<hknt::MiddleReport> middle_reports;
+  /// Aggregate engine accounting across every seed/hash search the run
+  /// performed (Lemma-10 procedures, partition hash selection,
+  /// low-degree trials).
+  engine::SearchStats seed_search;
 };
 
 SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt);

@@ -1,8 +1,10 @@
 #include "pdc/d1lc/low_degree_mpc.hpp"
 
 #include <algorithm>
+#include <span>
 
-#include "pdc/prg/cond_exp.hpp"
+#include "pdc/engine/seed_search.hpp"
+#include "pdc/util/parallel.hpp"
 
 namespace pdc::d1lc {
 
@@ -38,6 +40,66 @@ Color pick_of(const D1lcInstance& inst, const Coloring& coloring,
   if (avail.empty()) return kNoColor;
   return avail[family.eval(index, v, avail.size())];
 }
+
+/// Decomposed phase objective for the MPC loop: item = node (each home
+/// machine scores the nodes it owns), contribution = -1 when the node
+/// would commit under family member `idx`. Semantics are identical to
+/// low_degree_trial_shared: begin_sweep builds each node's availability
+/// list once per block, eval_batch resolves clashes block-wide in one
+/// neighbor pass.
+class MpcTrialOracle final : public engine::CostOracle {
+ public:
+  MpcTrialOracle(const D1lcInstance& inst, const Coloring& coloring,
+                 const EnumerablePairwiseFamily& family)
+      : inst_(&inst), coloring_(&coloring), family_(&family) {}
+
+  std::size_t item_count() const override {
+    return inst_->graph.num_nodes();
+  }
+
+  void begin_sweep(std::span<const std::uint64_t> seeds) override {
+    seeds_.assign(seeds.begin(), seeds.end());
+    picks_.assign(seeds.size(),
+                  std::vector<Color>(inst_->graph.num_nodes(), kNoColor));
+    parallel_for(inst_->graph.num_nodes(), [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if ((*coloring_)[v] != kNoColor) return;
+      auto avail = available_of(*inst_, *coloring_, v);
+      if (avail.empty()) return;
+      for (std::size_t k = 0; k < seeds_.size(); ++k)
+        picks_[k][v] = avail[family_->eval(seeds_[k], v, avail.size())];
+    });
+  }
+
+  void end_sweep() override {
+    picks_.clear();
+    seeds_.clear();
+  }
+
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override {
+    for (std::size_t k = 0; k < seeds.size(); ++k)
+      add_contribution(k, item, sink + k);
+  }
+
+ private:
+  void add_contribution(std::size_t k, std::size_t item,
+                        double* sink) const {
+    const NodeId v = static_cast<NodeId>(item);
+    const Color mine = picks_[k][v];
+    if (mine == kNoColor) return;
+    for (NodeId u : inst_->graph.neighbors(v)) {
+      if ((*coloring_)[u] == kNoColor && picks_[k][u] == mine) return;
+    }
+    *sink -= 1.0;
+  }
+
+  const D1lcInstance* inst_;
+  const Coloring* coloring_;
+  const EnumerablePairwiseFamily* family_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::vector<Color>> picks_;
+};
 
 }  // namespace
 
@@ -157,11 +219,10 @@ MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
   while (uncolored > 0) {
     EnumerablePairwiseFamily family(hash_combine(salt, out.phases),
                                     family_log2);
-    auto cost = [&](std::uint64_t idx) {
-      return -static_cast<double>(
-          low_degree_trial_shared(inst, out.coloring, family, idx).colored);
-    };
-    prg::SeedChoice sc = prg::select_index_exhaustive(family.size(), cost);
+    MpcTrialOracle oracle(inst, out.coloring, family);
+    engine::SeedSearch search(oracle);
+    engine::Selection sc = search.exhaustive(family.size());
+    out.search.absorb(sc.stats);
 
     MpcTrialResult trial =
         low_degree_trial_mpc(cluster, inst, out.coloring, family, sc.seed);

@@ -21,7 +21,11 @@ void print_summary(std::ostream& os, const D1lcInstance& inst,
      << " low-degree=" << result.colored_low_degree
      << " greedy-tail=" << result.colored_greedy << "\n"
      << "partition levels: " << result.partition_levels
-     << ", middle passes: " << result.middle_passes_run << "\n";
+     << ", middle passes: " << result.middle_passes_run << "\n"
+     << "seed search: " << result.seed_search.evaluations
+     << " evaluations in " << result.seed_search.sweeps
+     << " sweeps (" << Table::num(result.seed_search.wall_ms, 1)
+     << " ms)\n";
   if (!result.ledger.violations().empty()) {
     os << "SPACE-MODEL VIOLATIONS (" << result.ledger.violations().size()
        << "), first: " << result.ledger.violations().front() << "\n";
@@ -45,13 +49,14 @@ void print_detail(std::ostream& os, const SolveResult& result) {
        << " acd-violations=" << mr.acd_violations.total() << "\n";
     Table steps("  procedures (pass " + std::to_string(i) + ")",
                 {"procedure", "participants", "failures", "defer_frac",
-                 "seed_evals"});
+                 "seed_evals", "sweeps"});
     for (const auto& s : mr.steps) {
       if (s.participants == 0) continue;
       steps.row({s.procedure, std::to_string(s.participants),
                  std::to_string(s.ssp_failures),
                  Table::num(s.defer_fraction, 4),
-                 std::to_string(s.seed_evaluations)});
+                 std::to_string(s.seed_evaluations),
+                 std::to_string(s.search.sweeps)});
     }
     steps.print(os);
   }

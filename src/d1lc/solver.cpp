@@ -67,6 +67,7 @@ void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
     mo.l10 = mode_l10(opt, static_cast<std::uint64_t>(pass) + 17);
     hknt::MiddleReport rep =
         hknt::color_middle(state, current, mo, &cost);
+    for (const auto& step : rep.steps) agg.seed_search.absorb(step.search);
     agg.middle_reports.push_back(rep);
     ++agg.middle_passes_run;
 
@@ -100,6 +101,7 @@ void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
         state, &cost, opt.low_degree_family_log2,
         hash_combine(0xC0FFEE, inst.graph.num_nodes()));
     agg.colored_low_degree += ld.colored;
+    agg.seed_search.absorb(ld.search);
     for (NodeId v = 0; v < current.graph.num_nodes(); ++v) {
       if (state.is_colored(v)) out[to_root[v]] = state.color(v);
     }
@@ -131,6 +133,7 @@ void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
       agg.partition_levels, static_cast<std::uint64_t>(level) + 1);
   agg.partition_degree_violations += part.degree_violations;
   agg.partition_palette_violations += part.palette_violations;
+  agg.seed_search.absorb(part.search);
 
   // Bins 0..nbins-2 run concurrently in the model: account their rounds
   // as a parallel group (max of the children).

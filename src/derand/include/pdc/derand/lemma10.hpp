@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "pdc/derand/normal_procedure.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/graph/power.hpp"
 #include "pdc/mpc/cost_model.hpp"
 #include "pdc/prg/cond_exp.hpp"
@@ -65,6 +66,10 @@ struct Lemma10Report {
   double mean_failures = 0.0;       // over the seed space (search modes)
   std::uint64_t seed = 0;
   std::uint64_t seed_evaluations = 0;
+  /// Engine accounting for the seed search: evaluations, item sweeps
+  /// (node-major passes; the pre-engine path paid one per evaluation),
+  /// wall time.
+  engine::SearchStats search;
   std::uint32_t chunks = 0;
   bool power_coloring_used = false;
   std::uint64_t wsp_violations = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::derand {
@@ -25,14 +27,56 @@ class ChunkedSource final : public prg::BitSourceFactory {
   const std::vector<std::uint32_t>* chunk_of_;
 };
 
-std::uint64_t count_ssp_failures(const NormalProcedure& proc,
-                                 const ColoringState& state,
-                                 const ProcedureRun& run) {
-  return parallel_count(state.num_nodes(), [&](std::size_t v) {
-    NodeId node = static_cast<NodeId>(v);
-    return state.participates(node) && !proc.ssp(state, run, node);
-  });
-}
+/// Decomposed Lemma-10 objective: item = node, contribution = "node
+/// participates and fails its strong success property under this seed".
+/// begin_sweep simulates the procedure once per seed in the block
+/// (exactly the per-seed work the paper's machines do); the engine's
+/// node-major sweep then aggregates all per-node failure indicators for
+/// the whole block in a single pass over the nodes — the pre-engine
+/// path re-walked every node once per candidate seed.
+class SspFailureOracle final : public engine::CostOracle {
+ public:
+  SspFailureOracle(const NormalProcedure& proc, const ColoringState& state,
+                   const prg::PrgFamily& family,
+                   const std::vector<std::uint32_t>& chunk_of)
+      : proc_(&proc), state_(&state), family_(&family), chunk_of_(&chunk_of) {}
+
+  std::size_t item_count() const override { return state_->num_nodes(); }
+
+  void begin_sweep(std::span<const std::uint64_t> seeds) override {
+    seeds_.assign(seeds.begin(), seeds.end());
+    runs_.clear();
+    runs_.resize(seeds.size(), ProcedureRun(0));
+    parallel_for(seeds.size(), [&](std::size_t k) {
+      auto src = family_->source(seeds_[k]);
+      ChunkedSource chunked(src, *chunk_of_);
+      runs_[k] = proc_->simulate(*state_, chunked);
+    });
+  }
+
+  void end_sweep() override {
+    runs_.clear();
+    seeds_.clear();
+  }
+
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override {
+    const NodeId v = static_cast<NodeId>(item);
+    if (!state_->participates(v)) return;
+    // Block-stateful: runs_[k] is the simulation for seeds[k].
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      if (!proc_->ssp(*state_, runs_[k], v)) sink[k] += 1.0;
+    }
+  }
+
+ private:
+  const NormalProcedure* proc_;
+  const ColoringState* state_;
+  const prg::PrgFamily* family_;
+  const std::vector<std::uint32_t>* chunk_of_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<ProcedureRun> runs_;
+};
 
 }  // namespace
 
@@ -131,34 +175,30 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
     rep.seed_evaluations = 1;
   } else {
     prg::PrgFamily family(opt.seed_bits, opt.salt);
-    auto cost_fn = [&](std::uint64_t seed) -> double {
-      auto src = family.source(seed);
-      ChunkedSource chunked(src, chunks.chunk_of);
-      ProcedureRun run = proc.simulate(state, chunked);
-      return static_cast<double>(count_ssp_failures(proc, state, run));
-    };
-    prg::SeedChoice sc;
+    SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
+    engine::SeedSearch search(oracle);
+    engine::Selection sel;
     switch (opt.strategy) {
       case SeedStrategy::kExhaustive:
-        sc = prg::select_seed_exhaustive(opt.seed_bits, cost_fn);
+        sel = search.exhaustive_bits(opt.seed_bits);
         break;
       case SeedStrategy::kConditionalExpectation:
-        sc = prg::select_seed_conditional_expectation(opt.seed_bits, cost_fn);
+        sel = search.conditional_expectation(opt.seed_bits);
         break;
       case SeedStrategy::kFirstSeed:
-        sc.seed = 0;
-        sc.cost = cost_fn(0);
-        sc.mean_cost = sc.cost;
-        sc.evaluations = 1;
+        sel.seed = 0;
+        sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
+        sel.mean_cost = sel.cost;
         break;
       case SeedStrategy::kTrueRandom:
         break;  // unreachable
     }
-    rep.seed = sc.seed;
-    rep.mean_failures = sc.mean_cost;
-    rep.seed_evaluations = sc.evaluations;
+    rep.seed = sel.seed;
+    rep.mean_failures = sel.mean_cost;
+    rep.seed_evaluations = sel.stats.evaluations;
+    rep.search = sel.stats;
     if (cost) cost->charge_conditional_expectation(opt.seed_bits);
-    auto src = family.source(sc.seed);
+    auto src = family.source(sel.seed);
     ChunkedSource chunked(src, chunks.chunk_of);
     chosen = proc.simulate(state, chunked);
   }

@@ -1,0 +1,191 @@
+#pragma once
+// Decomposable seed-search engine.
+//
+// Every derandomization step in this library — Lemma 10 seed selection,
+// Lemma 23 hash-family selection, the derandomized Luby rounds, the
+// low-degree hash trials — reduces to "pick a seed whose aggregate cost
+// beats the seed-space mean". In the paper's MPC model that aggregate is
+// always a *sum of per-node (per-machine) contributions*, aggregated in
+// parallel: each machine scores the candidate seeds against its local
+// shard, and the totals are combined by a converge-cast. The engine
+// makes that structure explicit. Instead of an opaque
+// `cost(seed) -> double`, callers implement a CostOracle that exposes
+//
+//     item_count()               — how many independent contributors
+//                                  (nodes / machines) the objective has;
+//     cost(seed, item)           — item's contribution under `seed`;
+//     eval_batch(seeds, item, …) — optional: score *many* seeds against
+//                                  one item in a single visit (amortizes
+//                                  the per-item setup: neighbor scans,
+//                                  palette walks, availability lists);
+//     begin_sweep(seeds)         — optional: per-block precompute (e.g.
+//                                  simulate a procedure run per seed).
+//
+// The engine then drives node-major sweeps: one parallel pass over the
+// items scores a whole block of candidate seeds (cache-friendly,
+// OpenMP over items instead of over seeds), which is both faithful to
+// the paper's aggregation story and the main hot-path win — the legacy
+// scalar interface re-walked the entire graph once per candidate seed.
+//
+// See src/engine/README.md for the oracle contract and guidance on when
+// to implement eval_batch.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace pdc::engine {
+
+/// Work accounting for one (or several, via absorb) seed searches.
+struct SearchStats {
+  /// Full-objective evaluations: one unit = all items scored for one
+  /// seed. Matches the legacy `SeedChoice::evaluations` semantics.
+  std::uint64_t evaluations = 0;
+  /// Passes over the item set (the MPC "every machine scans its shard
+  /// once" unit). The legacy scalar path paid one sweep per evaluation;
+  /// batched sweeps score up to SearchOptions::max_batch seeds per pass.
+  std::uint64_t sweeps = 0;
+  /// Wall time spent inside the engine, milliseconds.
+  double wall_ms = 0.0;
+
+  void absorb(const SearchStats& o) {
+    evaluations += o.evaluations;
+    sweeps += o.sweeps;
+    wall_ms += o.wall_ms;
+  }
+};
+
+/// Result of a search. Both search routes guarantee cost <= mean_cost
+/// (the conditional-expectations / averaging argument).
+struct Selection {
+  std::uint64_t seed = 0;
+  double cost = 0.0;       // objective total at the chosen seed
+  double mean_cost = 0.0;  // expectation over the searched seed space
+  SearchStats stats;
+};
+
+/// A decomposable cost objective: total(seed) = sum_item cost(seed, item).
+/// Implementations must be deterministic in (seed, item); `cost` and
+/// `eval_batch` may be called concurrently for distinct items.
+///
+/// `cost` and `eval_batch` default to each other, so an oracle
+/// overrides exactly one: `cost` when per-(seed, item) evaluation is
+/// natural, `eval_batch` when one visit to the item can amortize setup
+/// across a seed block (neighbor scans, palette walks, availability
+/// lists). Overriding neither is a contract violation (the defaults
+/// would recurse).
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  /// Number of independent contributors (nodes, machines, …). An
+  /// item_count of 1 marks an opaque objective: the engine then
+  /// parallelizes over seeds (legacy behavior) instead of items.
+  virtual std::size_t item_count() const = 0;
+
+  /// Item's contribution to the objective under `seed`. Only called
+  /// between begin_sweep/end_sweep for a block containing `seed`.
+  virtual double cost(std::uint64_t seed, std::size_t item) const {
+    double sink = 0.0;
+    const std::uint64_t seeds[1] = {seed};
+    eval_batch(std::span<const std::uint64_t>(seeds, 1), item, &sink);
+    return sink;
+  }
+
+  /// Hook called once before each block of seeds is swept (and before
+  /// any cost/eval_batch call for those seeds). Oracles whose per-item
+  /// costs require global per-seed state (e.g. a simulated procedure
+  /// run) compute it here, for the whole block at once.
+  virtual void begin_sweep(std::span<const std::uint64_t> seeds) {
+    (void)seeds;
+  }
+
+  /// Hook called after the block's sweep completes; release per-seed
+  /// state acquired in begin_sweep.
+  virtual void end_sweep() {}
+
+  /// Add item's contribution for every seeds[k] into sink[k]. The
+  /// engine always passes the exact span it gave begin_sweep, so
+  /// block-stateful oracles (those caching per-seed state in
+  /// begin_sweep) may index that state by k. Such oracles must be
+  /// driven through the engine; the default cost() wrapper passes a
+  /// singleton span and is only meaningful for oracles whose
+  /// eval_batch reads the seed *values*.
+  virtual void eval_batch(std::span<const std::uint64_t> seeds,
+                          std::size_t item, double* sink) const {
+    for (std::size_t k = 0; k < seeds.size(); ++k)
+      sink[k] += cost(seeds[k], item);
+  }
+};
+
+/// Adapter for the legacy opaque shape `cost(seed) -> double` (whole
+/// objective in one call). item_count() == 1, so the engine evaluates
+/// distinct seeds concurrently — `fn` must tolerate that, exactly as
+/// the old pdc::prg::SeedCostFn contract required.
+class ScalarOracle final : public CostOracle {
+ public:
+  explicit ScalarOracle(std::function<double(std::uint64_t)> fn)
+      : fn_(std::move(fn)) {}
+  std::size_t item_count() const override { return 1; }
+  double cost(std::uint64_t seed, std::size_t /*item*/) const override {
+    return fn_(seed);
+  }
+
+ private:
+  std::function<double(std::uint64_t)> fn_;
+};
+
+struct SearchOptions {
+  /// Seeds scored per item sweep. Bounds the oracle's per-block state
+  /// (begin_sweep caches one entry per seed in the block) and each
+  /// thread's accumulator. Must be >= 1.
+  std::size_t max_batch = 128;
+  /// Conditional expectations: once the chosen branch is flat (every
+  /// completion has the same total — in particular an all-zero branch
+  /// for non-negative costs), stop fixing bits and take its first
+  /// completion; the guarantee is unaffected.
+  bool early_exit = true;
+};
+
+/// Drives searches over an enumerable seed space against one oracle.
+/// The oracle reference must outlive the SeedSearch.
+class SeedSearch {
+ public:
+  explicit SeedSearch(CostOracle& oracle, SearchOptions opt = {});
+
+  /// Index search: argmin of the total over seeds 0..num_seeds-1 (hash
+  /// families index their members this way). Guarantees
+  /// cost <= mean_cost.
+  Selection exhaustive(std::uint64_t num_seeds);
+
+  /// Exhaustive search over the 2^seed_bits bit-seed space.
+  Selection exhaustive_bits(int seed_bits);
+
+  /// Method of conditional expectations over 2^seed_bits seeds: fix
+  /// bits b_0..b_{d-1} in order, keeping the branch with the smaller
+  /// conditional expectation. Branch means share prefixes: the bit-0
+  /// means already require every completion's total, so the engine
+  /// computes all totals in one blocked sweep pass and derives every
+  /// later branch mean from the same totals — no re-evaluation, unlike
+  /// the legacy route's ~2*2^d independent full simulations. Guarantees
+  /// cost <= mean_cost (mean over the full space).
+  Selection conditional_expectation(int seed_bits);
+
+ private:
+  /// Blocked batched sweep filling totals[s] = sum_item cost(s, item)
+  /// for s in [0, num_seeds); accounts sweeps/evaluations into `stats`.
+  std::vector<double> compute_totals(std::uint64_t num_seeds,
+                                     SearchStats& stats);
+
+  CostOracle* oracle_;
+  SearchOptions opt_;
+};
+
+/// Evaluates one seed's total through the oracle (one sweep). Used by
+/// callers that need a cost outside a search (e.g. the first-seed
+/// ablation strategy).
+double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
+                     SearchStats* stats = nullptr);
+
+}  // namespace pdc::engine

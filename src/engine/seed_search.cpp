@@ -1,0 +1,164 @@
+#include "pdc/engine/seed_search.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/check.hpp"
+#include "pdc/util/parallel.hpp"
+#include "pdc/util/timer.hpp"
+
+namespace pdc::engine {
+
+namespace {
+
+struct ArgminMean {
+  std::uint64_t seed = 0;
+  double cost = 0.0;
+  double mean = 0.0;
+};
+
+ArgminMean argmin_and_mean(const std::vector<double>& totals) {
+  ArgminMean out;
+  out.cost = totals[0];
+  double sum = 0.0;
+  for (std::uint64_t s = 0; s < totals.size(); ++s) {
+    sum += totals[s];
+    if (totals[s] < out.cost) {
+      out.cost = totals[s];
+      out.seed = s;
+    }
+  }
+  out.mean = sum / static_cast<double>(totals.size());
+  return out;
+}
+
+}  // namespace
+
+SeedSearch::SeedSearch(CostOracle& oracle, SearchOptions opt)
+    : oracle_(&oracle), opt_(opt) {
+  PDC_CHECK(opt_.max_batch >= 1);
+}
+
+std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
+                                               SearchStats& stats) {
+  const std::size_t items = oracle_->item_count();
+  std::vector<double> totals(num_seeds, 0.0);
+  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += opt_.max_batch) {
+    const std::size_t block = static_cast<std::size_t>(
+        std::min<std::uint64_t>(opt_.max_batch, num_seeds - s0));
+    std::vector<std::uint64_t> seeds(block);
+    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
+    oracle_->begin_sweep(seeds);
+    if (items == 1) {
+      // Opaque objective: the only parallelism available is over seeds
+      // (the legacy SeedCostFn contract).
+      parallel_for(block, [&](std::size_t k) {
+        totals[s0 + k] = oracle_->cost(seeds[k], 0);
+      });
+    } else {
+      // Item-major sweep: one parallel pass over the items scores the
+      // whole seed block.
+      std::span<const std::uint64_t> sp(seeds);
+      parallel_accumulate(items, block, totals.data() + s0,
+                          [&](std::size_t item, double* sink) {
+                            oracle_->eval_batch(sp, item, sink);
+                          });
+    }
+    oracle_->end_sweep();
+    ++stats.sweeps;
+    stats.evaluations += block;
+  }
+  return totals;
+}
+
+Selection SeedSearch::exhaustive(std::uint64_t num_seeds) {
+  PDC_CHECK(num_seeds >= 1);
+  Timer timer;
+  Selection out;
+  std::vector<double> totals = compute_totals(num_seeds, out.stats);
+  ArgminMean am = argmin_and_mean(totals);
+  out.seed = am.seed;
+  out.cost = am.cost;
+  out.mean_cost = am.mean;
+  out.stats.wall_ms = timer.millis();
+  return out;
+}
+
+Selection SeedSearch::exhaustive_bits(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  return exhaustive(1ULL << seed_bits);
+}
+
+Selection SeedSearch::conditional_expectation(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  Timer timer;
+  Selection out;
+  const std::uint64_t n = 1ULL << seed_bits;
+  std::vector<double> totals = compute_totals(n, out.stats);
+
+  // Bitwise walk. At bit i with prefix p (low i bits fixed), branch
+  // b's completions are exactly the seeds s with s mod 2^{i+1} ==
+  // p | b<<i; their totals are already in hand, so each conditional
+  // expectation is a strided partial mean — no re-evaluation.
+  std::uint64_t prefix = 0;
+  double overall_mean = 0.0;
+  for (int bit = 0; bit < seed_bits; ++bit) {
+    const std::uint64_t step = 1ULL << (bit + 1);
+    double branch_sum[2] = {0.0, 0.0};
+    double branch_min[2];
+    double branch_max[2];
+    for (int b = 0; b < 2; ++b) {
+      const std::uint64_t base =
+          prefix | (static_cast<std::uint64_t>(b) << bit);
+      branch_min[b] = totals[base];
+      branch_max[b] = totals[base];
+      for (std::uint64_t s = base; s < n; s += step) {
+        branch_sum[b] += totals[s];
+        branch_min[b] = std::min(branch_min[b], totals[s]);
+        branch_max[b] = std::max(branch_max[b], totals[s]);
+      }
+    }
+    const double completions = static_cast<double>(n >> (bit + 1));
+    const double mean0 = branch_sum[0] / completions;
+    const double mean1 = branch_sum[1] / completions;
+    if (bit == 0) overall_mean = (mean0 + mean1) / 2.0;
+    const int pick = mean1 < mean0 ? 1 : 0;
+    prefix |= static_cast<std::uint64_t>(pick) << bit;
+    if (opt_.early_exit && branch_min[pick] == branch_max[pick]) {
+      // Flat branch: every completion attains the branch mean; the
+      // first completion (remaining bits 0) is optimal within it.
+      break;
+    }
+  }
+  out.seed = prefix;
+  out.cost = totals[prefix];
+  out.mean_cost = overall_mean;
+  out.stats.wall_ms = timer.millis();
+  return out;
+}
+
+double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
+                     SearchStats* stats) {
+  Timer timer;
+  const std::uint64_t seeds[1] = {seed};
+  std::span<const std::uint64_t> sp(seeds);
+  oracle.begin_sweep(sp);
+  double total = 0.0;
+  const std::size_t items = oracle.item_count();
+  if (items == 1) {
+    total = oracle.cost(seed, 0);
+  } else {
+    parallel_accumulate(items, 1, &total,
+                        [&](std::size_t item, double* sink) {
+                          oracle.eval_batch(sp, item, sink);
+                        });
+  }
+  oracle.end_sweep();
+  if (stats) {
+    ++stats->sweeps;
+    ++stats->evaluations;
+    stats->wall_ms += timer.millis();
+  }
+  return total;
+}
+
+}  // namespace pdc::engine

@@ -1,89 +1,50 @@
 #include "pdc/prg/cond_exp.hpp"
 
-#include <vector>
-
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/util/check.hpp"
-#include "pdc/util/parallel.hpp"
 
 namespace pdc::prg {
 
+// These entry points are compatibility shims over the decomposable
+// seed-search engine (pdc::engine::SeedSearch): the opaque SeedCostFn
+// becomes a single-item ScalarOracle, which the engine evaluates with
+// the legacy seed-parallel strategy. New call sites should implement a
+// decomposed CostOracle instead — see src/engine/README.md.
+
+namespace {
+
+SeedChoice to_choice(const engine::Selection& sel) {
+  SeedChoice out;
+  out.seed = sel.seed;
+  out.cost = sel.cost;
+  out.mean_cost = sel.mean_cost;
+  out.evaluations = sel.stats.evaluations;
+  return out;
+}
+
+}  // namespace
+
 SeedChoice select_seed_exhaustive(int seed_bits, const SeedCostFn& cost) {
   PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
-  const std::uint64_t n = 1ULL << seed_bits;
-  std::vector<double> c(n);
-  parallel_for(n, [&](std::size_t s) { c[s] = cost(s); });
-  SeedChoice out;
-  out.evaluations = n;
-  double total = 0.0;
-  double best = c[0];
-  std::uint64_t best_seed = 0;
-  for (std::uint64_t s = 0; s < n; ++s) {
-    total += c[s];
-    if (c[s] < best) {
-      best = c[s];
-      best_seed = s;
-    }
-  }
-  out.seed = best_seed;
-  out.cost = best;
-  out.mean_cost = total / static_cast<double>(n);
-  return out;
+  engine::ScalarOracle oracle(cost);
+  engine::SeedSearch search(oracle);
+  return to_choice(search.exhaustive_bits(seed_bits));
 }
 
 SeedChoice select_seed_conditional_expectation(int seed_bits,
                                                const SeedCostFn& cost) {
   PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
-  SeedChoice out;
-  std::uint64_t prefix = 0;  // bits fixed so far (low bits)
-  double overall_mean = 0.0;
-  for (int bit = 0; bit < seed_bits; ++bit) {
-    const int remaining = seed_bits - bit - 1;
-    const std::uint64_t completions = 1ULL << remaining;
-    double branch_mean[2] = {0.0, 0.0};
-    for (int b = 0; b < 2; ++b) {
-      const std::uint64_t base =
-          prefix | (static_cast<std::uint64_t>(b) << bit);
-      branch_mean[b] =
-          parallel_sum(completions,
-                       [&](std::size_t t) {
-                         std::uint64_t seed =
-                             base | (static_cast<std::uint64_t>(t) << (bit + 1));
-                         return cost(seed);
-                       }) /
-          static_cast<double>(completions);
-      out.evaluations += completions;
-    }
-    if (bit == 0) overall_mean = (branch_mean[0] + branch_mean[1]) / 2.0;
-    prefix |= (branch_mean[1] < branch_mean[0] ? 1ULL : 0ULL) << bit;
-  }
-  out.seed = prefix;
-  out.cost = cost(prefix);
-  ++out.evaluations;
-  out.mean_cost = overall_mean;
-  return out;
+  engine::ScalarOracle oracle(cost);
+  engine::SeedSearch search(oracle);
+  return to_choice(search.conditional_expectation(seed_bits));
 }
 
 SeedChoice select_index_exhaustive(std::uint64_t family_size,
                                    const SeedCostFn& cost) {
   PDC_CHECK(family_size >= 1);
-  std::vector<double> c(family_size);
-  parallel_for(family_size, [&](std::size_t s) { c[s] = cost(s); });
-  SeedChoice out;
-  out.evaluations = family_size;
-  double total = 0.0;
-  double best = c[0];
-  std::uint64_t best_idx = 0;
-  for (std::uint64_t s = 0; s < family_size; ++s) {
-    total += c[s];
-    if (c[s] < best) {
-      best = c[s];
-      best_idx = s;
-    }
-  }
-  out.seed = best_idx;
-  out.cost = best;
-  out.mean_cost = total / static_cast<double>(family_size);
-  return out;
+  engine::ScalarOracle oracle(cost);
+  engine::SeedSearch search(oracle);
+  return to_choice(search.exhaustive(family_size));
 }
 
 }  // namespace pdc::prg

@@ -2,6 +2,12 @@
 // Seed selection: exhaustive search and the method of conditional
 // expectations over an enumerable seed space.
 //
+// NOTE: these are compatibility shims over pdc::engine::SeedSearch (the
+// decomposable, batched seed-search engine). They keep the historical
+// opaque-cost interface and SeedChoice semantics for tests and
+// ablations; new call sites should implement an engine::CostOracle with
+// per-item costs instead — see src/engine/README.md.
+//
 // Lemma 10 selects a PRG seed for which the number of SSP-failing nodes
 // is at most its expectation; the classic derandomization argument is
 // that fixing seed bits one at a time, always picking the branch with the
@@ -36,11 +42,14 @@ SeedChoice select_seed_exhaustive(int seed_bits, const SeedCostFn& cost);
 /// Method of conditional expectations: fix bits b_0..b_{d-1} in order; at
 /// each step compute E[cost | prefix, b_i = 0] and E[cost | prefix,
 /// b_i = 1] exactly (by averaging over all completions) and keep the
-/// smaller branch. Returns a seed with cost <= mean_cost. Work is
-/// ~2 * 2^d cost evaluations; the exhaustive route is ~2^d — the method's
-/// value in real MPC is that per-node conditional expectations are
-/// computed analytically and aggregated, not enumerated; we enumerate
-/// because our procedures' success events have no closed form.
+/// smaller branch. Returns a seed with cost <= mean_cost. The engine
+/// shares prefixes: all 2^d completions are evaluated once and every
+/// branch mean is a partial sum over the cached totals, so the work is
+/// 2^d cost evaluations (the legacy enumeration re-evaluated ~2 * 2^d
+/// times) — the method's value in real MPC is that per-node conditional
+/// expectations are computed analytically and aggregated, not
+/// enumerated; we enumerate because our procedures' success events have
+/// no closed form.
 SeedChoice select_seed_conditional_expectation(int seed_bits,
                                                const SeedCostFn& cost);
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #ifdef PDC_HAVE_OPENMP
 #include <omp.h>
@@ -62,6 +63,34 @@ double parallel_sum(std::size_t n, Fn&& fn) {
   for (std::size_t i = 0; i < n; ++i) total += fn(i);
 #endif
   return total;
+}
+
+/// Parallel sweep over items accumulating into a width-sized vector of
+/// doubles: fn(item, buf) adds item i's contribution into buf[0..width).
+/// Each thread works on a private zero-initialized buffer; buffers are
+/// summed into `out` (+= semantics, so `out` may carry prior totals).
+/// This is the transposed (item-major) aggregation pattern used by the
+/// seed-search engine: one pass over the items scores many candidate
+/// seeds at once.
+template <typename Fn>
+void parallel_accumulate(std::size_t n_items, std::size_t width, double* out,
+                         Fn&& fn) {
+#ifdef PDC_HAVE_OPENMP
+#pragma omp parallel
+  {
+    std::vector<double> local(width, 0.0);
+#pragma omp for schedule(guided) nowait
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n_items); ++i) {
+      fn(static_cast<std::size_t>(i), local.data());
+    }
+#pragma omp critical(pdc_parallel_accumulate)
+    {
+      for (std::size_t k = 0; k < width; ++k) out[k] += local[k];
+    }
+  }
+#else
+  for (std::size_t i = 0; i < n_items; ++i) fn(i, out);
+#endif
 }
 
 /// Parallel count of indices in [0, n) where pred(i) is true.

@@ -55,6 +55,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1ull, 7ull, 42ull),
                        ::testing::Values(2, 5, 16)));
 
+class MpcDerandLubyEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(MpcDerandLubyEquivalence, MatchesSharedMemoryBitForBit) {
+  // The derandomized variant must also survive the substrate swap: the
+  // engine's seed selection is deterministic (integer totals), so the
+  // distributed execution replays the exact rounds of
+  // luby_mis_derandomized and lands on the same MIS.
+  auto [salt, machines] = GetParam();
+  Graph g = gen::gnp(250, 0.03, salt);
+  derand::Lemma10Options opt;
+  opt.seed_bits = 4;
+  opt.salt = salt;
+  opt.strategy = derand::SeedStrategy::kConditionalExpectation;
+
+  baseline::MisResult shared = baseline::luby_mis_derandomized(g, opt, 8);
+  mpc::Cluster cluster(
+      cluster_config(g, static_cast<std::uint32_t>(machines)));
+  baseline::MpcMisResult dist =
+      baseline::luby_mis_mpc_derandomized(cluster, g, opt, 8);
+
+  EXPECT_EQ(dist.in_mis, shared.in_mis);
+  EXPECT_EQ(dist.luby_rounds, shared.rounds);
+  EXPECT_EQ(dist.greedy_added, shared.greedy_added);
+  EXPECT_TRUE(cluster.ledger().violations().empty());
+  auto [indep, maximal] = baseline::check_mis(g, dist.in_mis);
+  EXPECT_TRUE(indep);
+  EXPECT_TRUE(maximal);
+  // Engine accounting is threaded through: every round searched 2^4
+  // seeds in batched sweeps.
+  EXPECT_EQ(dist.search.evaluations, shared.search.evaluations);
+  EXPECT_GE(dist.search.evaluations, 16u * dist.luby_rounds);
+  EXPECT_LT(dist.search.sweeps, dist.search.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SaltsAndMachines, MpcDerandLubyEquivalence,
+    ::testing::Combine(::testing::Values(2ull, 19ull),
+                       ::testing::Values(3, 8)));
+
 TEST(MpcLuby, HandlesDegenerateGraphs) {
   // Edgeless graph: everyone joins in round 1.
   Graph g0 = Graph::from_edges(10, {});

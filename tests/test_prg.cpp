@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
 
@@ -129,6 +130,51 @@ TEST(SelectIndex, ArgminOverFamily) {
   SeedChoice c = select_index_exhaustive(40, cost);
   EXPECT_EQ(c.seed, 12u);
   EXPECT_DOUBLE_EQ(c.cost, 0.0);
+}
+
+// ---- Degenerate seed spaces (regression: the pre-engine
+// implementation over-counted evaluations on the 1-bit walk and the
+// engine must keep means well-defined on singleton families). ----
+
+TEST(SelectSeed, OneBitSpaceIsExact) {
+  std::atomic<int> calls{0};
+  auto cost = [&calls](std::uint64_t seed) {
+    ++calls;
+    return seed == 0 ? 4.0 : 2.0;
+  };
+  SeedChoice c = select_seed_conditional_expectation(1, cost);
+  EXPECT_EQ(c.seed, 1u);
+  EXPECT_DOUBLE_EQ(c.cost, 2.0);
+  EXPECT_DOUBLE_EQ(c.mean_cost, 3.0);
+  // Two seeds exist; both are evaluated exactly once (the legacy walk
+  // re-evaluated the chosen seed, reporting 3).
+  EXPECT_EQ(c.evaluations, 2u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_LE(c.cost, c.mean_cost);
+}
+
+TEST(SelectSeed, OneBitExhaustiveIsExact) {
+  auto cost = [](std::uint64_t seed) { return seed == 0 ? 4.0 : 2.0; };
+  SeedChoice c = select_seed_exhaustive(1, cost);
+  EXPECT_EQ(c.seed, 1u);
+  EXPECT_DOUBLE_EQ(c.cost, 2.0);
+  EXPECT_DOUBLE_EQ(c.mean_cost, 3.0);
+  EXPECT_EQ(c.evaluations, 2u);
+}
+
+TEST(SelectIndex, SingletonFamilyIsWellDefined) {
+  std::atomic<int> calls{0};
+  auto cost = [&calls](std::uint64_t) {
+    ++calls;
+    return 7.5;
+  };
+  SeedChoice c = select_index_exhaustive(1, cost);
+  EXPECT_EQ(c.seed, 0u);
+  EXPECT_DOUBLE_EQ(c.cost, 7.5);
+  EXPECT_DOUBLE_EQ(c.mean_cost, 7.5);
+  EXPECT_EQ(c.evaluations, 1u);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_FALSE(std::isnan(c.mean_cost));
 }
 
 }  // namespace
