@@ -18,9 +18,11 @@ using namespace pdc;
 int main() {
   Table t("E1 / Theorem 1: deterministic D1LC rounds vs n",
           {"n", "m", "Delta", "rounds", "ratio_vs_prev", "peak_local",
-           "space_budget", "valid", "wall_ms"});
+           "space_budget", "valid", "seed_evals", "sweeps", "batch",
+           "wall_ms"});
 
   std::uint64_t prev_rounds = 0;
+  std::string regression;
   d1lc::SolverOptions opt;
   opt.mode = d1lc::Mode::kDeterministic;
   opt.l10.seed_bits = 5;
@@ -44,8 +46,26 @@ int main() {
            std::to_string(g.max_degree()), std::to_string(r.ledger.rounds()),
            Table::num(ratio, 2), std::to_string(r.ledger.peak_local_space()),
            std::to_string(mcfg.local_space_words),
-           r.valid ? "yes" : "NO", Table::num(timer.millis(), 1)});
+           r.valid ? "yes" : "NO",
+           std::to_string(r.seed_search.evaluations),
+           std::to_string(r.seed_search.sweeps),
+           std::to_string(r.seed_search.batch),
+           Table::num(timer.millis(), 1)});
     last_ledger = r.ledger;
+    // Sweep budget (the bench_e10 discipline): the engine's batched
+    // item-major sweeps must aggregate many evaluations per pass — a
+    // sweep count at or above the evaluation count means the run fell
+    // back to the pre-engine one-pass-per-seed behavior. Detected here,
+    // reported after the tables so a CI failure still shows the full
+    // per-n accounting.
+    if (regression.empty() && r.seed_search.evaluations > 0 &&
+        r.seed_search.sweeps >= r.seed_search.evaluations) {
+      regression = "REGRESSION: engine sweeps (" +
+                   std::to_string(r.seed_search.sweeps) +
+                   ") not below evaluations (" +
+                   std::to_string(r.seed_search.evaluations) +
+                   ") at n=" + std::to_string(n);
+    }
   }
   t.print();
 
@@ -53,6 +73,11 @@ int main() {
   for (auto& [phase, rounds] : last_ledger.rounds_by_phase())
     p.row({phase, std::to_string(rounds)});
   p.print();
+
+  if (!regression.empty()) {
+    std::cout << regression << "\n";
+    return 1;
+  }
 
   std::cout << "Claim check: ratio_vs_prev should stay near 1 (rounds are\n"
                "~log log log n, i.e. effectively flat while n doubles) and\n"

@@ -69,17 +69,30 @@ MisResult luby_mis_derandomized(const Graph& g,
                                 const derand::Lemma10Options& opt,
                                 std::uint64_t max_rounds = 64);
 
-/// Seed selection for one derandomized Luby round: searches the
-/// round's PRG family (salted by `round`) with the engine for a seed
-/// whose number of still-undecided nodes beats the seed-space mean.
-/// Costs are integer counts, so the choice is deterministic; the MPC
-/// variant calls this for selection (machines would score their shards
-/// — same totals) and then replays the round through messages.
+/// Seed selection for one derandomized Luby round as a full engine
+/// Selection: searches the round's PRG family (salted by `round`) for a
+/// seed whose number of still-undecided nodes beats the seed-space
+/// mean. Costs are integer counts, so the choice is deterministic. With
+/// opt.search_backend == kSharded and a non-null `search_cluster`, the
+/// sweeps execute as capacity-checked cluster rounds (home machines
+/// score their own nodes, totals converge-cast) and the Selection is
+/// bit-identical to the shared-memory engine's.
+engine::Selection select_luby_seed_selection(
+    const Graph& g, const std::vector<std::uint8_t>& status,
+    const derand::Lemma10Options& opt,
+    const std::vector<std::uint32_t>& chunk_of, std::uint64_t round,
+    mpc::Cluster* search_cluster = nullptr);
+
+/// Convenience wrapper returning just the seed and absorbing stats —
+/// the form the Luby loops consume. The MPC derandomized variant passes
+/// its cluster so a kSharded backend scores on the substrate it then
+/// replays the round on.
 std::uint64_t select_luby_seed(const Graph& g,
                                const std::vector<std::uint8_t>& status,
                                const derand::Lemma10Options& opt,
                                const std::vector<std::uint32_t>& chunk_of,
                                std::uint64_t round,
-                               engine::SearchStats* stats);
+                               engine::SearchStats* stats,
+                               mpc::Cluster* search_cluster = nullptr);
 
 }  // namespace pdc::baseline

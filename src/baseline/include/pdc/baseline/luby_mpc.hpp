@@ -36,14 +36,17 @@ MpcMisResult luby_mis_mpc(mpc::Cluster& cluster, const Graph& g,
                           std::uint64_t max_rounds = 10'000);
 
 /// Derandomized Luby on the cluster: each round's seed is chosen by the
-/// decomposable seed-search engine (select_luby_seed — in real MPC each
-/// machine scores its shard against the candidate block and the totals
-/// converge-cast; the enumerated totals are identical), then the chosen
-/// round executes genuinely through home-machine messages with the same
-/// chunked PRG coins as luby_mis_derandomized. After `max_rounds`
-/// rounds the undecided remainder is completed greedily (the
-/// Theorem-12 tail), so outputs coincide bit-for-bit with
-/// luby_mis_derandomized under the same options.
+/// decomposable seed-search engine (select_luby_seed). With
+/// opt.search_backend == kSharded the selection itself executes on this
+/// cluster — home machines score the candidate block against their own
+/// nodes and the per-seed totals converge-cast up an aggregation tree
+/// (pdc::engine::sharded), the search's rounds landing in mpc_rounds
+/// and search.sharded — then the chosen round executes genuinely
+/// through home-machine messages with the same chunked PRG coins as
+/// luby_mis_derandomized. Selections are bit-identical across backends,
+/// so after `max_rounds` rounds and the greedy completion of the
+/// undecided remainder (the Theorem-12 tail), outputs coincide
+/// bit-for-bit with luby_mis_derandomized under the same options.
 MpcMisResult luby_mis_mpc_derandomized(mpc::Cluster& cluster, const Graph& g,
                                        const derand::Lemma10Options& opt,
                                        std::uint64_t max_rounds = 64);

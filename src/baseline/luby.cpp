@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/graph/power.hpp"
 #include "pdc/prg/cond_exp.hpp"
 #include "pdc/prg/prg.hpp"
@@ -136,19 +137,37 @@ std::uint64_t luby_greedy_finish(const Graph& g,
   return added;
 }
 
+engine::Selection select_luby_seed_selection(
+    const Graph& g, const std::vector<std::uint8_t>& status,
+    const derand::Lemma10Options& opt,
+    const std::vector<std::uint32_t>& chunk_of, std::uint64_t round,
+    mpc::Cluster* search_cluster) {
+  prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, round));
+  LubyRoundOracle oracle(g, status, family, chunk_of);
+  const bool cond_exp =
+      opt.strategy == derand::SeedStrategy::kConditionalExpectation;
+  // A user-configured Lemma10Options::search_cluster wins (matching
+  // lemma10_seed_selection, e.g. to keep search rounds on a dedicated
+  // ledger); the parameter is the call site's default substrate — the
+  // cluster the MPC variant replays rounds on.
+  mpc::Cluster* cluster =
+      opt.search_cluster ? opt.search_cluster : search_cluster;
+  return engine::sharded::search_with_backend(
+      oracle, opt.search_backend, cluster, [&](auto& search) {
+        return cond_exp ? search.conditional_expectation(opt.seed_bits)
+                        : search.exhaustive_bits(opt.seed_bits);
+      });
+}
+
 std::uint64_t select_luby_seed(const Graph& g,
                                const std::vector<std::uint8_t>& status,
                                const derand::Lemma10Options& opt,
                                const std::vector<std::uint32_t>& chunk_of,
                                std::uint64_t round,
-                               engine::SearchStats* stats) {
-  prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, round));
-  LubyRoundOracle oracle(g, status, family, chunk_of);
-  engine::SeedSearch search(oracle);
-  engine::Selection sel =
-      opt.strategy == derand::SeedStrategy::kConditionalExpectation
-          ? search.conditional_expectation(opt.seed_bits)
-          : search.exhaustive_bits(opt.seed_bits);
+                               engine::SearchStats* stats,
+                               mpc::Cluster* search_cluster) {
+  engine::Selection sel = select_luby_seed_selection(
+      g, status, opt, chunk_of, round, search_cluster);
   if (stats) stats->absorb(sel.stats);
   return sel.seed;
 }

@@ -13,16 +13,6 @@ namespace {
 constexpr std::uint8_t kUndecided = kLubyUndecided, kInMis = kLubyInMis,
                        kOut = kLubyOut;
 
-template <typename Fn>
-void for_each_message(const std::vector<mpc::Word>& inbox, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < inbox.size()) {
-    mpc::Word len = inbox[i + 1];
-    fn(std::span<const mpc::Word>(inbox.data() + i + 2, len));
-    i += 2 + len;
-  }
-}
-
 /// One Luby round executed through home-machine messages (3 cluster
 /// rounds: liveness, rivalry, membership). Coins come from
 /// `bits.stream(v, chunk_of[v])` exactly as the shared-memory
@@ -51,9 +41,11 @@ void mpc_luby_round(mpc::Cluster& cluster, const Graph& g,
       if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
   });
   for (mpc::MachineId m = 0; m < p; ++m) {
-    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-      for (mpc::Word u : pl) ++live_degree[u];
-    });
+    mpc::for_each_message(
+        cluster.inbox(m),
+        [&](mpc::MachineId, std::span<const mpc::Word> pl) {
+          for (mpc::Word u : pl) ++live_degree[u];
+        });
   }
 
   // Mark locally with the exact coin sequence of luby_round().
@@ -86,13 +78,15 @@ void mpc_luby_round(mpc::Cluster& cluster, const Graph& g,
       if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
   });
   for (mpc::MachineId m = 0; m < p; ++m) {
-    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-      for (std::size_t i = 0; i + 2 < pl.size(); i += 3) {
-        NodeId u = static_cast<NodeId>(pl[i]);
-        rivals[u].emplace_back(static_cast<NodeId>(pl[i + 1]),
-                               static_cast<std::uint32_t>(pl[i + 2]));
-      }
-    });
+    mpc::for_each_message(
+        cluster.inbox(m),
+        [&](mpc::MachineId, std::span<const mpc::Word> pl) {
+          for (std::size_t i = 0; i + 2 < pl.size(); i += 3) {
+            NodeId u = static_cast<NodeId>(pl[i]);
+            rivals[u].emplace_back(static_cast<NodeId>(pl[i + 1]),
+                                   static_cast<std::uint32_t>(pl[i + 2]));
+          }
+        });
   }
   // Decide against the round-start snapshot: every rival in rivals[v]
   // was live and marked when R2's messages were sent, so the messages
@@ -126,11 +120,13 @@ void mpc_luby_round(mpc::Cluster& cluster, const Graph& g,
       if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
   });
   for (mpc::MachineId m = 0; m < p; ++m) {
-    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-      for (mpc::Word u : pl) {
-        if (status[u] == kUndecided) status[u] = kOut;
-      }
-    });
+    mpc::for_each_message(
+        cluster.inbox(m),
+        [&](mpc::MachineId, std::span<const mpc::Word> pl) {
+          for (mpc::Word u : pl) {
+            if (status[u] == kUndecided) status[u] = kOut;
+          }
+        });
   }
 }
 
@@ -180,8 +176,11 @@ MpcMisResult luby_mis_mpc_derandomized(mpc::Cluster& cluster, const Graph& g,
   const std::uint64_t rounds_before = cluster.ledger().rounds();
   for (std::uint64_t r = 0;
        r < max_rounds && undecided_count(status) > 0; ++r) {
-    const std::uint64_t seed =
-        select_luby_seed(g, status, opt, chunks.chunk_of, r, &out.search);
+    // With opt.search_backend == kSharded the selection sweeps run as
+    // rounds on this same cluster (counted in out.mpc_rounds and in
+    // out.search.sharded) before the chosen round replays on it.
+    const std::uint64_t seed = select_luby_seed(
+        g, status, opt, chunks.chunk_of, r, &out.search, &cluster);
     prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, r));
     auto src = family.source(seed);
     mpc_luby_round(cluster, g, status, src, chunks.chunk_of);

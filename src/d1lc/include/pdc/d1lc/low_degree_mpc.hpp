@@ -44,11 +44,26 @@ MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
                                        const EnumerablePairwiseFamily& family,
                                        std::uint64_t index);
 
-/// Full deterministic phase loop on the cluster: per phase, evaluate
-/// every family member with the shared-memory twin (machines would each
-/// score their shard; the argmin aggregation is the same conditional-
-/// expectations exchange charged elsewhere), then *execute* the winning
-/// member through real messages. Returns the complete coloring.
+/// Seed selection for one trial phase: index search over the family for
+/// the member committing the most nodes (negated counts). On the
+/// kSharded backend every sweep runs as capacity-checked rounds on
+/// `search_cluster` (home machines score their own nodes, totals
+/// converge-cast) and returns the bit-identical Selection. Exposed for
+/// the sharded differential tests; low_degree_color_mpc routes through
+/// here.
+engine::Selection low_degree_trial_selection(
+    const D1lcInstance& inst, const Coloring& coloring,
+    const EnumerablePairwiseFamily& family,
+    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory,
+    mpc::Cluster* search_cluster = nullptr);
+
+/// Full deterministic phase loop on the cluster: per phase, select the
+/// winning family member (shared-memory engine by default; with
+/// backend == kSharded the selection sweeps themselves run as cluster
+/// rounds — the Lemma-10 aggregation story executed on the substrate),
+/// then *execute* the winner through real messages. Returns the
+/// complete coloring. With kSharded, `mpc_rounds` includes the search's
+/// converge-cast rounds (also broken out in search.sharded.rounds).
 struct MpcLowDegreeResult {
   Coloring coloring;
   std::uint64_t phases = 0;
@@ -57,9 +72,9 @@ struct MpcLowDegreeResult {
   /// Engine accounting summed over the per-phase family searches.
   engine::SearchStats search;
 };
-MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
-                                        const D1lcInstance& inst,
-                                        int family_log2 = 6,
-                                        std::uint64_t salt = 0xC0FFEE);
+MpcLowDegreeResult low_degree_color_mpc(
+    mpc::Cluster& cluster, const D1lcInstance& inst, int family_log2 = 6,
+    std::uint64_t salt = 0xC0FFEE,
+    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory);
 
 }  // namespace pdc::d1lc

@@ -4,21 +4,12 @@
 #include <span>
 
 #include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::d1lc {
 
 namespace {
-
-template <typename Fn>
-void for_each_message(const std::vector<mpc::Word>& inbox, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < inbox.size()) {
-    mpc::Word len = inbox[i + 1];
-    fn(std::span<const mpc::Word>(inbox.data() + i + 2, len));
-    i += 2 + len;
-  }
-}
 
 std::vector<Color> available_of(const D1lcInstance& inst,
                                 const Coloring& coloring, NodeId v) {
@@ -103,6 +94,16 @@ class MpcTrialOracle final : public engine::CostOracle {
 
 }  // namespace
 
+engine::Selection low_degree_trial_selection(
+    const D1lcInstance& inst, const Coloring& coloring,
+    const EnumerablePairwiseFamily& family, engine::SearchBackend backend,
+    mpc::Cluster* search_cluster) {
+  MpcTrialOracle oracle(inst, coloring, family);
+  return engine::sharded::search_with_backend(
+      oracle, backend, search_cluster,
+      [&](auto& search) { return search.exhaustive(family.size()); });
+}
+
 MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
                                        const Coloring& coloring,
                                        const EnumerablePairwiseFamily& family,
@@ -169,12 +170,14 @@ MpcTrialResult low_degree_trial_mpc(mpc::Cluster& cluster,
       if (!buf[d].empty()) ob.send(d, std::move(buf[d]));
   });
   for (mpc::MachineId m = 0; m < p; ++m) {
-    for_each_message(cluster.inbox(m), [&](std::span<const mpc::Word> pl) {
-      for (std::size_t i = 0; i + 1 < pl.size(); i += 2) {
-        rival_picks[pl[i]].emplace_back(kInvalidNode,
-                                        static_cast<Color>(pl[i + 1]));
-      }
-    });
+    mpc::for_each_message(
+        cluster.inbox(m),
+        [&](mpc::MachineId, std::span<const mpc::Word> pl) {
+          for (std::size_t i = 0; i + 1 < pl.size(); i += 2) {
+            rival_picks[pl[i]].emplace_back(kInvalidNode,
+                                            static_cast<Color>(pl[i + 1]));
+          }
+        });
   }
 
   // R2 (decision + announcement): commit unless a rival picked the same
@@ -210,7 +213,8 @@ MpcTrialResult low_degree_trial_mpc(mpc::Cluster& cluster,
 
 MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
                                         const D1lcInstance& inst,
-                                        int family_log2, std::uint64_t salt) {
+                                        int family_log2, std::uint64_t salt,
+                                        engine::SearchBackend backend) {
   MpcLowDegreeResult out;
   out.coloring.assign(inst.graph.num_nodes(), kNoColor);
   const std::uint64_t before = cluster.ledger().rounds();
@@ -219,9 +223,8 @@ MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
   while (uncolored > 0) {
     EnumerablePairwiseFamily family(hash_combine(salt, out.phases),
                                     family_log2);
-    MpcTrialOracle oracle(inst, out.coloring, family);
-    engine::SeedSearch search(oracle);
-    engine::Selection sc = search.exhaustive(family.size());
+    engine::Selection sc = low_degree_trial_selection(
+        inst, out.coloring, family, backend, &cluster);
     out.search.absorb(sc.stats);
 
     MpcTrialResult trial =

@@ -30,6 +30,11 @@
 #include "pdc/graph/power.hpp"
 #include "pdc/mpc/cost_model.hpp"
 #include "pdc/prg/cond_exp.hpp"
+#include "pdc/prg/prg.hpp"
+
+namespace pdc::mpc {
+class Cluster;
+}
 
 namespace pdc::derand {
 
@@ -55,6 +60,15 @@ struct Lemma10Options {
   /// without the Defer mark (they retry in later steps); the
   /// derandomized pipeline defers per the lemma.
   bool defer_failures = true;
+  /// Substrate for the kExhaustive / kConditionalExpectation searches:
+  /// kSharded executes every sweep as capacity-checked rounds on
+  /// `search_cluster` (machine-local shard scoring + converge-cast of
+  /// the per-seed totals; see pdc::engine::sharded). Selections are
+  /// bit-identical to the shared-memory engine's — the backend changes
+  /// where the sums run, never what is chosen.
+  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
+  /// Required (non-owning) when search_backend == kSharded.
+  mpc::Cluster* search_cluster = nullptr;
 };
 
 struct Lemma10Report {
@@ -91,6 +105,24 @@ struct ChunkAssignment {
 ChunkAssignment assign_chunks(const Graph& g, int tau,
                               const Lemma10Options& opt,
                               mpc::CostModel* cost);
+
+/// The PRG family Lemma 10 searches and then replays under the chosen
+/// seed — a single derivation, so the selection and the commit can
+/// never disagree about which family the guarantee was proved against.
+inline prg::PrgFamily lemma10_family(const Lemma10Options& opt) {
+  return prg::PrgFamily(opt.seed_bits, opt.salt);
+}
+
+/// The Lemma-10 seed search alone (no commit): builds the PRG family
+/// via lemma10_family(opt) and searches it for the SSP-failure
+/// objective with the chosen strategy (kExhaustive or
+/// kConditionalExpectation) on the chosen backend. Exposed so the
+/// sharded differential tests can compare whole Selections;
+/// derandomize_procedure routes its search strategies through here.
+engine::Selection lemma10_seed_selection(const NormalProcedure& proc,
+                                         const ColoringState& state,
+                                         const ChunkAssignment& chunks,
+                                         const Lemma10Options& opt);
 
 /// Derandomizes (or, for kTrueRandom, just runs) one procedure against
 /// the state: selects the seed, commits outputs, defers failures.

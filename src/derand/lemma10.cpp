@@ -5,6 +5,7 @@
 #include <span>
 
 #include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::derand {
@@ -79,6 +80,23 @@ class SspFailureOracle final : public engine::CostOracle {
 };
 
 }  // namespace
+
+engine::Selection lemma10_seed_selection(const NormalProcedure& proc,
+                                         const ColoringState& state,
+                                         const ChunkAssignment& chunks,
+                                         const Lemma10Options& opt) {
+  PDC_CHECK(opt.strategy == SeedStrategy::kExhaustive ||
+            opt.strategy == SeedStrategy::kConditionalExpectation);
+  prg::PrgFamily family = lemma10_family(opt);
+  SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
+  const bool cond_exp =
+      opt.strategy == SeedStrategy::kConditionalExpectation;
+  return engine::sharded::search_with_backend(
+      oracle, opt.search_backend, opt.search_cluster, [&](auto& search) {
+        return cond_exp ? search.conditional_expectation(opt.seed_bits)
+                        : search.exhaustive_bits(opt.seed_bits);
+      });
+}
 
 ChunkAssignment assign_chunks(const Graph& g, int tau,
                               const Lemma10Options& opt,
@@ -174,24 +192,15 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
     chosen = proc.simulate(state, src);
     rep.seed_evaluations = 1;
   } else {
-    prg::PrgFamily family(opt.seed_bits, opt.salt);
-    SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
-    engine::SeedSearch search(oracle);
+    prg::PrgFamily family = lemma10_family(opt);
     engine::Selection sel;
-    switch (opt.strategy) {
-      case SeedStrategy::kExhaustive:
-        sel = search.exhaustive_bits(opt.seed_bits);
-        break;
-      case SeedStrategy::kConditionalExpectation:
-        sel = search.conditional_expectation(opt.seed_bits);
-        break;
-      case SeedStrategy::kFirstSeed:
-        sel.seed = 0;
-        sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
-        sel.mean_cost = sel.cost;
-        break;
-      case SeedStrategy::kTrueRandom:
-        break;  // unreachable
+    if (opt.strategy == SeedStrategy::kFirstSeed) {
+      SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
+      sel.seed = 0;
+      sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
+      sel.mean_cost = sel.cost;
+    } else {
+      sel = lemma10_seed_selection(proc, state, chunks, opt);
     }
     rep.seed = sel.seed;
     rep.mean_failures = sel.mean_cost;

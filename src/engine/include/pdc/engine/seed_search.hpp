@@ -30,12 +30,44 @@
 // See src/engine/README.md for the oracle contract and guidance on when
 // to implement eval_batch.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 namespace pdc::engine {
+
+/// Which substrate executes a seed search. Call sites that run on the
+/// MPC cluster accept this choice: kSharedMemory keeps the in-process
+/// engine (pdc::engine::SeedSearch); kSharded routes every sweep through
+/// mpc::Cluster rounds (pdc::engine::sharded::ShardedSeedSearch) —
+/// machine-local shard scoring plus a converge-cast of the per-seed
+/// partial totals. Both backends return bit-identical Selections for
+/// oracles whose costs sit on the sharded backend's fixed-point grid
+/// (all production oracles are integer-valued).
+enum class SearchBackend {
+  kSharedMemory,
+  kSharded,
+};
+
+/// Accounting for searches executed on the sharded (MPC) backend; all
+/// zero when a search ran in shared memory.
+struct ShardedStats {
+  /// Cluster rounds consumed by the sweeps (scoring + converge-cast).
+  std::uint64_t rounds = 0;
+  /// Payload words converge-cast up the aggregation tree (each non-root
+  /// machine sends its block-wide partial vector exactly once per sweep).
+  std::uint64_t words = 0;
+  /// Items resident on the fullest machine under the shard plan.
+  std::uint64_t max_machine_load = 0;
+
+  void absorb(const ShardedStats& o) {
+    rounds += o.rounds;
+    words += o.words;
+    max_machine_load = std::max(max_machine_load, o.max_machine_load);
+  }
+};
 
 /// Work accounting for one (or several, via absorb) seed searches.
 struct SearchStats {
@@ -46,13 +78,20 @@ struct SearchStats {
   /// once" unit). The legacy scalar path paid one sweep per evaluation;
   /// batched sweeps score up to SearchOptions::max_batch seeds per pass.
   std::uint64_t sweeps = 0;
+  /// Largest sweep block actually used (seeds scored per item pass).
+  /// Records the adaptive choice when SearchOptions::max_batch == 0.
+  std::uint64_t batch = 0;
   /// Wall time spent inside the engine, milliseconds.
   double wall_ms = 0.0;
+  /// MPC-substrate accounting (sharded backend only).
+  ShardedStats sharded;
 
   void absorb(const SearchStats& o) {
     evaluations += o.evaluations;
     sweeps += o.sweeps;
+    batch = std::max(batch, o.batch);
     wall_ms += o.wall_ms;
+    sharded.absorb(o.sharded);
   }
 };
 
@@ -139,14 +178,33 @@ class ScalarOracle final : public CostOracle {
 struct SearchOptions {
   /// Seeds scored per item sweep. Bounds the oracle's per-block state
   /// (begin_sweep caches one entry per seed in the block) and each
-  /// thread's accumulator. Must be >= 1.
-  std::size_t max_batch = 128;
+  /// thread's accumulator. 0 (the default) derives the block size from
+  /// the oracle's item_count() and a cache-footprint estimate — see
+  /// resolve_max_batch(); any value >= 1 is used verbatim by the
+  /// shared-memory engine. (The sharded backend additionally caps any
+  /// resolved value at half the cluster's local space, a physical
+  /// limit: a fold-round machine holds two block-wide partials.
+  /// SearchStats::batch always reports the width actually used.)
+  std::size_t max_batch = 0;
   /// Conditional expectations: once the chosen branch is flat (every
   /// completion has the same total — in particular an all-zero branch
   /// for non-negative costs), stop fixing bits and take its first
   /// completion; the guarantee is unaffected.
   bool early_exit = true;
 };
+
+/// Resolves SearchOptions::max_batch against an oracle's item count.
+/// Explicit values pass through; the adaptive policy (max_batch == 0)
+/// targets two costs that pull in opposite directions: each additional
+/// seed in the block amortizes the per-item setup (neighbor scans,
+/// palette walks) one more time — so more items justify wider blocks —
+/// while the per-thread sink of `block` doubles plus the oracle's
+/// per-seed block state must stay cache-resident. The policy sizes the
+/// block at an eighth of the item count, rounded up to a power of two
+/// and clamped between a floor of 128 and a 4096-double sink (32 KiB,
+/// a typical L1d's worth).
+std::size_t resolve_max_batch(const SearchOptions& opt,
+                              std::size_t item_count);
 
 /// Drives searches over an enumerable seed space against one oracle.
 /// The oracle reference must outlive the SeedSearch.
@@ -187,5 +245,33 @@ class SeedSearch {
 /// ablation strategy).
 double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
                      SearchStats* stats = nullptr);
+
+namespace detail {
+
+/// Selection logic shared by every backend. Both take the full vector
+/// of per-seed totals (totals[s] = sum_item cost(s, item)) and return
+/// the Selection *without* stats/wall accounting — the caller fills
+/// those in. Keeping these as the single implementation is what makes
+/// the sharded backend's "bit-identical Selection" guarantee a matter
+/// of totals equality rather than re-derivation.
+
+/// Argmin + mean over the whole space (exhaustive / index search).
+Selection select_exhaustive(const std::vector<double>& totals);
+
+/// The bitwise conditional-expectations walk over 2^seed_bits totals.
+Selection select_conditional_expectation(const std::vector<double>& totals,
+                                         int seed_bits, bool early_exit);
+
+/// Route drivers over an arbitrary totals producer (the one thing the
+/// backends differ in): compute totals, select, fill stats and wall
+/// time. Both SeedSearch and sharded::ShardedSeedSearch delegate here,
+/// so route semantics cannot drift between backends.
+using TotalsFn =
+    std::function<std::vector<double>(std::uint64_t, SearchStats&)>;
+Selection run_exhaustive(const TotalsFn& totals, std::uint64_t num_seeds);
+Selection run_conditional_expectation(const TotalsFn& totals, int seed_bits,
+                                      bool early_exit);
+
+}  // namespace detail
 
 }  // namespace pdc::engine

@@ -1,6 +1,7 @@
 #include "pdc/engine/seed_search.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "pdc/util/check.hpp"
 #include "pdc/util/parallel.hpp"
@@ -8,16 +9,24 @@
 
 namespace pdc::engine {
 
-namespace {
+std::size_t resolve_max_batch(const SearchOptions& opt,
+                              std::size_t item_count) {
+  if (opt.max_batch != 0) return opt.max_batch;
+  // Adaptive policy: an eighth of the item count, rounded up to a
+  // power of two. The 4096-double ceiling keeps the sink within a
+  // 32 KiB L1 slice; the floor of 128 keeps small searches in one or
+  // two passes.
+  constexpr std::size_t kFloor = 128;
+  constexpr std::size_t kCeil = 32 * 1024 / sizeof(double);  // 4096
+  const std::size_t target =
+      std::bit_ceil(std::max<std::size_t>(1, item_count / 8));
+  return std::clamp(target, kFloor, kCeil);
+}
 
-struct ArgminMean {
-  std::uint64_t seed = 0;
-  double cost = 0.0;
-  double mean = 0.0;
-};
+namespace detail {
 
-ArgminMean argmin_and_mean(const std::vector<double>& totals) {
-  ArgminMean out;
+Selection select_exhaustive(const std::vector<double>& totals) {
+  Selection out;
   out.cost = totals[0];
   double sum = 0.0;
   for (std::uint64_t s = 0; s < totals.size(); ++s) {
@@ -27,73 +36,15 @@ ArgminMean argmin_and_mean(const std::vector<double>& totals) {
       out.seed = s;
     }
   }
-  out.mean = sum / static_cast<double>(totals.size());
+  out.mean_cost = sum / static_cast<double>(totals.size());
   return out;
 }
 
-}  // namespace
-
-SeedSearch::SeedSearch(CostOracle& oracle, SearchOptions opt)
-    : oracle_(&oracle), opt_(opt) {
-  PDC_CHECK(opt_.max_batch >= 1);
-}
-
-std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
-                                               SearchStats& stats) {
-  const std::size_t items = oracle_->item_count();
-  std::vector<double> totals(num_seeds, 0.0);
-  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += opt_.max_batch) {
-    const std::size_t block = static_cast<std::size_t>(
-        std::min<std::uint64_t>(opt_.max_batch, num_seeds - s0));
-    std::vector<std::uint64_t> seeds(block);
-    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
-    oracle_->begin_sweep(seeds);
-    if (items == 1) {
-      // Opaque objective: the only parallelism available is over seeds
-      // (the legacy SeedCostFn contract).
-      parallel_for(block, [&](std::size_t k) {
-        totals[s0 + k] = oracle_->cost(seeds[k], 0);
-      });
-    } else {
-      // Item-major sweep: one parallel pass over the items scores the
-      // whole seed block.
-      std::span<const std::uint64_t> sp(seeds);
-      parallel_accumulate(items, block, totals.data() + s0,
-                          [&](std::size_t item, double* sink) {
-                            oracle_->eval_batch(sp, item, sink);
-                          });
-    }
-    oracle_->end_sweep();
-    ++stats.sweeps;
-    stats.evaluations += block;
-  }
-  return totals;
-}
-
-Selection SeedSearch::exhaustive(std::uint64_t num_seeds) {
-  PDC_CHECK(num_seeds >= 1);
-  Timer timer;
-  Selection out;
-  std::vector<double> totals = compute_totals(num_seeds, out.stats);
-  ArgminMean am = argmin_and_mean(totals);
-  out.seed = am.seed;
-  out.cost = am.cost;
-  out.mean_cost = am.mean;
-  out.stats.wall_ms = timer.millis();
-  return out;
-}
-
-Selection SeedSearch::exhaustive_bits(int seed_bits) {
-  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
-  return exhaustive(1ULL << seed_bits);
-}
-
-Selection SeedSearch::conditional_expectation(int seed_bits) {
-  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
-  Timer timer;
-  Selection out;
+Selection select_conditional_expectation(const std::vector<double>& totals,
+                                         int seed_bits, bool early_exit) {
   const std::uint64_t n = 1ULL << seed_bits;
-  std::vector<double> totals = compute_totals(n, out.stats);
+  PDC_CHECK(totals.size() == n);
+  Selection out;
 
   // Bitwise walk. At bit i with prefix p (low i bits fixed), branch
   // b's completions are exactly the seeds s with s mod 2^{i+1} ==
@@ -123,7 +74,7 @@ Selection SeedSearch::conditional_expectation(int seed_bits) {
     if (bit == 0) overall_mean = (mean0 + mean1) / 2.0;
     const int pick = mean1 < mean0 ? 1 : 0;
     prefix |= static_cast<std::uint64_t>(pick) << bit;
-    if (opt_.early_exit && branch_min[pick] == branch_max[pick]) {
+    if (early_exit && branch_min[pick] == branch_max[pick]) {
       // Flat branch: every completion attains the branch mean; the
       // first completion (remaining bits 0) is optimal within it.
       break;
@@ -132,8 +83,85 @@ Selection SeedSearch::conditional_expectation(int seed_bits) {
   out.seed = prefix;
   out.cost = totals[prefix];
   out.mean_cost = overall_mean;
+  return out;
+}
+
+Selection run_exhaustive(const TotalsFn& totals, std::uint64_t num_seeds) {
+  PDC_CHECK(num_seeds >= 1);
+  Timer timer;
+  SearchStats stats;
+  Selection out = select_exhaustive(totals(num_seeds, stats));
+  out.stats = stats;
   out.stats.wall_ms = timer.millis();
   return out;
+}
+
+Selection run_conditional_expectation(const TotalsFn& totals, int seed_bits,
+                                      bool early_exit) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  Timer timer;
+  SearchStats stats;
+  Selection out = select_conditional_expectation(
+      totals(1ULL << seed_bits, stats), seed_bits, early_exit);
+  out.stats = stats;
+  out.stats.wall_ms = timer.millis();
+  return out;
+}
+
+}  // namespace detail
+
+SeedSearch::SeedSearch(CostOracle& oracle, SearchOptions opt)
+    : oracle_(&oracle), opt_(opt) {}
+
+std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
+                                               SearchStats& stats) {
+  const std::size_t items = oracle_->item_count();
+  const std::size_t max_batch = resolve_max_batch(opt_, items);
+  std::vector<double> totals(num_seeds, 0.0);
+  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
+    const std::size_t block = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_batch, num_seeds - s0));
+    std::vector<std::uint64_t> seeds(block);
+    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
+    oracle_->begin_sweep(seeds);
+    if (items == 1) {
+      // Opaque objective: the only parallelism available is over seeds
+      // (the legacy SeedCostFn contract).
+      parallel_for(block, [&](std::size_t k) {
+        totals[s0 + k] = oracle_->cost(seeds[k], 0);
+      });
+    } else {
+      // Item-major sweep: one parallel pass over the items scores the
+      // whole seed block.
+      std::span<const std::uint64_t> sp(seeds);
+      parallel_accumulate(items, block, totals.data() + s0,
+                          [&](std::size_t item, double* sink) {
+                            oracle_->eval_batch(sp, item, sink);
+                          });
+    }
+    oracle_->end_sweep();
+    ++stats.sweeps;
+    stats.evaluations += block;
+    stats.batch = std::max<std::uint64_t>(stats.batch, block);
+  }
+  return totals;
+}
+
+Selection SeedSearch::exhaustive(std::uint64_t num_seeds) {
+  return detail::run_exhaustive(
+      [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
+      num_seeds);
+}
+
+Selection SeedSearch::exhaustive_bits(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  return exhaustive(1ULL << seed_bits);
+}
+
+Selection SeedSearch::conditional_expectation(int seed_bits) {
+  return detail::run_conditional_expectation(
+      [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
+      seed_bits, opt_.early_exit);
 }
 
 double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
@@ -156,6 +184,7 @@ double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
   if (stats) {
     ++stats->sweeps;
     ++stats->evaluations;
+    stats->batch = std::max<std::uint64_t>(stats->batch, 1);
     stats->wall_ms += timer.millis();
   }
   return total;

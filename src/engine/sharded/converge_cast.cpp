@@ -1,0 +1,157 @@
+#include "pdc/engine/sharded/converge_cast.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::engine::sharded {
+
+namespace {
+
+using mpc::MachineId;
+using mpc::Word;
+
+inline Word encode(std::int64_t v) { return std::bit_cast<Word>(v); }
+inline std::int64_t decode(Word w) { return std::bit_cast<std::int64_t>(w); }
+
+/// Folds an inbox of width-wide partials into `storage` by integer
+/// addition. Returns false on a mis-framed message (wrong width)
+/// instead of throwing: machine steps run inside an OpenMP parallel
+/// region, where an escaping exception would terminate the process —
+/// callers check the flag host-side after the round.
+[[nodiscard]] bool fold_inbox(const std::vector<Word>& inbox,
+                              std::vector<Word>& storage,
+                              std::size_t width) {
+  bool ok = true;
+  mpc::for_each_message(inbox, [&](MachineId, std::span<const Word> pl) {
+    if (pl.size() != width) {
+      ok = false;
+      return;
+    }
+    for (std::size_t k = 0; k < width; ++k)
+      storage[k] = encode(decode(storage[k]) + decode(pl[k]));
+  });
+  return ok;
+}
+
+}  // namespace
+
+std::uint32_t pick_fan_in(const mpc::Config& cfg, std::size_t width) {
+  PDC_CHECK(width >= 1);
+  // A fold-round parent simultaneously holds its own width-word partial
+  // (storage) and f - 1 child partials (inbox): f * width resident
+  // words total, which must fit in s. The minimum viable tree (f = 2)
+  // therefore needs width <= s / 2.
+  PDC_CHECK_MSG(2 * static_cast<std::uint64_t>(width) <=
+                    cfg.local_space_words,
+                "converge-cast width " << width << " too wide for local "
+                "space s=" << cfg.local_space_words
+                << " (storage + one child partial must fit)");
+  const std::uint64_t f = cfg.local_space_words / width;
+  const std::uint64_t cap = std::max<std::uint64_t>(2, cfg.num_machines);
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(f, 2, cap));
+}
+
+std::uint64_t converge_cast_rounds(std::uint32_t p, std::uint32_t fan_in) {
+  PDC_CHECK(fan_in >= 2);
+  std::uint64_t levels = 0;
+  std::uint64_t cover = 1;
+  while (cover < p) {
+    cover *= fan_in;
+    ++levels;
+  }
+  return std::max<std::uint64_t>(1, levels);
+}
+
+std::vector<std::int64_t> converge_cast_sum(
+    mpc::Cluster& cluster, std::size_t width, std::uint32_t fan_in,
+    const std::function<void(mpc::MachineId, std::int64_t*)>& partial,
+    ConvergeCastStats* stats) {
+  const MachineId p = cluster.num_machines();
+  PDC_CHECK(p >= 1 && fan_in >= 2 && width >= 1);
+  // The cast claims every machine's storage as scratch (see the
+  // storage contract in the header); refuse to destroy resident state.
+  for (MachineId m = 0; m < p; ++m)
+    PDC_CHECK_MSG(cluster.storage(m).empty(),
+                  "machine " << m << "'s storage is in use; a converge-"
+                  "cast would destroy it — stage it host-side first or "
+                  "use a separate search cluster");
+  // Reject space-infeasible configurations up front (callers may pass
+  // an explicit fan-in that bypasses pick_fan_in): a fold-round parent
+  // holds its own partial plus up to min(fan_in, p) - 1 children's.
+  const std::uint64_t resident =
+      std::min<std::uint64_t>(fan_in, p) * width;
+  PDC_CHECK_MSG(resident <= cluster.config().local_space_words,
+                "converge-cast fan-in " << fan_in << " x width " << width
+                << " needs " << resident << " resident words > s="
+                << cluster.config().local_space_words);
+  const std::uint64_t rounds = converge_cast_rounds(p, fan_in);
+  std::vector<std::uint8_t> fold_ok(p, 1);
+  // Measured (not derived) send volume: each machine writes only its
+  // own slot inside the parallel step, so the counters are race-free
+  // and a scheduling bug that re-sends partials shows up in the stats.
+  std::vector<std::uint64_t> sent_words(p, 0);
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    // Senders at level r are the machines whose trailing base-fan_in
+    // digits first become nonzero at r: m % f^r == 0, m % f^{r+1} != 0.
+    std::uint64_t stride = 1;
+    for (std::uint64_t i = 0; i < r; ++i) stride *= fan_in;
+    const std::uint64_t parent_stride = stride * fan_in;
+
+    cluster.round([&](MachineId m, const std::vector<Word>& inbox,
+                      std::vector<Word>& storage, mpc::Outbox& ob) {
+      if (r == 0) {
+        // Compute round: every machine scores its shard into a local
+        // int64 partial. Candidate seeds are consecutive integers the
+        // machines derive locally, so no seed broadcast is needed.
+        std::vector<std::int64_t> acc(width, 0);
+        partial(m, acc.data());
+        storage.resize(width);
+        for (std::size_t k = 0; k < width; ++k) storage[k] = encode(acc[k]);
+      } else {
+        // Fold the child partials delivered by the previous level.
+        if (!fold_inbox(inbox, storage, width)) fold_ok[m] = 0;
+      }
+      if (m != 0 && m % stride == 0 && m % parent_stride != 0) {
+        const MachineId parent =
+            static_cast<MachineId>(m - m % parent_stride);
+        sent_words[m] += storage.size();
+        ob.send(parent, std::vector<Word>(storage.begin(), storage.end()));
+      }
+    });
+  }
+
+  for (MachineId m = 0; m < p; ++m)
+    PDC_CHECK_MSG(fold_ok[m], "converge-cast: mis-framed partial delivered "
+                              "to machine " << m);
+
+  // Root readout: the final level's partials sit in machine 0's inbox;
+  // fold them host-side (the output-on-a-designated-machine convention —
+  // their delivery was already capacity-checked by the last round).
+  std::vector<Word> root(cluster.storage(0));
+  PDC_CHECK(root.size() == width);
+  PDC_CHECK_MSG(fold_inbox(cluster.inbox(0), root, width),
+                "converge-cast: mis-framed partial at the root readout");
+  std::vector<std::int64_t> totals(width);
+  for (std::size_t k = 0; k < width; ++k) totals[k] = decode(root[k]);
+
+  // Release the cast's scratch — storage on every machine, and the
+  // root's consumed inbox — so later rounds on the same cluster are
+  // neither charged for it nor at risk of mis-framing the leftovers.
+  for (MachineId m = 0; m < p; ++m) cluster.storage(m).clear();
+  cluster.clear_inbox(0);
+
+  if (stats) {
+    stats->rounds += rounds;
+    // Every non-root machine ships its width-word partial exactly once,
+    // so this measures (p - 1) * width — checked by the tests against
+    // the formula, but reported from the actual sends.
+    for (MachineId m = 0; m < p; ++m) stats->payload_words += sent_words[m];
+    stats->fan_in = fan_in;
+  }
+  return totals;
+}
+
+}  // namespace pdc::engine::sharded

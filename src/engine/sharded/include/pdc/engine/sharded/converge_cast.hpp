@@ -1,0 +1,70 @@
+#pragma once
+// Tree converge-cast of fixed-width integer partial vectors on the
+// Cluster substrate — the aggregation step of the paper's Lemma-10
+// argument, made executable: every machine computes a width-wide partial
+// (its shard's contribution to each candidate seed), and the partials
+// are summed to machine 0 up a fan-in-f aggregation tree.
+//
+// Round structure (each level is one capacity-checked Cluster::round):
+//   round 0:  every machine computes its partial into local storage;
+//             level-0 senders (m with m % f != 0) ship theirs to the
+//             group leader.
+//   round l:  leaders fold the partials delivered last round into their
+//             own, then level-l senders (m % f^l == 0, m % f^{l+1} != 0)
+//             ship the folded partial up.
+// After ceil(log_f p) rounds only machine 0 has never sent; the host
+// folds its final inbox and reads the totals off it (the model's "the
+// output resides on a designated machine" convention, same as
+// collect_records). Every non-root machine sends its width words
+// exactly once, so the cast moves (p - 1) * width payload words, and a
+// fold-round parent holds its own width-word partial plus up to
+// (f - 1) * width inbox words — f * width resident words — so the
+// fan-in is chosen from local space s to keep that joint footprint
+// within s, with the cluster's strict capacity checks enabled.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pdc/mpc/cluster.hpp"
+
+namespace pdc::engine::sharded {
+
+/// Largest fan-in whose per-parent joint footprint (the machine's own
+/// width-word partial plus f - 1 child partials: f * width words) fits
+/// in local space, clamped to [2, max(2,p)]. Requires width <= s / 2
+/// (the f = 2 minimum must fit; the sharded search clamps its block
+/// size so it does).
+std::uint32_t pick_fan_in(const mpc::Config& cfg, std::size_t width);
+
+/// Rounds a fan_in-ary converge-cast over p machines takes:
+/// max(1, ceil(log_fan_in(p))) — the compute round is folded into the
+/// first send level. Tests assert the Ledger advances by exactly this.
+std::uint64_t converge_cast_rounds(std::uint32_t p, std::uint32_t fan_in);
+
+struct ConvergeCastStats {
+  std::uint64_t rounds = 0;         // cluster rounds charged
+  std::uint64_t payload_words = 0;  // words converge-cast (excl. headers)
+  std::uint32_t fan_in = 0;
+};
+
+/// Runs the cast: `partial(m, sink)` must add machine m's width-wide
+/// int64 contribution into sink (zero-initialized). Returns the summed
+/// totals; charges the rounds to the cluster's ledger. Integer partials
+/// make the sum exact and independent of machine count and fold order.
+///
+/// Storage contract: the cast uses every machine's persistent storage
+/// as its scratch — round 0 fills it with the width-word partial, and
+/// all storages are released (cleared) after the root readout so later
+/// rounds are not charged for them. The cast REFUSES (PDC_CHECK) to
+/// run if any machine's storage is non-empty, so resident state cannot
+/// be silently destroyed. The Luby and low-degree MPC executions keep
+/// node state host-side and compose safely; mpc::DistributedGraph does
+/// NOT — it keeps its sorted edge records in machine storage, so stage
+/// them host-side first or search on a separate cluster.
+std::vector<std::int64_t> converge_cast_sum(
+    mpc::Cluster& cluster, std::size_t width, std::uint32_t fan_in,
+    const std::function<void(mpc::MachineId, std::int64_t*)>& partial,
+    ConvergeCastStats* stats = nullptr);
+
+}  // namespace pdc::engine::sharded

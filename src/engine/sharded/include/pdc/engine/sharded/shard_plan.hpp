@@ -1,0 +1,63 @@
+#pragma once
+// Shard plan: which MPC machine scores which oracle items.
+//
+// The sharded seed search evaluates a CostOracle's items machine-locally
+// and converge-casts the per-seed partial totals; the plan fixes the
+// item -> machine map up front so every sweep of a search reads the same
+// distribution. The default map is the repo-wide home convention
+// (item i lives on machine i mod p — the same `v % p` rule the Luby and
+// low-degree MPC executions use for node state), which is what makes
+// "score your own nodes" literal: the items a machine evaluates are the
+// nodes whose state it already holds. Callers with a different owner
+// map (e.g. DistributedGraph::home_of after a re-layout) pass it in;
+// a capacity cap then spills overloaded machines' items to the least
+// loaded ones, so no machine is asked to hold more items than its local
+// space admits.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/mpc/cluster.hpp"
+
+namespace pdc::engine::sharded {
+
+class ShardPlan {
+ public:
+  /// Owner mapping: item i -> machine i % p. Load is automatically
+  /// balanced (max ceil(items / p)); this is the plan every in-repo
+  /// call site uses because it matches where node state lives.
+  static ShardPlan owner_modulo(std::size_t item_count, mpc::MachineId p);
+
+  /// Caller-supplied owner homes with a capacity-aware fallback: items
+  /// whose home already holds `capacity` items are reassigned to the
+  /// currently least-loaded machine. Requires capacity * p >= items.
+  static ShardPlan from_homes(std::span<const mpc::MachineId> home_of,
+                              mpc::MachineId p, std::uint64_t capacity);
+
+  /// Default plan for a cluster: owner modulo, with the per-machine
+  /// load checked against the machine's local space (a machine must be
+  /// able to hold its shard's state).
+  static ShardPlan make(std::size_t item_count, const mpc::Config& cfg);
+
+  mpc::MachineId home_of(std::size_t item) const { return home_[item]; }
+  std::span<const std::uint32_t> items_of(mpc::MachineId m) const {
+    return std::span<const std::uint32_t>(items_.data() + offsets_[m],
+                                          offsets_[m + 1] - offsets_[m]);
+  }
+  std::size_t item_count() const { return home_.size(); }
+  mpc::MachineId num_machines() const {
+    return static_cast<mpc::MachineId>(offsets_.size() - 1);
+  }
+  /// Items resident on the fullest machine.
+  std::uint64_t max_load() const;
+
+ private:
+  ShardPlan(std::vector<mpc::MachineId> home, mpc::MachineId p);
+
+  std::vector<mpc::MachineId> home_;   // item -> machine
+  std::vector<std::size_t> offsets_;   // CSR offsets, size p + 1
+  std::vector<std::uint32_t> items_;   // items grouped by machine
+};
+
+}  // namespace pdc::engine::sharded

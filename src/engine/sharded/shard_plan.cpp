@@ -1,0 +1,73 @@
+#include "pdc/engine/sharded/shard_plan.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::engine::sharded {
+
+ShardPlan::ShardPlan(std::vector<mpc::MachineId> home, mpc::MachineId p)
+    : home_(std::move(home)) {
+  PDC_CHECK(p >= 1);
+  offsets_.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (mpc::MachineId m : home_) {
+    PDC_CHECK(m < p);
+    ++offsets_[m + 1];
+  }
+  for (std::size_t m = 0; m < p; ++m) offsets_[m + 1] += offsets_[m];
+  items_.resize(home_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < home_.size(); ++i)
+    items_[cursor[home_[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+ShardPlan ShardPlan::owner_modulo(std::size_t item_count, mpc::MachineId p) {
+  PDC_CHECK(p >= 1);
+  std::vector<mpc::MachineId> home(item_count);
+  for (std::size_t i = 0; i < item_count; ++i)
+    home[i] = static_cast<mpc::MachineId>(i % p);
+  return ShardPlan(std::move(home), p);
+}
+
+ShardPlan ShardPlan::from_homes(std::span<const mpc::MachineId> home_of,
+                                mpc::MachineId p, std::uint64_t capacity) {
+  PDC_CHECK(p >= 1 && capacity >= 1);
+  PDC_CHECK_MSG(capacity * p >= home_of.size(),
+                "shard plan: " << home_of.size() << " items exceed cluster "
+                "capacity " << capacity << " x " << p << " machines");
+  std::vector<mpc::MachineId> home(home_of.begin(), home_of.end());
+  std::vector<std::uint64_t> load(p, 0);
+  // First pass: honor owner homes up to capacity, in item order (the
+  // spill decision must be deterministic for reproducible plans).
+  std::vector<std::size_t> spilled;
+  for (std::size_t i = 0; i < home.size(); ++i) {
+    if (load[home[i]] < capacity) {
+      ++load[home[i]];
+    } else {
+      spilled.push_back(i);
+    }
+  }
+  for (std::size_t i : spilled) {
+    const auto it = std::min_element(load.begin(), load.end());
+    home[i] = static_cast<mpc::MachineId>(it - load.begin());
+    ++(*it);
+  }
+  return ShardPlan(std::move(home), p);
+}
+
+ShardPlan ShardPlan::make(std::size_t item_count, const mpc::Config& cfg) {
+  ShardPlan plan = owner_modulo(item_count, cfg.num_machines);
+  PDC_CHECK_MSG(plan.max_load() <= cfg.local_space_words,
+                "shard plan: per-machine load " << plan.max_load()
+                << " exceeds local space s=" << cfg.local_space_words);
+  return plan;
+}
+
+std::uint64_t ShardPlan::max_load() const {
+  std::uint64_t best = 0;
+  for (std::size_t m = 0; m + 1 < offsets_.size(); ++m)
+    best = std::max<std::uint64_t>(best, offsets_[m + 1] - offsets_[m]);
+  return best;
+}
+
+}  // namespace pdc::engine::sharded

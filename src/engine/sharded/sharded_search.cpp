@@ -1,0 +1,166 @@
+#include "pdc/engine/sharded/sharded_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdc/engine/sharded/converge_cast.hpp"
+#include "pdc/util/check.hpp"
+
+namespace pdc::engine::sharded {
+
+namespace {
+
+/// Restores the ledger's phase on scope exit, so a throwing capacity
+/// check mid-search cannot leave later rounds misattributed to
+/// "seed-search(sharded)".
+class PhaseGuard {
+ public:
+  explicit PhaseGuard(mpc::Ledger& ledger)
+      : ledger_(&ledger), saved_(ledger.phase()) {}
+  ~PhaseGuard() { ledger_->begin_phase(saved_); }
+  PhaseGuard(const PhaseGuard&) = delete;
+  PhaseGuard& operator=(const PhaseGuard&) = delete;
+
+ private:
+  mpc::Ledger* ledger_;
+  std::string saved_;
+};
+
+}  // namespace
+
+ShardedOracle::ShardedOracle(CostOracle& oracle, const ShardPlan& plan,
+                             int frac_bits)
+    : oracle_(&oracle), plan_(&plan), frac_bits_(frac_bits) {
+  PDC_CHECK(frac_bits >= 0 && frac_bits <= 32);
+}
+
+std::int64_t ShardedOracle::encode(double cost) const {
+  return static_cast<std::int64_t>(
+      std::llround(std::ldexp(cost, frac_bits_)));
+}
+
+std::int64_t ShardedOracle::encode_checked(double cost) const {
+  const std::int64_t fixed = encode(cost);
+  // The bit-identical-Selection guarantee rests on this conversion
+  // being lossless. Cannot throw here (parallel machine step); the
+  // flag surfaces as a PDC_CHECK after the sweep.
+  if (std::ldexp(static_cast<double>(fixed), -frac_bits_) != cost)
+    off_grid_.store(true, std::memory_order_relaxed);
+  return fixed;
+}
+
+double ShardedOracle::decode(std::int64_t fixed) const {
+  return std::ldexp(static_cast<double>(fixed), -frac_bits_);
+}
+
+void ShardedOracle::eval_shard(mpc::MachineId m,
+                               std::span<const std::uint64_t> seeds,
+                               std::int64_t* sink) const {
+  if (oracle_->item_count() == 1) {
+    // Opaque objective: shard the seed block instead of the items.
+    const mpc::MachineId p = plan_->num_machines();
+    for (std::size_t k = m; k < seeds.size(); k += p)
+      sink[k] += encode_checked(oracle_->cost(seeds[k], 0));
+    return;
+  }
+  std::vector<double> buf(seeds.size());
+  for (std::uint32_t item : plan_->items_of(m)) {
+    // Per-item encode keeps the shard sum an exact integer sum: the
+    // order machines and items fold in can never change the total.
+    std::fill(buf.begin(), buf.end(), 0.0);
+    oracle_->eval_batch(seeds, item, buf.data());
+    for (std::size_t k = 0; k < seeds.size(); ++k)
+      sink[k] += encode_checked(buf[k]);
+  }
+}
+
+std::uint64_t ShardedOracle::max_machine_load(std::size_t block) const {
+  if (oracle_->item_count() == 1) {
+    const mpc::MachineId p = plan_->num_machines();
+    return (block + p - 1) / p;
+  }
+  return plan_->max_load();
+}
+
+ShardedSeedSearch::ShardedSeedSearch(CostOracle& oracle,
+                                     mpc::Cluster& cluster,
+                                     ShardedOptions opt)
+    : oracle_(&oracle), cluster_(&cluster), opt_(opt),
+      plan_(ShardPlan::make(oracle.item_count(), cluster.config())),
+      adapter_(oracle, plan_, opt.frac_bits) {}
+
+std::vector<double> ShardedSeedSearch::compute_totals(std::uint64_t num_seeds,
+                                                      SearchStats& stats) {
+  const mpc::Config& cfg = cluster_->config();
+  // A fold-round parent holds its own partial plus at least one
+  // child's (fan-in 2 minimum), so one block's fixed-point totals may
+  // occupy at most half a machine's local space.
+  std::size_t max_batch = resolve_max_batch(opt_.search,
+                                            oracle_->item_count());
+  max_batch = std::min<std::size_t>(
+      max_batch, static_cast<std::size_t>(cfg.local_space_words / 2));
+  PDC_CHECK(max_batch >= 1);
+
+  mpc::Ledger& ledger = cluster_->ledger();
+  PhaseGuard restore_phase(ledger);
+  ledger.begin_phase("seed-search(sharded)");
+
+  std::vector<double> totals(num_seeds, 0.0);
+  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
+    const std::size_t block = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_batch, num_seeds - s0));
+    std::vector<std::uint64_t> seeds(block);
+    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
+
+    const std::uint32_t fan_in =
+        opt_.fan_in ? opt_.fan_in : pick_fan_in(cfg, block);
+
+    adapter_.begin_sweep(seeds);
+    ConvergeCastStats cc;
+    std::vector<std::int64_t> fixed = converge_cast_sum(
+        *cluster_, block, fan_in,
+        [&](mpc::MachineId m, std::int64_t* sink) {
+          adapter_.eval_shard(
+              m, std::span<const std::uint64_t>(seeds), sink);
+        },
+        &cc);
+    adapter_.end_sweep();
+    PDC_CHECK_MSG(!adapter_.saw_off_grid_cost(),
+                  "oracle produced a cost not representable on the 2^-"
+                  << opt_.frac_bits << " fixed-point grid; raise "
+                  "ShardedOptions::frac_bits or keep costs integral");
+
+    for (std::size_t k = 0; k < block; ++k)
+      totals[s0 + k] = adapter_.decode(fixed[k]);
+
+    ++stats.sweeps;
+    stats.evaluations += block;
+    stats.batch = std::max<std::uint64_t>(stats.batch, block);
+    stats.sharded.rounds += cc.rounds;
+    stats.sharded.words += cc.payload_words;
+    stats.sharded.max_machine_load =
+        std::max(stats.sharded.max_machine_load,
+                 adapter_.max_machine_load(block));
+  }
+
+  return totals;
+}
+
+Selection ShardedSeedSearch::exhaustive(std::uint64_t num_seeds) {
+  return detail::run_exhaustive(
+      [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
+      num_seeds);
+}
+
+Selection ShardedSeedSearch::exhaustive_bits(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  return exhaustive(1ULL << seed_bits);
+}
+
+Selection ShardedSeedSearch::conditional_expectation(int seed_bits) {
+  return detail::run_conditional_expectation(
+      [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
+      seed_bits, opt_.search.early_exit);
+}
+
+}  // namespace pdc::engine::sharded

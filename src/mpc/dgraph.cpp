@@ -4,20 +4,6 @@
 
 namespace pdc::mpc {
 
-namespace {
-template <typename Fn>
-void for_each_message(const std::vector<Word>& inbox, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < inbox.size()) {
-    Word sender = inbox[i];
-    Word len = inbox[i + 1];
-    fn(static_cast<MachineId>(sender),
-       std::span<const Word>(inbox.data() + i + 2, len));
-    i += 2 + len;
-  }
-}
-}  // namespace
-
 DistributedGraph::DistributedGraph(Cluster& cluster, const Graph& g)
     : cluster_(&cluster), g_(&g) {
   // Load directed edge records (u -> v) keyed by u and sort so each

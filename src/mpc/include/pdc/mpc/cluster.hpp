@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "pdc/mpc/ledger.hpp"
@@ -61,6 +62,11 @@ class Cluster {
   /// message is preceded by a 2-word header {sender, length}.
   const std::vector<Word>& inbox(MachineId m) const { return inbox_[m]; }
 
+  /// Host-side release of machine m's inbox after an out-of-round
+  /// readout (delivery was already capacity-checked), so protocols
+  /// composed on one cluster don't mis-frame each other's leftovers.
+  void clear_inbox(MachineId m) { inbox_[m].clear(); }
+
   /// Run one synchronous round: every machine executes `step`, then the
   /// produced messages are exchanged. Charges 1 round to the ledger and
   /// verifies space/communication limits.
@@ -82,5 +88,19 @@ class Cluster {
   std::vector<std::vector<Word>> storage_;
   std::vector<std::vector<Word>> inbox_;
 };
+
+/// Walks an inbox's {sender, length, payload...} frames, calling
+/// fn(sender, payload) per message — the one implementation of the
+/// header format Cluster::round produces.
+template <typename Fn>
+void for_each_message(const std::vector<Word>& inbox, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < inbox.size()) {
+    const MachineId sender = static_cast<MachineId>(inbox[i]);
+    const std::size_t len = static_cast<std::size_t>(inbox[i + 1]);
+    fn(sender, std::span<const Word>(inbox.data() + i + 2, len));
+    i += 2 + len;
+  }
+}
 
 }  // namespace pdc::mpc

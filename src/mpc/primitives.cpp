@@ -24,19 +24,6 @@ void pack_into(std::span<const Record> recs, std::vector<Word>& words) {
   }
 }
 
-/// Iterate messages in an inbox: header {sender, len} then payload.
-template <typename Fn>
-void for_each_message(const std::vector<Word>& inbox, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < inbox.size()) {
-    Word sender = inbox[i];
-    Word len = inbox[i + 1];
-    fn(static_cast<MachineId>(sender),
-       std::span<const Word>(inbox.data() + i + 2, len));
-    i += 2 + len;
-  }
-}
-
 std::uint32_t tree_fanout(MachineId p) {
   return std::max<std::uint32_t>(
       2, static_cast<std::uint32_t>(std::ceil(std::sqrt(double(p)))));

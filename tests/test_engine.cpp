@@ -180,6 +180,40 @@ TEST(SeedSearchEngine, EvaluateSeedSumsAllItems) {
   EXPECT_EQ(stats.sweeps, 1u);
 }
 
+TEST(SeedSearchEngine, AdaptiveBatchTracksItemCountWithinCacheBudget) {
+  SearchOptions adaptive;  // max_batch == 0: derive from the oracle
+  // Floor of 128 for small item sets (little setup to amortize).
+  EXPECT_EQ(resolve_max_batch(adaptive, 1), 128u);
+  EXPECT_EQ(resolve_max_batch(adaptive, 500), 128u);
+  // An eighth of the item count (rounded to a power of two) past it...
+  EXPECT_EQ(resolve_max_batch(adaptive, 8192), 1024u);
+  EXPECT_EQ(resolve_max_batch(adaptive, 16384), 2048u);
+  // ...capped at a 4096-double (32 KiB) sink.
+  EXPECT_EQ(resolve_max_batch(adaptive, 1 << 20), 4096u);
+  // Explicit values pass through untouched.
+  SearchOptions manual;
+  manual.max_batch = 77;
+  EXPECT_EQ(resolve_max_batch(manual, 1 << 20), 77u);
+}
+
+TEST(SeedSearchEngine, StatsRecordTheChosenBatch) {
+  Graph g = gen::gnp(120, 0.05, 29);
+  BatchedCollisionOracle oracle(g, 16);
+  // Adaptive: 120 items resolve to the 128 floor; 200 seeds split into
+  // blocks of 128 + 72, and stats report the widest block used.
+  SeedSearch auto_search(oracle);
+  Selection a = auto_search.exhaustive(200);
+  EXPECT_EQ(a.stats.batch, 128u);
+  EXPECT_EQ(a.stats.sweeps, 2u);
+  // Explicit max_batch is honored verbatim.
+  SearchOptions opt;
+  opt.max_batch = 64;
+  SeedSearch manual(oracle, opt);
+  Selection b = manual.exhaustive(200);
+  EXPECT_EQ(b.stats.batch, 64u);
+  EXPECT_EQ(b.stats.sweeps, 4u);  // ceil(200 / 64)
+}
+
 TEST(SeedSearchEngine, SingleSeedSpacesAreWellDefined) {
   // family_size == 1 and seed_bits == 1: exact means, no over-counted
   // evaluations (the legacy shims' regression cases).
