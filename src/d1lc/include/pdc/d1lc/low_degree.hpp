@@ -17,6 +17,10 @@
 #include "pdc/engine/seed_search.hpp"
 #include "pdc/mpc/cost_model.hpp"
 
+namespace pdc::mpc {
+class Cluster;
+}
+
 namespace pdc::d1lc {
 
 struct LowDegreeReport {
@@ -29,9 +33,15 @@ struct LowDegreeReport {
 
 /// Colors every remaining uncolored (and deferred) participant of
 /// `state` deterministically. `family_log2` sizes the hash family
-/// searched per phase.
-LowDegreeReport low_degree_color(derand::ColoringState& state,
-                                 mpc::CostModel* cost, int family_log2 = 8,
-                                 std::uint64_t salt = 0xC0FFEE);
+/// searched per phase. The per-phase trial searches run on the chosen
+/// backend (kSharded executes them as capacity-checked rounds on
+/// `search_cluster`) through the analytic trial oracle
+/// (pdc/d1lc/trial_oracle.hpp) — closed-form per-node costs, zero
+/// enumeration sweeps, bit-identical Selections on every backend.
+LowDegreeReport low_degree_color(
+    derand::ColoringState& state, mpc::CostModel* cost, int family_log2 = 8,
+    std::uint64_t salt = 0xC0FFEE,
+    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory,
+    mpc::Cluster* search_cluster = nullptr);
 
 }  // namespace pdc::d1lc

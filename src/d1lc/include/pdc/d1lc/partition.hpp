@@ -19,6 +19,10 @@
 #include "pdc/graph/palette.hpp"
 #include "pdc/mpc/cost_model.hpp"
 
+namespace pdc::mpc {
+class Cluster;
+}
+
 namespace pdc::d1lc {
 
 struct PartitionOptions {
@@ -27,6 +31,20 @@ struct PartitionOptions {
   std::uint32_t mid_degree_cap = 32;
   int family_log2 = 7;              // hash candidates searched = 2^this
   std::uint64_t salt = 0xBEEF;
+  /// Substrate for the h1/h2 index searches: kSharded executes every
+  /// totals pass as capacity-checked rounds on `search_cluster` — each
+  /// machine evaluates its shard of high-degree nodes through the
+  /// analytic Lemma-23 closed forms (pdc/d1lc/partition_oracles.hpp)
+  /// and the per-candidate partials are converge-cast. Selections are
+  /// bit-identical to the shared-memory engine's at any machine count.
+  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
+  /// Required (non-owning) when search_backend == kSharded.
+  mpc::Cluster* search_cluster = nullptr;
+  /// Engine options for both hash searches (analytic routing, block
+  /// sizing). The default consults the oracles' closed forms — zero
+  /// enumeration sweeps; set search.use_analytic = false to force the
+  /// enumerating sweeps (differential tests and ablations).
+  engine::SearchOptions search;
 };
 
 struct Partition {

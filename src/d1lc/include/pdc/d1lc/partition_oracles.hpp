@@ -1,0 +1,120 @@
+#pragma once
+// Lemma-23 partition objectives as analytic cost oracles.
+//
+// Both hash selections of LowSpacePartition decompose per high-degree
+// node, and both are *juntas of bucket values*: node v's contribution
+// under family member s depends on s only through the member's buckets
+// of a fixed, seed-independent point set (v and its high-degree
+// neighbors for h1; v's palette colors for h2). That makes the costs
+// closed-form in the sense of pdc/engine/analytic.hpp — pure arithmetic
+// over invariants prepared once per search — so the engine's analytic
+// plane evaluates them with zero enumeration sweeps, and the sharded
+// backend evaluates each machine's shard without any cross-shard
+// simulation state.
+//
+// Each oracle also keeps its genuine enumerating implementation
+// (begin_sweep / eval_batch, the pre-analytic code path): the
+// differential tests drive both paths and require bit-identical
+// Selections, which holds because both route every bucket through
+// EnumerablePairwiseFamily::eval_params.
+
+#include <cstdint>
+#include <vector>
+
+#include "pdc/engine/analytic.hpp"
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/util/hashing.hpp"
+
+namespace pdc::d1lc {
+
+/// Lemma-23 h1 objective, decomposed per high-degree node: contribution
+/// is 1 when v's bin-internal degree under candidate hash `idx` breaks
+/// the d'(v) < max(1, 2 d(v)/nbins) bound.
+///
+/// Analytic form: begin_search filters each item's adjacency to its
+/// high-degree neighbors once (the enumerating sweep re-filters per
+/// block); eval_analytic then needs one eval_params per junta point.
+class H1DegreeOracle final : public engine::AnalyticOracle {
+ public:
+  H1DegreeOracle(const Graph& g, const std::vector<NodeId>& high,
+                 const EnumerablePairwiseFamily& family, std::uint32_t nbins,
+                 std::uint32_t mid_degree_cap);
+
+  std::size_t item_count() const override { return high_->size(); }
+
+  void begin_search(std::uint64_t num_seeds) override;
+  void end_search() override;
+  void eval_analytic(std::uint64_t first, std::size_t count,
+                     std::size_t item, double* sink) const override;
+
+  /// Enumerating sweep: loads v's neighbor list once per block and
+  /// tests it against the whole candidate block (node-major).
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override;
+
+ private:
+  double bound_of(std::size_t item) const;
+
+  const Graph* g_;
+  const std::vector<NodeId>* high_;
+  const EnumerablePairwiseFamily* family_;
+  std::uint32_t nbins_;
+  std::uint32_t mid_degree_cap_;
+  // begin_search invariants: per-item CSR of high-degree neighbors and
+  // the per-item degree bound.
+  std::vector<std::size_t> high_nbr_off_;
+  std::vector<NodeId> high_nbrs_;
+  std::vector<double> bound_;
+  // Enumerating-path per-item scratch; thread_local so concurrent items
+  // don't race.
+  static thread_local std::vector<std::uint64_t> my_bin_;
+  static thread_local std::vector<std::uint32_t> dprime_;
+};
+
+/// Lemma-23 h2 objective (given h1): contribution is 1 when v (in bins
+/// 0..nbins-2) no longer has more in-bin palette colors than in-bin
+/// neighbors.
+///
+/// Analytic form: begin_search computes each item's bin and bin-degree
+/// once (both candidate-independent — the enumerating sweep recomputes
+/// the bin-degree every block); eval_analytic then needs one
+/// eval_params per palette color.
+class H2PaletteOracle final : public engine::AnalyticOracle {
+ public:
+  H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
+                  const std::vector<NodeId>& high,
+                  const std::vector<std::uint32_t>& bin_of,
+                  const EnumerablePairwiseFamily& family, std::uint32_t nbins,
+                  std::uint32_t color_bins);
+
+  std::size_t item_count() const override { return high_->size(); }
+
+  void begin_search(std::uint64_t num_seeds) override;
+  void end_search() override;
+  void eval_analytic(std::uint64_t first, std::size_t count,
+                     std::size_t item, double* sink) const override;
+
+  /// Enumerating sweep: caches the block's (a, b) params in begin_sweep
+  /// and re-hashes the palette per candidate.
+  void begin_sweep(std::span<const std::uint64_t> seeds) override;
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override;
+
+ private:
+  const Graph* g_;
+  const D1lcInstance* inst_;
+  const std::vector<NodeId>* high_;
+  const std::vector<std::uint32_t>* bin_of_;
+  const EnumerablePairwiseFamily* family_;
+  std::uint32_t nbins_;
+  std::uint32_t color_bins_;
+  // begin_search invariants: per-item bin and bin-internal degree.
+  std::vector<std::uint32_t> item_bin_;
+  std::vector<std::uint32_t> item_dprime_;
+  // Enumerating-path block state (params of the block's members).
+  std::vector<std::uint64_t> a_, b_;
+  static thread_local std::vector<std::uint32_t> pprime_;
+};
+
+}  // namespace pdc::d1lc

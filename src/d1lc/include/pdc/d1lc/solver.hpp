@@ -51,6 +51,17 @@ struct SolverOptions {
   // Low-degree finish.
   int low_degree_family_log2 = 8;
 
+  /// Substrate for the partition h1/h2 and low-degree trial searches
+  /// (the Lemma-10 searches carry their own choice in `l10`). With
+  /// kSharded every totals pass runs as capacity-checked rounds on
+  /// `search_cluster` — machines evaluate their shards' analytic
+  /// closed forms and converge-cast the per-candidate partials.
+  /// Selections (and hence the coloring) are bit-identical to the
+  /// shared-memory engine's at any machine count.
+  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
+  /// Required (non-owning) when search_backend == kSharded.
+  mpc::Cluster* search_cluster = nullptr;
+
   std::uint64_t seed = 1;  // randomized-mode master seed
 };
 

@@ -1,0 +1,108 @@
+#pragma once
+// The low-degree hash-trial objective as an analytic cost oracle,
+// shared by the shared-memory phase loop (low_degree_color) and the MPC
+// phase loop (low_degree_color_mpc).
+//
+// One trial under family member s: every active node v picks
+// avail_v[h_s(v) mod |avail_v|] and keeps it unless an active neighbor
+// picked the same color; the objective is -1 per kept node (the
+// selector minimizes, so more colored = smaller total).
+//
+// The availability lists are seed-independent, so the cost is a junta
+// of hash values: v's contribution under s is a pure formula over
+// (avail_v, avail_u for neighbors u) and the member's (a, b) params.
+// eval_analytic exploits exactly that — AvailLists are built once per
+// search, then every (member, item) evaluation is O(deg) eval_params
+// arithmetic with no pick tables. That is also the honest MPC story: a
+// machine evaluates its shard's nodes by *recomputing* neighbor picks
+// from the formula, because a remote shard's pick table would cost a
+// communication round to consult.
+//
+// The enumerating path (begin_sweep / eval_batch) is retained: it
+// builds per-block pick tables — one n-sized Color array per candidate
+// — and amortizes each node's hash across its neighbors, the
+// pre-analytic implementation the differential tests compare against.
+// Both paths route picks through EnumerablePairwiseFamily::eval_params,
+// so their totals (and hence Selections) are bit-identical.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/derand/coloring_state.hpp"
+#include "pdc/engine/analytic.hpp"
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/palette.hpp"
+#include "pdc/util/hashing.hpp"
+
+namespace pdc::d1lc {
+
+/// One node's availability under `coloring`: palette minus the colors
+/// taken by colored neighbors. The single derivation shared by the
+/// trial oracle's scoring paths and the trial *executors* (pick_of in
+/// low_degree_mpc.cpp) — the derandomization guarantee needs the
+/// committed trial to use exactly the availability the search scored.
+std::vector<Color> trial_available_colors(const D1lcInstance& inst,
+                                          const Coloring& coloring, NodeId v);
+
+/// Per-node availability lists in CSR form (empty for inactive nodes).
+/// Seed-independent: built once per search, shared by both oracle paths.
+struct AvailLists {
+  std::vector<std::size_t> offset;  // size n+1
+  std::vector<Color> colors;
+
+  std::span<const Color> of(NodeId v) const {
+    return {colors.data() + offset[v], offset[v + 1] - offset[v]};
+  }
+
+  /// Lists for the todo nodes of a ColoringState (the shared-memory
+  /// phase loop's view); other nodes get empty lists.
+  static AvailLists from_state(const derand::ColoringState& state,
+                               const std::vector<NodeId>& todo);
+
+  /// Lists for the uncolored nodes of an instance under `coloring`
+  /// (palette minus colors taken by colored neighbors — the MPC phase
+  /// loop's view); colored nodes get empty lists.
+  static AvailLists from_instance(const D1lcInstance& inst,
+                                  const Coloring& coloring);
+};
+
+class TrialOracle final : public engine::AnalyticOracle {
+ public:
+  /// `items`: the nodes this objective scores (one item per node).
+  /// `active[v]` != 0 marks trial participants (clash candidates);
+  /// every active node must appear in `items` — the enumerating path's
+  /// pick table only covers items, so an active non-item would make
+  /// the two paths diverge (checked at construction). `avail` must
+  /// hold each active node's availability list. All references must
+  /// outlive the oracle.
+  TrialOracle(const Graph& g, const std::vector<NodeId>& items,
+              const std::vector<std::uint8_t>& active,
+              const AvailLists& avail,
+              const EnumerablePairwiseFamily& family);
+
+  std::size_t item_count() const override { return items_->size(); }
+
+  void eval_analytic(std::uint64_t first, std::size_t count,
+                     std::size_t item, double* sink) const override;
+
+  // Enumerating path: per-block pick tables.
+  void begin_sweep(std::span<const std::uint64_t> seeds) override;
+  void end_sweep() override;
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override;
+
+ private:
+  Color pick_params(std::uint64_t a, std::uint64_t b, NodeId v) const;
+
+  const Graph* g_;
+  const std::vector<NodeId>* items_;
+  const std::vector<std::uint8_t>* active_;
+  const AvailLists* avail_;
+  const EnumerablePairwiseFamily* family_;
+  // Enumerating-path block state: picks_[k][v] = v's pick under the
+  // block's k-th member (kNoColor for inactive / empty-palette nodes).
+  std::vector<std::vector<Color>> picks_;
+};
+
+}  // namespace pdc::d1lc

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <span>
 
+#include "pdc/d1lc/trial_oracle.hpp"
 #include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -13,19 +15,22 @@ using derand::ColoringState;
 
 namespace {
 
-/// Simulate one trial under family member `idx`: every todo-node picks
+/// Execute one trial under family member `idx`: every todo-node picks
 /// available[h(v) mod |available|]; keeps it if no todo-neighbor picked
-/// the same. Returns number colored (and optionally the picks).
+/// the same. Returns number colored (and optionally the picks). Reads
+/// the availability CSR the seed selection scored, so the committed
+/// trial is exactly the searched objective by construction.
 std::uint64_t trial(const ColoringState& state,
                     const std::vector<NodeId>& todo,
                     const std::vector<std::uint8_t>& in_todo,
+                    const AvailLists& avail_lists,
                     const EnumerablePairwiseFamily& family, std::uint64_t idx,
                     std::vector<Color>* out_picks) {
   const Graph& g = state.graph();
   std::vector<Color> pick(state.num_nodes(), kNoColor);
   parallel_for(todo.size(), [&](std::size_t i) {
     NodeId v = todo[i];
-    auto avail = state.available_colors(v);
+    auto avail = avail_lists.of(v);
     if (avail.empty()) return;
     pick[v] = avail[family.eval(idx, v, avail.size())];
   });
@@ -53,71 +58,13 @@ std::uint64_t trial(const ColoringState& state,
   return colored;
 }
 
-/// Decomposed trial objective: item = todo node, contribution = -1 when
-/// the node keeps its picked color under family member `idx` (the
-/// selector minimizes, so more colored = smaller total). begin_sweep
-/// computes each node's availability list once per block and indexes it
-/// per candidate — the scalar route rebuilt every list once per
-/// candidate — and eval_batch resolves clashes for the whole block in
-/// one pass over v's neighbors.
-class TrialOracle final : public engine::CostOracle {
- public:
-  TrialOracle(const ColoringState& state, const std::vector<NodeId>& todo,
-              const std::vector<std::uint8_t>& in_todo,
-              const EnumerablePairwiseFamily& family)
-      : state_(&state), todo_(&todo), in_todo_(&in_todo), family_(&family) {}
-
-  std::size_t item_count() const override { return todo_->size(); }
-
-  void begin_sweep(std::span<const std::uint64_t> seeds) override {
-    seeds_.assign(seeds.begin(), seeds.end());
-    picks_.assign(seeds.size(),
-                  std::vector<Color>(state_->num_nodes(), kNoColor));
-    parallel_for(todo_->size(), [&](std::size_t i) {
-      const NodeId v = (*todo_)[i];
-      auto avail = state_->available_colors(v);
-      if (avail.empty()) return;
-      for (std::size_t k = 0; k < seeds_.size(); ++k)
-        picks_[k][v] = avail[family_->eval(seeds_[k], v, avail.size())];
-    });
-  }
-
-  void end_sweep() override {
-    picks_.clear();
-    seeds_.clear();
-  }
-
-  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
-                  double* sink) const override {
-    for (std::size_t k = 0; k < seeds.size(); ++k)
-      add_contribution(k, item, sink + k);
-  }
-
- private:
-  void add_contribution(std::size_t k, std::size_t item,
-                        double* sink) const {
-    const NodeId v = (*todo_)[item];
-    const Color mine = picks_[k][v];
-    if (mine == kNoColor) return;
-    for (NodeId u : state_->graph().neighbors(v)) {
-      if ((*in_todo_)[u] && picks_[k][u] == mine) return;  // clash
-    }
-    *sink -= 1.0;
-  }
-
-  const ColoringState* state_;
-  const std::vector<NodeId>* todo_;
-  const std::vector<std::uint8_t>* in_todo_;
-  const EnumerablePairwiseFamily* family_;
-  std::vector<std::uint64_t> seeds_;
-  std::vector<std::vector<Color>> picks_;
-};
-
 }  // namespace
 
 LowDegreeReport low_degree_color(derand::ColoringState& state,
                                  mpc::CostModel* cost, int family_log2,
-                                 std::uint64_t salt) {
+                                 std::uint64_t salt,
+                                 engine::SearchBackend backend,
+                                 mpc::Cluster* search_cluster) {
   LowDegreeReport rep;
   const NodeId n = state.num_nodes();
 
@@ -134,9 +81,11 @@ LowDegreeReport low_degree_color(derand::ColoringState& state,
 
     EnumerablePairwiseFamily family(hash_combine(salt, rep.phases),
                                     family_log2);
-    TrialOracle oracle(state, todo, in_todo, family);
-    engine::SeedSearch search(oracle);
-    engine::Selection sc = search.exhaustive(family.size());
+    AvailLists avail = AvailLists::from_state(state, todo);
+    TrialOracle oracle(state.graph(), todo, in_todo, avail, family);
+    engine::Selection sc = engine::sharded::search_with_backend(
+        oracle, backend, search_cluster,
+        [&](auto& search) { return search.exhaustive(family.size()); });
     rep.search.absorb(sc.stats);
     if (cost) {
       cost->charge_conditional_expectation(family_log2);
@@ -145,7 +94,7 @@ LowDegreeReport low_degree_color(derand::ColoringState& state,
 
     std::vector<Color> picks;
     std::uint64_t colored =
-        trial(state, todo, in_todo, family, sc.seed, &picks);
+        trial(state, todo, in_todo, avail, family, sc.seed, &picks);
     if (colored == 0) {
       // Guaranteed progress: greedily color the first todo node.
       NodeId v = todo.front();

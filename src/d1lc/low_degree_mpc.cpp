@@ -1,8 +1,10 @@
 #include "pdc/d1lc/low_degree_mpc.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <span>
 
+#include "pdc/d1lc/trial_oracle.hpp"
 #include "pdc/engine/seed_search.hpp"
 #include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/util/parallel.hpp"
@@ -11,86 +13,16 @@ namespace pdc::d1lc {
 
 namespace {
 
-std::vector<Color> available_of(const D1lcInstance& inst,
-                                const Coloring& coloring, NodeId v) {
-  std::vector<Color> blocked;
-  for (NodeId u : inst.graph.neighbors(v))
-    if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
-  std::sort(blocked.begin(), blocked.end());
-  std::vector<Color> out;
-  for (Color c : inst.palettes.palette(v))
-    if (!std::binary_search(blocked.begin(), blocked.end(), c))
-      out.push_back(c);
-  return out;
-}
-
 Color pick_of(const D1lcInstance& inst, const Coloring& coloring,
               const EnumerablePairwiseFamily& family, std::uint64_t index,
               NodeId v) {
-  auto avail = available_of(inst, coloring, v);
+  // Availability must be the exact lists the seed selection scored
+  // (trial_available_colors is that single derivation) — otherwise the
+  // committed trial's cost could exceed the searched mean.
+  auto avail = trial_available_colors(inst, coloring, v);
   if (avail.empty()) return kNoColor;
   return avail[family.eval(index, v, avail.size())];
 }
-
-/// Decomposed phase objective for the MPC loop: item = node (each home
-/// machine scores the nodes it owns), contribution = -1 when the node
-/// would commit under family member `idx`. Semantics are identical to
-/// low_degree_trial_shared: begin_sweep builds each node's availability
-/// list once per block, eval_batch resolves clashes block-wide in one
-/// neighbor pass.
-class MpcTrialOracle final : public engine::CostOracle {
- public:
-  MpcTrialOracle(const D1lcInstance& inst, const Coloring& coloring,
-                 const EnumerablePairwiseFamily& family)
-      : inst_(&inst), coloring_(&coloring), family_(&family) {}
-
-  std::size_t item_count() const override {
-    return inst_->graph.num_nodes();
-  }
-
-  void begin_sweep(std::span<const std::uint64_t> seeds) override {
-    seeds_.assign(seeds.begin(), seeds.end());
-    picks_.assign(seeds.size(),
-                  std::vector<Color>(inst_->graph.num_nodes(), kNoColor));
-    parallel_for(inst_->graph.num_nodes(), [&](std::size_t vi) {
-      const NodeId v = static_cast<NodeId>(vi);
-      if ((*coloring_)[v] != kNoColor) return;
-      auto avail = available_of(*inst_, *coloring_, v);
-      if (avail.empty()) return;
-      for (std::size_t k = 0; k < seeds_.size(); ++k)
-        picks_[k][v] = avail[family_->eval(seeds_[k], v, avail.size())];
-    });
-  }
-
-  void end_sweep() override {
-    picks_.clear();
-    seeds_.clear();
-  }
-
-  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
-                  double* sink) const override {
-    for (std::size_t k = 0; k < seeds.size(); ++k)
-      add_contribution(k, item, sink + k);
-  }
-
- private:
-  void add_contribution(std::size_t k, std::size_t item,
-                        double* sink) const {
-    const NodeId v = static_cast<NodeId>(item);
-    const Color mine = picks_[k][v];
-    if (mine == kNoColor) return;
-    for (NodeId u : inst_->graph.neighbors(v)) {
-      if ((*coloring_)[u] == kNoColor && picks_[k][u] == mine) return;
-    }
-    *sink -= 1.0;
-  }
-
-  const D1lcInstance* inst_;
-  const Coloring* coloring_;
-  const EnumerablePairwiseFamily* family_;
-  std::vector<std::uint64_t> seeds_;
-  std::vector<std::vector<Color>> picks_;
-};
 
 }  // namespace
 
@@ -98,7 +30,18 @@ engine::Selection low_degree_trial_selection(
     const D1lcInstance& inst, const Coloring& coloring,
     const EnumerablePairwiseFamily& family, engine::SearchBackend backend,
     mpc::Cluster* search_cluster) {
-  MpcTrialOracle oracle(inst, coloring, family);
+  // Item = node (each home machine scores the nodes it owns). The
+  // shared analytic trial oracle carries both evaluation paths; its
+  // availability lists come from the same trial_available_colors
+  // derivation the executors' pick_of uses, so the scored objective is
+  // exactly the committed one.
+  const NodeId n = inst.graph.num_nodes();
+  std::vector<NodeId> items(n);
+  std::iota(items.begin(), items.end(), NodeId{0});
+  std::vector<std::uint8_t> active(n, 0);
+  for (NodeId v = 0; v < n; ++v) active[v] = (coloring[v] == kNoColor);
+  AvailLists avail = AvailLists::from_instance(inst, coloring);
+  TrialOracle oracle(inst.graph, items, active, avail, family);
   return engine::sharded::search_with_backend(
       oracle, backend, search_cluster,
       [&](auto& search) { return search.exhaustive(family.size()); });
@@ -233,7 +176,7 @@ MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
       // Guaranteed progress: greedily color one uncolored node locally.
       for (NodeId v = 0; v < inst.graph.num_nodes(); ++v) {
         if (out.coloring[v] != kNoColor) continue;
-        auto avail = available_of(inst, out.coloring, v);
+        auto avail = trial_available_colors(inst, out.coloring, v);
         PDC_CHECK(!avail.empty());
         out.coloring[v] = avail.front();
         --uncolored;

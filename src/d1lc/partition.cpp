@@ -4,139 +4,17 @@
 #include <cmath>
 #include <span>
 
+#include "pdc/d1lc/partition_oracles.hpp"
 #include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::d1lc {
 
-namespace {
-
-/// Lemma-23 h1 objective, decomposed per high-degree node: contribution
-/// is 1 when v's bin-internal degree under candidate hash `idx` breaks
-/// the d'(v) < max(1, 2 d(v)/nbins) bound. eval_batch loads v's
-/// neighbor list once and tests it against the whole candidate block
-/// (node-major; the scalar route re-walked the adjacency per candidate).
-class H1DegreeOracle final : public engine::CostOracle {
- public:
-  H1DegreeOracle(const Graph& g, const std::vector<NodeId>& high,
-                 const EnumerablePairwiseFamily& family, std::uint32_t nbins,
-                 std::uint32_t mid_degree_cap)
-      : g_(&g), high_(&high), family_(&family), nbins_(nbins),
-        mid_degree_cap_(mid_degree_cap) {}
-
-  std::size_t item_count() const override { return high_->size(); }
-
-  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
-                  double* sink) const override {
-    const NodeId v = (*high_)[item];
-    const double bound = std::max(
-        1.0, 2.0 * static_cast<double>(g_->degree(v)) / nbins_);
-    my_bin_.resize(seeds.size());
-    dprime_.assign(seeds.size(), 0);
-    for (std::size_t k = 0; k < seeds.size(); ++k)
-      my_bin_[k] = family_->eval(seeds[k], v, nbins_);
-    for (NodeId u : g_->neighbors(v)) {
-      if (g_->degree(u) <= mid_degree_cap_) continue;
-      for (std::size_t k = 0; k < seeds.size(); ++k) {
-        if (family_->eval(seeds[k], u, nbins_) == my_bin_[k]) ++dprime_[k];
-      }
-    }
-    for (std::size_t k = 0; k < seeds.size(); ++k) {
-      if (static_cast<double>(dprime_[k]) >= bound) sink[k] += 1.0;
-    }
-  }
-
- private:
-  const Graph* g_;
-  const std::vector<NodeId>* high_;
-  const EnumerablePairwiseFamily* family_;
-  std::uint32_t nbins_;
-  std::uint32_t mid_degree_cap_;
-  // Per-item scratch; thread_local so concurrent items don't race.
-  static thread_local std::vector<std::uint64_t> my_bin_;
-  static thread_local std::vector<std::uint32_t> dprime_;
-};
-
-thread_local std::vector<std::uint64_t> H1DegreeOracle::my_bin_;
-thread_local std::vector<std::uint32_t> H1DegreeOracle::dprime_;
-
-/// Lemma-23 h2 objective (given h1): contribution is 1 when v (in bins
-/// 0..nbins-2) no longer has more in-bin palette colors than in-bin
-/// neighbors. v's bin and bin-degree are candidate-independent, so
-/// eval_batch computes them once per item and only re-hashes the
-/// palette per candidate.
-class H2PaletteOracle final : public engine::CostOracle {
- public:
-  H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
-                  const std::vector<NodeId>& high,
-                  const std::vector<std::uint32_t>& bin_of,
-                  const EnumerablePairwiseFamily& family, std::uint32_t nbins,
-                  std::uint32_t color_bins)
-      : g_(&g), inst_(&inst), high_(&high), bin_of_(&bin_of),
-        family_(&family), nbins_(nbins), color_bins_(color_bins) {}
-
-  std::size_t item_count() const override { return high_->size(); }
-
-  void begin_sweep(std::span<const std::uint64_t> seeds) override {
-    a_.resize(seeds.size());
-    b_.resize(seeds.size());
-    for (std::size_t k = 0; k < seeds.size(); ++k) {
-      auto [a, b] = family_->params(seeds[k]);
-      a_[k] = a;
-      b_[k] = b;
-    }
-  }
-
-  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
-                  double* sink) const override {
-    // Block-stateful: a_[k]/b_[k] are the params of seeds[k].
-    const NodeId v = (*high_)[item];
-    const std::uint32_t b = (*bin_of_)[v];
-    if (b + 1 >= nbins_) return;  // last bin keeps everything
-    std::uint32_t dprime = 0;
-    for (NodeId u : g_->neighbors(v))
-      if ((*bin_of_)[u] == b) ++dprime;
-    pprime_.assign(seeds.size(), 0);
-    for (Color c : inst_->palettes.palette(v)) {
-      const std::uint64_t cm =
-          static_cast<std::uint64_t>(c) % MersenneField::kPrime;
-      for (std::size_t k = 0; k < seeds.size(); ++k) {
-        std::uint64_t hv =
-            MersenneField::add(MersenneField::mul(a_[k], cm), b_[k]);
-        std::uint64_t cb = static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(hv) * color_bins_) >> 61);
-        if (cb == b) ++pprime_[k];
-      }
-    }
-    for (std::size_t k = 0; k < seeds.size(); ++k) {
-      if (pprime_[k] <= dprime) sink[k] += 1.0;
-    }
-  }
-
- private:
-  const Graph* g_;
-  const D1lcInstance* inst_;
-  const std::vector<NodeId>* high_;
-  const std::vector<std::uint32_t>* bin_of_;
-  const EnumerablePairwiseFamily* family_;
-  std::uint32_t nbins_;
-  std::uint32_t color_bins_;
-  std::vector<std::uint64_t> a_, b_;
-  static thread_local std::vector<std::uint32_t> pprime_;
-};
-
-thread_local std::vector<std::uint32_t> H2PaletteOracle::pprime_;
-
-}  // namespace
-
 std::uint64_t Partition::color_bin(Color c) const {
-  std::uint64_t v = MersenneField::add(
-      MersenneField::mul(h2_a, static_cast<std::uint64_t>(c) %
-                                   MersenneField::kPrime),
-      h2_b);
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(v) * color_bins) >> 61);
+  return EnumerablePairwiseFamily::eval_params(
+      h2_a, h2_b, static_cast<std::uint64_t>(c), color_bins);
 }
 
 Partition low_space_partition(const D1lcInstance& inst,
@@ -161,11 +39,15 @@ Partition low_space_partition(const D1lcInstance& inst,
 
   // --- Select h1: minimize nodes whose bin-internal degree breaks the
   // Lemma-23 bound d'(v) < 2 d(v) / nbins (floored at 1 for small
-  // degrees so the bound is meaningful at laptop scale). ---
+  // degrees so the bound is meaningful at laptop scale). Both searches
+  // route through the engine's analytic plane by default (closed-form
+  // per-node costs, zero enumeration sweeps) on the chosen backend.
   EnumerablePairwiseFamily f1(hash_combine(opt.salt, 1), opt.family_log2);
   H1DegreeOracle h1_oracle(g, high, f1, part.nbins, opt.mid_degree_cap);
-  engine::SeedSearch h1_search(h1_oracle);
-  engine::Selection h1 = h1_search.exhaustive(f1.size());
+  engine::Selection h1 = engine::sharded::search_with_backend(
+      h1_oracle, opt.search_backend, opt.search_cluster,
+      [&](auto& search) { return search.exhaustive(f1.size()); },
+      opt.search);
   part.h1_index = h1.seed;
   part.search.absorb(h1.stats);
   if (cost) {
@@ -182,8 +64,10 @@ Partition low_space_partition(const D1lcInstance& inst,
   EnumerablePairwiseFamily f2(hash_combine(opt.salt, 2), opt.family_log2);
   H2PaletteOracle h2_oracle(g, inst, high, part.bin_of, f2, part.nbins,
                             part.color_bins);
-  engine::SeedSearch h2_search(h2_oracle);
-  engine::Selection h2 = h2_search.exhaustive(f2.size());
+  engine::Selection h2 = engine::sharded::search_with_backend(
+      h2_oracle, opt.search_backend, opt.search_cluster,
+      [&](auto& search) { return search.exhaustive(f2.size()); },
+      opt.search);
   part.h2_index = h2.seed;
   part.search.absorb(h2.stats);
   auto [a2, b2] = f2.params(h2.seed);

@@ -1,0 +1,170 @@
+#include "pdc/d1lc/partition_oracles.hpp"
+
+#include <algorithm>
+
+namespace pdc::d1lc {
+
+// ---- H1DegreeOracle. ----
+
+thread_local std::vector<std::uint64_t> H1DegreeOracle::my_bin_;
+thread_local std::vector<std::uint32_t> H1DegreeOracle::dprime_;
+
+H1DegreeOracle::H1DegreeOracle(const Graph& g, const std::vector<NodeId>& high,
+                               const EnumerablePairwiseFamily& family,
+                               std::uint32_t nbins,
+                               std::uint32_t mid_degree_cap)
+    : g_(&g), high_(&high), family_(&family), nbins_(nbins),
+      mid_degree_cap_(mid_degree_cap) {}
+
+double H1DegreeOracle::bound_of(std::size_t item) const {
+  const NodeId v = (*high_)[item];
+  return std::max(1.0,
+                  2.0 * static_cast<double>(g_->degree(v)) / nbins_);
+}
+
+void H1DegreeOracle::begin_search(std::uint64_t /*num_seeds*/) {
+  const std::size_t items = high_->size();
+  high_nbr_off_.assign(items + 1, 0);
+  bound_.resize(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    const NodeId v = (*high_)[i];
+    bound_[i] = bound_of(i);
+    std::size_t cnt = 0;
+    for (NodeId u : g_->neighbors(v)) cnt += (g_->degree(u) > mid_degree_cap_);
+    high_nbr_off_[i + 1] = high_nbr_off_[i] + cnt;
+  }
+  high_nbrs_.resize(high_nbr_off_.back());
+  for (std::size_t i = 0; i < items; ++i) {
+    std::size_t at = high_nbr_off_[i];
+    for (NodeId u : g_->neighbors((*high_)[i]))
+      if (g_->degree(u) > mid_degree_cap_) high_nbrs_[at++] = u;
+  }
+}
+
+void H1DegreeOracle::end_search() {
+  high_nbr_off_.clear();
+  high_nbrs_.clear();
+  bound_.clear();
+}
+
+void H1DegreeOracle::eval_analytic(std::uint64_t first, std::size_t count,
+                                   std::size_t item, double* sink) const {
+  const NodeId v = (*high_)[item];
+  const double bound = bound_[item];
+  const std::size_t lo = high_nbr_off_[item];
+  const std::size_t hi = high_nbr_off_[item + 1];
+  for (std::size_t j = 0; j < count; ++j) {
+    auto [a, b] = family_->params(first + j);
+    const std::uint64_t mine =
+        EnumerablePairwiseFamily::eval_params(a, b, v, nbins_);
+    std::uint32_t dprime = 0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      dprime += (EnumerablePairwiseFamily::eval_params(a, b, high_nbrs_[e],
+                                                       nbins_) == mine);
+    }
+    if (static_cast<double>(dprime) >= bound) sink[j] += 1.0;
+  }
+}
+
+void H1DegreeOracle::eval_batch(std::span<const std::uint64_t> seeds,
+                                std::size_t item, double* sink) const {
+  const NodeId v = (*high_)[item];
+  const double bound = bound_of(item);
+  my_bin_.resize(seeds.size());
+  dprime_.assign(seeds.size(), 0);
+  for (std::size_t k = 0; k < seeds.size(); ++k)
+    my_bin_[k] = family_->eval(seeds[k], v, nbins_);
+  for (NodeId u : g_->neighbors(v)) {
+    if (g_->degree(u) <= mid_degree_cap_) continue;
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      if (family_->eval(seeds[k], u, nbins_) == my_bin_[k]) ++dprime_[k];
+    }
+  }
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    if (static_cast<double>(dprime_[k]) >= bound) sink[k] += 1.0;
+  }
+}
+
+// ---- H2PaletteOracle. ----
+
+thread_local std::vector<std::uint32_t> H2PaletteOracle::pprime_;
+
+H2PaletteOracle::H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
+                                 const std::vector<NodeId>& high,
+                                 const std::vector<std::uint32_t>& bin_of,
+                                 const EnumerablePairwiseFamily& family,
+                                 std::uint32_t nbins, std::uint32_t color_bins)
+    : g_(&g), inst_(&inst), high_(&high), bin_of_(&bin_of),
+      family_(&family), nbins_(nbins), color_bins_(color_bins) {}
+
+void H2PaletteOracle::begin_search(std::uint64_t /*num_seeds*/) {
+  const std::size_t items = high_->size();
+  item_bin_.resize(items);
+  item_dprime_.assign(items, 0);
+  for (std::size_t i = 0; i < items; ++i) {
+    const NodeId v = (*high_)[i];
+    const std::uint32_t b = (*bin_of_)[v];
+    item_bin_[i] = b;
+    if (b + 1 >= nbins_) continue;  // last bin keeps everything
+    std::uint32_t dprime = 0;
+    for (NodeId u : g_->neighbors(v))
+      if ((*bin_of_)[u] == b) ++dprime;
+    item_dprime_[i] = dprime;
+  }
+}
+
+void H2PaletteOracle::end_search() {
+  item_bin_.clear();
+  item_dprime_.clear();
+}
+
+void H2PaletteOracle::eval_analytic(std::uint64_t first, std::size_t count,
+                                    std::size_t item, double* sink) const {
+  const NodeId v = (*high_)[item];
+  const std::uint32_t b = item_bin_[item];
+  if (b + 1 >= nbins_) return;  // last bin keeps everything
+  const std::uint32_t dprime = item_dprime_[item];
+  for (std::size_t j = 0; j < count; ++j) {
+    auto [pa, pb] = family_->params(first + j);
+    std::uint32_t pprime = 0;
+    for (Color c : inst_->palettes.palette(v)) {
+      pprime += (EnumerablePairwiseFamily::eval_params(
+                     pa, pb, static_cast<std::uint64_t>(c), color_bins_) == b);
+    }
+    if (pprime <= dprime) sink[j] += 1.0;
+  }
+}
+
+void H2PaletteOracle::begin_sweep(std::span<const std::uint64_t> seeds) {
+  a_.resize(seeds.size());
+  b_.resize(seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    auto [a, b] = family_->params(seeds[k]);
+    a_[k] = a;
+    b_[k] = b;
+  }
+}
+
+void H2PaletteOracle::eval_batch(std::span<const std::uint64_t> seeds,
+                                 std::size_t item, double* sink) const {
+  // Block-stateful: a_[k]/b_[k] are the params of seeds[k].
+  const NodeId v = (*high_)[item];
+  const std::uint32_t b = (*bin_of_)[v];
+  if (b + 1 >= nbins_) return;  // last bin keeps everything
+  std::uint32_t dprime = 0;
+  for (NodeId u : g_->neighbors(v))
+    if ((*bin_of_)[u] == b) ++dprime;
+  pprime_.assign(seeds.size(), 0);
+  for (Color c : inst_->palettes.palette(v)) {
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      if (EnumerablePairwiseFamily::eval_params(
+              a_[k], b_[k], static_cast<std::uint64_t>(c), color_bins_) == b)
+        ++pprime_[k];
+    }
+  }
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    if (pprime_[k] <= dprime) sink[k] += 1.0;
+  }
+}
+
+}  // namespace pdc::d1lc

@@ -1,0 +1,134 @@
+#include "pdc/d1lc/trial_oracle.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/parallel.hpp"
+
+namespace pdc::d1lc {
+
+namespace {
+
+AvailLists pack_lists(const std::vector<std::vector<Color>>& lists) {
+  const std::size_t n = lists.size();
+  AvailLists out;
+  out.offset.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    out.offset[v + 1] = out.offset[v] + lists[v].size();
+  out.colors.resize(out.offset.back());
+  for (std::size_t v = 0; v < n; ++v)
+    std::copy(lists[v].begin(), lists[v].end(),
+              out.colors.begin() + static_cast<std::ptrdiff_t>(out.offset[v]));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Color> trial_available_colors(const D1lcInstance& inst,
+                                          const Coloring& coloring,
+                                          NodeId v) {
+  std::vector<Color> blocked;
+  for (NodeId u : inst.graph.neighbors(v))
+    if (coloring[u] != kNoColor) blocked.push_back(coloring[u]);
+  std::sort(blocked.begin(), blocked.end());
+  std::vector<Color> out;
+  for (Color c : inst.palettes.palette(v))
+    if (!std::binary_search(blocked.begin(), blocked.end(), c))
+      out.push_back(c);
+  return out;
+}
+
+AvailLists AvailLists::from_state(const derand::ColoringState& state,
+                                  const std::vector<NodeId>& todo) {
+  std::vector<std::vector<Color>> lists(state.num_nodes());
+  parallel_for(todo.size(), [&](std::size_t i) {
+    lists[todo[i]] = state.available_colors(todo[i]);
+  });
+  return pack_lists(lists);
+}
+
+AvailLists AvailLists::from_instance(const D1lcInstance& inst,
+                                     const Coloring& coloring) {
+  std::vector<std::vector<Color>> lists(inst.graph.num_nodes());
+  parallel_for(inst.graph.num_nodes(), [&](std::size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    if (coloring[v] != kNoColor) return;
+    lists[v] = trial_available_colors(inst, coloring, v);
+  });
+  return pack_lists(lists);
+}
+
+TrialOracle::TrialOracle(const Graph& g, const std::vector<NodeId>& items,
+                         const std::vector<std::uint8_t>& active,
+                         const AvailLists& avail,
+                         const EnumerablePairwiseFamily& family)
+    : g_(&g), items_(&items), active_(&active), avail_(&avail),
+      family_(&family) {
+  // Exactness contract guard: the enumerating pick table covers items
+  // only, so an active node outside `items` would give the analytic
+  // and enumerating paths different clash sets.
+  std::vector<std::uint8_t> is_item(g.num_nodes(), 0);
+  for (NodeId v : items) is_item[v] = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    PDC_CHECK_MSG(!active[v] || is_item[v],
+                  "TrialOracle: active node " << v << " not in items");
+}
+
+Color TrialOracle::pick_params(std::uint64_t a, std::uint64_t b,
+                               NodeId v) const {
+  auto list = avail_->of(v);
+  if (list.empty()) return kNoColor;
+  return list[EnumerablePairwiseFamily::eval_params(a, b, v, list.size())];
+}
+
+void TrialOracle::eval_analytic(std::uint64_t first, std::size_t count,
+                                std::size_t item, double* sink) const {
+  const NodeId v = (*items_)[item];
+  if (!(*active_)[v] || avail_->of(v).empty()) return;
+  for (std::size_t j = 0; j < count; ++j) {
+    auto [a, b] = family_->params(first + j);
+    const Color mine = pick_params(a, b, v);
+    bool clash = false;
+    for (NodeId u : g_->neighbors(v)) {
+      if ((*active_)[u] && pick_params(a, b, u) == mine) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) sink[j] -= 1.0;
+  }
+}
+
+void TrialOracle::begin_sweep(std::span<const std::uint64_t> seeds) {
+  picks_.assign(seeds.size(),
+                std::vector<Color>(g_->num_nodes(), kNoColor));
+  std::vector<std::uint64_t> local(seeds.begin(), seeds.end());
+  parallel_for(items_->size(), [&](std::size_t i) {
+    const NodeId v = (*items_)[i];
+    if (!(*active_)[v]) return;
+    auto list = avail_->of(v);
+    if (list.empty()) return;
+    for (std::size_t k = 0; k < local.size(); ++k)
+      picks_[k][v] = list[family_->eval(local[k], v, list.size())];
+  });
+}
+
+void TrialOracle::end_sweep() { picks_.clear(); }
+
+void TrialOracle::eval_batch(std::span<const std::uint64_t> seeds,
+                             std::size_t item, double* sink) const {
+  const NodeId v = (*items_)[item];
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    const Color mine = picks_[k][v];
+    if (mine == kNoColor) continue;
+    bool clash = false;
+    for (NodeId u : g_->neighbors(v)) {
+      if ((*active_)[u] && picks_[k][u] == mine) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) sink[k] -= 1.0;
+  }
+}
+
+}  // namespace pdc::d1lc

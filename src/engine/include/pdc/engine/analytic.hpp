@@ -1,0 +1,91 @@
+#pragma once
+// The analytic oracle plane: closed-form conditional expectations for
+// decomposable objectives.
+//
+// The paper's MPC derandomization never *enumerates* seed costs: the
+// objectives are built from pairwise-independent hash families, so each
+// node's cost under a candidate member is a closed-form function of a
+// small, seed-independent invariant (its neighbor residues, its palette,
+// its availability list), and each machine evaluates those formulas
+// over its local shard — no simulation state is ever built per
+// candidate, and no pick tables need to be exchanged between machines.
+// (See also Harris's junta-fooling framework, arXiv:1610.03383, and
+// Ghaffari–Grunau's work-efficient derandomization, arXiv:2504.15700:
+// analytic per-item expectations are exactly what removes the
+// simulation overhead from the aggregation story.)
+//
+// An AnalyticOracle is a CostOracle that exposes that structure:
+//
+//   begin_search(num_seeds)  — one-time, seed-independent invariant
+//                              preparation (availability lists, bin
+//                              degrees, filtered adjacency). Runs once
+//                              per search, NOT once per sweep — the
+//                              enumerating path re-derives comparable
+//                              state inside every begin_sweep.
+//   eval_analytic(first, count, item, sink)
+//                            — add cost(first + j, item) into sink[j]
+//                              for j in [0, count), by pure arithmetic
+//                              over the begin_search invariants. No
+//                              per-call mutable state: the engine calls
+//                              it concurrently for distinct items, and
+//                              the sharded backend calls it per shard.
+//
+// Exactness contract: eval_analytic must equal the oracle's enumerating
+// cost()/eval_batch() bit for bit for every (member, item). That is
+// what makes the analytic route's Selections identical to the
+// enumerating route's (and, through the fixed-point converge-cast, to
+// the sharded backend's at every machine count) — the engine's
+// differential tests in tests/test_analytic.cpp enforce it. Where an
+// objective's exact cost has no closed form, expose a pessimistic
+// estimator as a *separate* oracle instead of bending this contract;
+// the selection guarantee (cost <= mean) then holds for the estimator.
+//
+// The engine consults the capability automatically: SeedSearch and
+// sharded::ShardedSeedSearch route every totals block through
+// eval_analytic when the oracle advertises it (CostOracle::as_analytic)
+// and SearchOptions::use_analytic allows, falling back to enumerating
+// sweeps otherwise. Analytic blocks are accounted in
+// SearchStats::analytic and never increment SearchStats::sweeps — "zero
+// enumeration sweeps" is observable, and bench_e5_partition gates on it.
+
+#include <cmath>
+#include <cstdint>
+
+#include "pdc/engine/seed_search.hpp"
+
+namespace pdc::engine {
+
+class AnalyticOracle : public CostOracle {
+ public:
+  AnalyticOracle* as_analytic() override { return this; }
+
+  /// One-time seed-independent preparation for a search over members
+  /// [0, num_seeds). Called by the engine before the first
+  /// eval_analytic (host-side on the sharded backend: it models the
+  /// shard-local invariant pass every machine performs once).
+  virtual void begin_search(std::uint64_t num_seeds) { (void)num_seeds; }
+
+  /// Release begin_search state. Paired with begin_search by the engine.
+  virtual void end_search() {}
+
+  /// Closed-form evaluation: add cost(first + j, item) into sink[j] for
+  /// j in [0, count). Pure arithmetic over begin_search invariants;
+  /// callable concurrently for distinct items.
+  virtual void eval_analytic(std::uint64_t first, std::size_t count,
+                             std::size_t item, double* sink) const = 0;
+
+  /// Enumerating fallback derived from the closed forms, so a purely
+  /// analytic oracle satisfies the CostOracle contract without a
+  /// second implementation (production oracles typically override this
+  /// with their genuine enumerating sweep for the differential tests).
+  /// Like eval_analytic this reads begin_search invariants; the engine
+  /// prepares them before driving an analytic oracle down either path
+  /// (including evaluate_seed), so overriders may rely on them too.
+  void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
+                  double* sink) const override {
+    for (std::size_t k = 0; k < seeds.size(); ++k)
+      eval_analytic(seeds[k], 1, item, sink + k);
+  }
+};
+
+}  // namespace pdc::engine

@@ -38,6 +38,8 @@
 
 namespace pdc::engine {
 
+class AnalyticOracle;
+
 /// Which substrate executes a seed search. Call sites that run on the
 /// MPC cluster accept this choice: kSharedMemory keeps the in-process
 /// engine (pdc::engine::SeedSearch); kSharded routes every sweep through
@@ -69,14 +71,36 @@ struct ShardedStats {
   }
 };
 
+/// Accounting for searches (or blocks of a search) served by the
+/// analytic oracle plane — closed-form evaluation instead of
+/// enumerating sweeps. All zero when every block enumerated.
+struct AnalyticStats {
+  /// Totals passes (one per search route invocation) that ran fully
+  /// analytic.
+  std::uint64_t searches = 0;
+  /// Analytic block passes (the analytic counterpart of `sweeps`).
+  std::uint64_t blocks = 0;
+  /// (item, member) closed-form evaluations performed.
+  std::uint64_t formula_evals = 0;
+
+  void absorb(const AnalyticStats& o) {
+    searches += o.searches;
+    blocks += o.blocks;
+    formula_evals += o.formula_evals;
+  }
+};
+
 /// Work accounting for one (or several, via absorb) seed searches.
 struct SearchStats {
   /// Full-objective evaluations: one unit = all items scored for one
   /// seed. Matches the legacy `SeedChoice::evaluations` semantics.
+  /// Counted identically on the enumerating and analytic paths.
   std::uint64_t evaluations = 0;
-  /// Passes over the item set (the MPC "every machine scans its shard
-  /// once" unit). The legacy scalar path paid one sweep per evaluation;
-  /// batched sweeps score up to SearchOptions::max_batch seeds per pass.
+  /// *Enumerating* passes over the item set (the MPC "every machine
+  /// simulates the block against its shard" unit). The legacy scalar
+  /// path paid one sweep per evaluation; batched sweeps score up to
+  /// SearchOptions::max_batch seeds per pass; the analytic plane pays
+  /// none at all (its passes are counted in `analytic.blocks`).
   std::uint64_t sweeps = 0;
   /// Largest sweep block actually used (seeds scored per item pass).
   /// Records the adaptive choice when SearchOptions::max_batch == 0.
@@ -85,6 +109,8 @@ struct SearchStats {
   double wall_ms = 0.0;
   /// MPC-substrate accounting (sharded backend only).
   ShardedStats sharded;
+  /// Analytic-plane accounting (closed-form oracles only).
+  AnalyticStats analytic;
 
   void absorb(const SearchStats& o) {
     evaluations += o.evaluations;
@@ -92,6 +118,7 @@ struct SearchStats {
     batch = std::max(batch, o.batch);
     wall_ms += o.wall_ms;
     sharded.absorb(o.sharded);
+    analytic.absorb(o.analytic);
   }
 };
 
@@ -122,6 +149,12 @@ class CostOracle {
   /// item_count of 1 marks an opaque objective: the engine then
   /// parallelizes over seeds (legacy behavior) instead of items.
   virtual std::size_t item_count() const = 0;
+
+  /// Analytic capability probe: non-null when the oracle exposes
+  /// closed-form per-item evaluation (see pdc/engine/analytic.hpp —
+  /// AnalyticOracle overrides this to return itself). Every search
+  /// route consults it before falling back to enumerating sweeps.
+  virtual AnalyticOracle* as_analytic() { return nullptr; }
 
   /// Item's contribution to the objective under `seed`. Only called
   /// between begin_sweep/end_sweep for a block containing `seed`.
@@ -191,6 +224,12 @@ struct SearchOptions {
   /// for non-negative costs), stop fixing bits and take its first
   /// completion; the guarantee is unaffected.
   bool early_exit = true;
+  /// Consult the oracle's analytic plane (closed-form evaluation, zero
+  /// enumeration sweeps) when it advertises one. false forces the
+  /// enumerating sweeps — differential tests and ablations only; the
+  /// Selections are bit-identical either way (the AnalyticOracle
+  /// exactness contract).
+  bool use_analytic = true;
 };
 
 /// Resolves SearchOptions::max_batch against an oracle's item count.
@@ -271,6 +310,37 @@ using TotalsFn =
 Selection run_exhaustive(const TotalsFn& totals, std::uint64_t num_seeds);
 Selection run_conditional_expectation(const TotalsFn& totals, int seed_bits,
                                       bool early_exit);
+
+/// Scores one block of consecutive seeds through the full enumerating
+/// oracle contract (begin_sweep / item sweep / end_sweep) into
+/// out[0..seeds.size()). Backends differ in where the item pass runs
+/// (in-process threads vs. cluster rounds).
+using EnumerateBlockFn =
+    std::function<void(std::span<const std::uint64_t> seeds, double* out)>;
+/// Fills out[0..count) with the totals of members [first, first+count)
+/// from the oracle's closed forms (pdc/engine/analytic.hpp). Backends
+/// differ only in sharding and fixed-point encoding.
+using AnalyticBlockFn =
+    std::function<void(std::uint64_t first, std::size_t count, double* out)>;
+
+/// The blocked totals loop shared by every backend: splits the seed
+/// space into max_batch-wide blocks and routes each block to the
+/// analytic plane when `use_analytic` and the oracle advertises one
+/// (CostOracle::as_analytic), falling back to the backend's enumerating
+/// sweep otherwise. Owns begin_search/end_search pairing and the
+/// accounting rules — evaluations/batch on both paths, sweeps on the
+/// enumerating path only, AnalyticStats on the analytic path only — so
+/// neither the routing decision nor the stats discipline can drift
+/// between the shared-memory and sharded backends. (TotalsFn producers
+/// are built on top of this; the selection code then sees identical
+/// totals regardless of path, which is the bit-identity argument.)
+std::vector<double> compute_totals_blocked(CostOracle& oracle,
+                                           std::uint64_t num_seeds,
+                                           std::size_t max_batch,
+                                           bool use_analytic,
+                                           SearchStats& stats,
+                                           const EnumerateBlockFn& enumerate,
+                                           const AnalyticBlockFn& analytic);
 
 }  // namespace detail
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "pdc/engine/analytic.hpp"
 #include "pdc/util/check.hpp"
 #include "pdc/util/parallel.hpp"
 #include "pdc/util/timer.hpp"
@@ -108,6 +109,44 @@ Selection run_conditional_expectation(const TotalsFn& totals, int seed_bits,
   return out;
 }
 
+std::vector<double> compute_totals_blocked(CostOracle& oracle,
+                                           std::uint64_t num_seeds,
+                                           std::size_t max_batch,
+                                           bool use_analytic,
+                                           SearchStats& stats,
+                                           const EnumerateBlockFn& enumerate,
+                                           const AnalyticBlockFn& analytic) {
+  PDC_CHECK(max_batch >= 1);
+  // begin_search invariants are prepared whenever the oracle is
+  // analytic — even when routing enumerates (use_analytic == false):
+  // AnalyticOracle's default enumerating fallback derives from
+  // eval_analytic, which reads those invariants.
+  AnalyticOracle* prepared = oracle.as_analytic();
+  AnalyticOracle* an = use_analytic ? prepared : nullptr;
+  std::vector<double> totals(num_seeds, 0.0);
+  if (prepared != nullptr) prepared->begin_search(num_seeds);
+  if (an != nullptr) ++stats.analytic.searches;
+  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
+    const std::size_t block = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_batch, num_seeds - s0));
+    if (an != nullptr) {
+      analytic(s0, block, totals.data() + s0);
+      ++stats.analytic.blocks;
+      stats.analytic.formula_evals +=
+          static_cast<std::uint64_t>(oracle.item_count()) * block;
+    } else {
+      std::vector<std::uint64_t> seeds(block);
+      for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
+      enumerate(std::span<const std::uint64_t>(seeds), totals.data() + s0);
+      ++stats.sweeps;
+    }
+    stats.evaluations += block;
+    stats.batch = std::max<std::uint64_t>(stats.batch, block);
+  }
+  if (prepared != nullptr) prepared->end_search();
+  return totals;
+}
+
 }  // namespace detail
 
 SeedSearch::SeedSearch(CostOracle& oracle, SearchOptions opt)
@@ -117,34 +156,39 @@ std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
                                                SearchStats& stats) {
   const std::size_t items = oracle_->item_count();
   const std::size_t max_batch = resolve_max_batch(opt_, items);
-  std::vector<double> totals(num_seeds, 0.0);
-  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
-    const std::size_t block = static_cast<std::size_t>(
-        std::min<std::uint64_t>(max_batch, num_seeds - s0));
-    std::vector<std::uint64_t> seeds(block);
-    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
-    oracle_->begin_sweep(seeds);
-    if (items == 1) {
-      // Opaque objective: the only parallelism available is over seeds
-      // (the legacy SeedCostFn contract).
-      parallel_for(block, [&](std::size_t k) {
-        totals[s0 + k] = oracle_->cost(seeds[k], 0);
+  return detail::compute_totals_blocked(
+      *oracle_, num_seeds, max_batch, opt_.use_analytic, stats,
+      [&](std::span<const std::uint64_t> seeds, double* out) {
+        oracle_->begin_sweep(seeds);
+        if (items == 1) {
+          // Opaque objective: the only parallelism available is over
+          // seeds (the legacy SeedCostFn contract).
+          parallel_for(seeds.size(), [&](std::size_t k) {
+            out[k] = oracle_->cost(seeds[k], 0);
+          });
+        } else {
+          // Item-major sweep: one parallel pass over the items scores
+          // the whole seed block.
+          parallel_accumulate(items, seeds.size(), out,
+                              [&](std::size_t item, double* sink) {
+                                oracle_->eval_batch(seeds, item, sink);
+                              });
+        }
+        oracle_->end_sweep();
+      },
+      [&](std::uint64_t first, std::size_t count, double* out) {
+        AnalyticOracle* an = oracle_->as_analytic();
+        if (items == 1) {
+          parallel_for(count, [&](std::size_t k) {
+            an->eval_analytic(first + k, 1, 0, out + k);
+          });
+        } else {
+          parallel_accumulate(items, count, out,
+                              [&](std::size_t item, double* sink) {
+                                an->eval_analytic(first, count, item, sink);
+                              });
+        }
       });
-    } else {
-      // Item-major sweep: one parallel pass over the items scores the
-      // whole seed block.
-      std::span<const std::uint64_t> sp(seeds);
-      parallel_accumulate(items, block, totals.data() + s0,
-                          [&](std::size_t item, double* sink) {
-                            oracle_->eval_batch(sp, item, sink);
-                          });
-    }
-    oracle_->end_sweep();
-    ++stats.sweeps;
-    stats.evaluations += block;
-    stats.batch = std::max<std::uint64_t>(stats.batch, block);
-  }
-  return totals;
 }
 
 Selection SeedSearch::exhaustive(std::uint64_t num_seeds) {
@@ -169,6 +213,10 @@ double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
   Timer timer;
   const std::uint64_t seeds[1] = {seed};
   std::span<const std::uint64_t> sp(seeds);
+  // Analytic oracles' enumerating fallback reads begin_search
+  // invariants; prepare them for this one-seed evaluation too.
+  AnalyticOracle* an = oracle.as_analytic();
+  if (an != nullptr) an->begin_search(seed + 1);
   oracle.begin_sweep(sp);
   double total = 0.0;
   const std::size_t items = oracle.item_count();
@@ -181,6 +229,7 @@ double evaluate_seed(CostOracle& oracle, std::uint64_t seed,
                         });
   }
   oracle.end_sweep();
+  if (an != nullptr) an->end_search();
   if (stats) {
     ++stats->sweeps;
     ++stats->evaluations;

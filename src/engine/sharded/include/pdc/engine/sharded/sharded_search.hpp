@@ -27,6 +27,15 @@
 // machine derives locally, so no broadcast round is charged), and
 // eval_batch must remain callable concurrently for distinct items —
 // machine steps run in parallel.
+//
+// Analytic oracles (pdc/engine/analytic.hpp) skip the sweep contract
+// entirely: each machine evaluates its shard's closed forms
+// (eval_shard_analytic) with no per-block state — which is the honest
+// MPC story, since a machine cannot consult another shard's simulation
+// state without a communication round — and converge-casts the same
+// fixed-point partials. Routing and accounting live in the shared
+// engine::detail::compute_totals_blocked layer, so both backends make
+// the identical analytic-vs-enumerating decision.
 
 #include <atomic>
 #include <cstdint>
@@ -57,6 +66,17 @@ class ShardedOracle {
   /// (fixed-point). Safe to call concurrently for distinct machines.
   void eval_shard(mpc::MachineId m, std::span<const std::uint64_t> seeds,
                   std::int64_t* sink) const;
+
+  /// Analytic counterpart: adds machine m's contribution for members
+  /// [first, first+count) into sink[0..count) by evaluating the
+  /// oracle's closed forms over m's shard (pdc/engine/analytic.hpp) —
+  /// no begin_sweep state, no simulation; the per-item fixed-point
+  /// encode keeps the shard sum exact, so the converge-cast totals are
+  /// bit-identical to the shared-memory analytic (and, by the
+  /// AnalyticOracle exactness contract, enumerating) paths. Requires
+  /// the wrapped oracle to advertise as_analytic().
+  void eval_shard_analytic(mpc::MachineId m, std::uint64_t first,
+                           std::size_t count, std::int64_t* sink) const;
 
   double decode(std::int64_t fixed) const;
   /// Items the fullest machine owns (seed-sharded mode: seeds per
@@ -136,16 +156,21 @@ class ShardedSeedSearch {
 /// search for the chosen backend and hands it to `run`, which invokes
 /// one of the three routes (both engines expose the same route names,
 /// so `run` takes the search generically). kSharded requires a cluster.
+/// `opt` (block sizing, early exit, analytic routing) applies to either
+/// backend.
 template <typename Fn>
 Selection search_with_backend(CostOracle& oracle, SearchBackend backend,
-                              mpc::Cluster* cluster, Fn&& run) {
+                              mpc::Cluster* cluster, Fn&& run,
+                              const SearchOptions& opt = {}) {
   if (backend == SearchBackend::kSharded) {
     PDC_CHECK_MSG(cluster != nullptr,
                   "kSharded seed search needs an mpc::Cluster");
-    ShardedSeedSearch search(oracle, *cluster);
+    ShardedOptions sopt;
+    sopt.search = opt;
+    ShardedSeedSearch search(oracle, *cluster, sopt);
     return run(search);
   }
-  SeedSearch search(oracle);
+  SeedSearch search(oracle, opt);
   return run(search);
 }
 

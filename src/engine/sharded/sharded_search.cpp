@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pdc/engine/analytic.hpp"
 #include "pdc/engine/sharded/converge_cast.hpp"
 #include "pdc/util/check.hpp"
 
@@ -74,6 +75,33 @@ void ShardedOracle::eval_shard(mpc::MachineId m,
   }
 }
 
+void ShardedOracle::eval_shard_analytic(mpc::MachineId m, std::uint64_t first,
+                                        std::size_t count,
+                                        std::int64_t* sink) const {
+  const AnalyticOracle* an = oracle_->as_analytic();
+  PDC_CHECK_MSG(an != nullptr,
+                "eval_shard_analytic on a non-analytic oracle");
+  if (oracle_->item_count() == 1) {
+    // Opaque objective: shard the member block instead of the items.
+    const mpc::MachineId p = plan_->num_machines();
+    for (std::size_t k = m; k < count; k += p) {
+      double c = 0.0;
+      an->eval_analytic(first + k, 1, 0, &c);
+      sink[k] += encode_checked(c);
+    }
+    return;
+  }
+  std::vector<double> buf(count);
+  for (std::uint32_t item : plan_->items_of(m)) {
+    // Per-item encode keeps the shard sum an exact integer sum, exactly
+    // as in the enumerating eval_shard.
+    std::fill(buf.begin(), buf.end(), 0.0);
+    an->eval_analytic(first, count, item, buf.data());
+    for (std::size_t k = 0; k < count; ++k)
+      sink[k] += encode_checked(buf[k]);
+  }
+}
+
 std::uint64_t ShardedOracle::max_machine_load(std::size_t block) const {
   if (oracle_->item_count() == 1) {
     const mpc::MachineId p = plan_->num_machines();
@@ -105,45 +133,52 @@ std::vector<double> ShardedSeedSearch::compute_totals(std::uint64_t num_seeds,
   PhaseGuard restore_phase(ledger);
   ledger.begin_phase("seed-search(sharded)");
 
-  std::vector<double> totals(num_seeds, 0.0);
-  for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
-    const std::size_t block = static_cast<std::size_t>(
-        std::min<std::uint64_t>(max_batch, num_seeds - s0));
-    std::vector<std::uint64_t> seeds(block);
-    for (std::size_t k = 0; k < block; ++k) seeds[k] = s0 + k;
-
-    const std::uint32_t fan_in =
-        opt_.fan_in ? opt_.fan_in : pick_fan_in(cfg, block);
-
-    adapter_.begin_sweep(seeds);
-    ConvergeCastStats cc;
-    std::vector<std::int64_t> fixed = converge_cast_sum(
-        *cluster_, block, fan_in,
-        [&](mpc::MachineId m, std::int64_t* sink) {
-          adapter_.eval_shard(
-              m, std::span<const std::uint64_t>(seeds), sink);
-        },
-        &cc);
-    adapter_.end_sweep();
+  // Shared converge-cast step for both block paths: run `score` on
+  // every machine, fold the fixed-point partials up the tree, decode
+  // into `out`, and account the substrate work.
+  auto cast_block =
+      [&](std::size_t block, double* out,
+          const std::function<void(mpc::MachineId, std::int64_t*)>& score) {
+        const std::uint32_t fan_in =
+            opt_.fan_in ? opt_.fan_in : pick_fan_in(cfg, block);
+        ConvergeCastStats cc;
+        std::vector<std::int64_t> fixed =
+            converge_cast_sum(*cluster_, block, fan_in, score, &cc);
+        for (std::size_t k = 0; k < block; ++k)
+          out[k] = adapter_.decode(fixed[k]);
+        stats.sharded.rounds += cc.rounds;
+        stats.sharded.words += cc.payload_words;
+        stats.sharded.max_machine_load =
+            std::max(stats.sharded.max_machine_load,
+                     adapter_.max_machine_load(block));
+      };
+  // The bit-identical-Selection guarantee rests on the fixed-point
+  // encode being lossless; the adapter records violations during the
+  // parallel machine steps and this raises them host-side per block.
+  auto check_on_grid = [&] {
     PDC_CHECK_MSG(!adapter_.saw_off_grid_cost(),
                   "oracle produced a cost not representable on the 2^-"
                   << opt_.frac_bits << " fixed-point grid; raise "
                   "ShardedOptions::frac_bits or keep costs integral");
+  };
 
-    for (std::size_t k = 0; k < block; ++k)
-      totals[s0 + k] = adapter_.decode(fixed[k]);
-
-    ++stats.sweeps;
-    stats.evaluations += block;
-    stats.batch = std::max<std::uint64_t>(stats.batch, block);
-    stats.sharded.rounds += cc.rounds;
-    stats.sharded.words += cc.payload_words;
-    stats.sharded.max_machine_load =
-        std::max(stats.sharded.max_machine_load,
-                 adapter_.max_machine_load(block));
-  }
-
-  return totals;
+  return detail::compute_totals_blocked(
+      *oracle_, num_seeds, max_batch, opt_.search.use_analytic, stats,
+      [&](std::span<const std::uint64_t> seeds, double* out) {
+        adapter_.begin_sweep(seeds);
+        cast_block(seeds.size(), out,
+                   [&](mpc::MachineId m, std::int64_t* sink) {
+                     adapter_.eval_shard(m, seeds, sink);
+                   });
+        adapter_.end_sweep();
+        check_on_grid();
+      },
+      [&](std::uint64_t first, std::size_t count, double* out) {
+        cast_block(count, out, [&](mpc::MachineId m, std::int64_t* sink) {
+          adapter_.eval_shard_analytic(m, first, count, sink);
+        });
+        check_on_grid();
+      });
 }
 
 Selection ShardedSeedSearch::exhaustive(std::uint64_t num_seeds) {

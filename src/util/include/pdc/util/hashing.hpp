@@ -112,14 +112,65 @@ class EnumerablePairwiseFamily {
     return {a, b};
   }
 
-  /// Evaluate member `index` on x, mapping into [0, m).
-  std::uint64_t eval(std::uint64_t index, std::uint64_t x,
-                     std::uint64_t m) const {
-    auto [a, b] = params(index);
+  /// The family's bucket map from explicit member parameters:
+  /// ((a·x + b) mod p · m) >> 61. This is the *single* definition of the
+  /// affine-hash bucket formula — Partition::color_bin, the enumerating
+  /// partition oracles and the analytic closed forms all route through
+  /// it, so their buckets agree bit for bit by construction.
+  static std::uint64_t eval_params(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t x, std::uint64_t m) {
     std::uint64_t v = MersenneField::add(
         MersenneField::mul(a, x % MersenneField::kPrime), b);
     return static_cast<std::uint64_t>(
         (static_cast<unsigned __int128>(v) * m) >> 61);
+  }
+
+  /// Evaluate member `index` on x, mapping into [0, m).
+  std::uint64_t eval(std::uint64_t index, std::uint64_t x,
+                     std::uint64_t m) const {
+    auto [a, b] = params(index);
+    return eval_params(a, b, x, m);
+  }
+
+  // ---- Idealized pairwise-independent expectations (closed forms). ----
+  //
+  // Under the *idealized* family — (a, b) uniform over F_p × F_p — the
+  // pair (h(x), h(y)) for x ≠ y (mod p) is uniform over F_p², so every
+  // bucket event has an exact closed form driven by how many field
+  // values multiply-shift into each bucket. These are the ground-truth
+  // expectations the analytic conditional-expectation oracles rest on;
+  // the deterministic grid above is a finite sample of the idealized
+  // family, and tests/test_analytic.cpp property-checks that its
+  // empirical frequencies match these values within sampling tolerance.
+
+  /// Exact number of field values v in [0, p) with (v·m) >> 61 == bucket.
+  static std::uint64_t bucket_count(std::uint64_t bucket, std::uint64_t m) {
+    PDC_CHECK(m > 0 && bucket < m);
+    const unsigned __int128 q = static_cast<unsigned __int128>(1) << 61;
+    auto lo = static_cast<std::uint64_t>((bucket * q + m - 1) / m);
+    auto hi = static_cast<std::uint64_t>(((bucket + 1) * q + m - 1) / m);
+    // v = 2^61 - 1 multiply-shifts into bucket m-1 but is not a field
+    // element (the field is [0, 2^61 - 1)).
+    return hi - lo - (bucket + 1 == m ? 1 : 0);
+  }
+
+  /// Pr[h(x) lands in `bucket`] under the idealized family (exact).
+  static double bucket_probability(std::uint64_t bucket, std::uint64_t m) {
+    return static_cast<double>(bucket_count(bucket, m)) /
+           static_cast<double>(MersenneField::kPrime);
+  }
+
+  /// Pr[h(x) and h(y) land in the same bucket of [0, m)] for x ≠ y
+  /// (mod p) under the idealized family: sum_B (count_B / p)². O(m).
+  static double collision_probability(std::uint64_t m) {
+    PDC_CHECK(m > 0);
+    const double p = static_cast<double>(MersenneField::kPrime);
+    double sum = 0.0;
+    for (std::uint64_t bkt = 0; bkt < m; ++bkt) {
+      const double w = static_cast<double>(bucket_count(bkt, m));
+      sum += (w / p) * (w / p);
+    }
+    return sum;
   }
 
  private:
