@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
-#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/graph/power.hpp"
-#include "pdc/prg/cond_exp.hpp"
 #include "pdc/prg/prg.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -144,19 +143,18 @@ engine::Selection select_luby_seed_selection(
     mpc::Cluster* search_cluster) {
   prg::PrgFamily family(opt.seed_bits, hash_combine(opt.salt, round));
   LubyRoundOracle oracle(g, status, family, chunk_of);
-  const bool cond_exp =
-      opt.strategy == derand::SeedStrategy::kConditionalExpectation;
-  // A user-configured Lemma10Options::search_cluster wins (matching
+  // A user-configured Lemma10Options cluster wins (matching
   // lemma10_seed_selection, e.g. to keep search rounds on a dedicated
   // ledger); the parameter is the call site's default substrate — the
   // cluster the MPC variant replays rounds on.
-  mpc::Cluster* cluster =
-      opt.search_cluster ? opt.search_cluster : search_cluster;
-  return engine::sharded::search_with_backend(
-      oracle, opt.search_backend, cluster, [&](auto& search) {
-        return cond_exp ? search.conditional_expectation(opt.seed_bits)
-                        : search.exhaustive_bits(opt.seed_bits);
-      });
+  engine::ExecutionPolicy policy = opt.search_policy();
+  if (policy.cluster == nullptr) policy.cluster = search_cluster;
+  return engine::search(
+      oracle,
+      opt.strategy == derand::SeedStrategy::kConditionalExpectation
+          ? engine::SearchRequest::conditional_expectation(opt.seed_bits,
+                                                           policy)
+          : engine::SearchRequest::exhaustive_bits(opt.seed_bits, policy));
 }
 
 std::uint64_t select_luby_seed(const Graph& g,

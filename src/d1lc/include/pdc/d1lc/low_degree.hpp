@@ -14,7 +14,7 @@
 #include <cstdint>
 
 #include "pdc/derand/coloring_state.hpp"
-#include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/mpc/cost_model.hpp"
 
 namespace pdc::mpc {
@@ -33,15 +33,24 @@ struct LowDegreeReport {
 
 /// Colors every remaining uncolored (and deferred) participant of
 /// `state` deterministically. `family_log2` sizes the hash family
-/// searched per phase. The per-phase trial searches run on the chosen
-/// backend (kSharded executes them as capacity-checked rounds on
-/// `search_cluster`) through the analytic trial oracle
-/// (pdc/d1lc/trial_oracle.hpp) — closed-form per-node costs, zero
-/// enumeration sweeps, bit-identical Selections on every backend.
-LowDegreeReport low_degree_color(
-    derand::ColoringState& state, mpc::CostModel* cost, int family_log2 = 8,
-    std::uint64_t salt = 0xC0FFEE,
-    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory,
-    mpc::Cluster* search_cluster = nullptr);
+/// searched per phase. The per-phase trial searches execute under
+/// `policy` (backend / cluster / engine options — pdc/engine/search.hpp)
+/// through the analytic trial oracle (pdc/d1lc/trial_oracle.hpp) —
+/// closed-form per-node costs, zero enumeration sweeps, bit-identical
+/// Selections on every backend.
+LowDegreeReport low_degree_color(derand::ColoringState& state,
+                                 mpc::CostModel* cost, int family_log2 = 8,
+                                 std::uint64_t salt = 0xC0FFEE,
+                                 const engine::ExecutionPolicy& policy = {});
+
+/// DEPRECATED alias (one PR): the loose backend/cluster argument form.
+inline LowDegreeReport low_degree_color(
+    derand::ColoringState& state, mpc::CostModel* cost, int family_log2,
+    std::uint64_t salt, engine::SearchBackend backend,
+    mpc::Cluster* search_cluster = nullptr) {
+  return low_degree_color(
+      state, cost, family_log2, salt,
+      engine::merge_legacy_policy({}, backend, search_cluster));
+}
 
 }  // namespace pdc::d1lc

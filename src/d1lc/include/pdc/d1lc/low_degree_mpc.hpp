@@ -12,7 +12,7 @@
 
 #include <cstdint>
 
-#include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/mpc/cluster.hpp"
@@ -45,17 +45,26 @@ MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
                                        std::uint64_t index);
 
 /// Seed selection for one trial phase: index search over the family for
-/// the member committing the most nodes (negated counts). On the
-/// kSharded backend every sweep runs as capacity-checked rounds on
-/// `search_cluster` (home machines score their own nodes, totals
-/// converge-cast) and returns the bit-identical Selection. Exposed for
-/// the sharded differential tests; low_degree_color_mpc routes through
-/// here.
+/// the member committing the most nodes (negated counts). Executes
+/// under `policy`; on the kSharded backend every totals pass runs as
+/// capacity-checked rounds on the policy's cluster (home machines score
+/// their own nodes, totals converge-cast) and returns the bit-identical
+/// Selection. Exposed for the sharded differential tests;
+/// low_degree_color_mpc routes through here.
 engine::Selection low_degree_trial_selection(
     const D1lcInstance& inst, const Coloring& coloring,
     const EnumerablePairwiseFamily& family,
-    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory,
-    mpc::Cluster* search_cluster = nullptr);
+    const engine::ExecutionPolicy& policy = {});
+
+/// DEPRECATED alias (one PR): the loose backend/cluster argument form.
+inline engine::Selection low_degree_trial_selection(
+    const D1lcInstance& inst, const Coloring& coloring,
+    const EnumerablePairwiseFamily& family, engine::SearchBackend backend,
+    mpc::Cluster* search_cluster = nullptr) {
+  return low_degree_trial_selection(
+      inst, coloring, family,
+      engine::merge_legacy_policy({}, backend, search_cluster));
+}
 
 /// Full deterministic phase loop on the cluster: per phase, select the
 /// winning family member (shared-memory engine by default; with
@@ -74,7 +83,16 @@ struct MpcLowDegreeResult {
 };
 MpcLowDegreeResult low_degree_color_mpc(
     mpc::Cluster& cluster, const D1lcInstance& inst, int family_log2 = 6,
-    std::uint64_t salt = 0xC0FFEE,
-    engine::SearchBackend backend = engine::SearchBackend::kSharedMemory);
+    std::uint64_t salt = 0xC0FFEE, engine::ExecutionPolicy policy = {});
+
+/// DEPRECATED alias (one PR): the loose backend argument form (the
+/// execution cluster doubles as the search cluster).
+inline MpcLowDegreeResult low_degree_color_mpc(
+    mpc::Cluster& cluster, const D1lcInstance& inst, int family_log2,
+    std::uint64_t salt, engine::SearchBackend backend) {
+  return low_degree_color_mpc(
+      cluster, inst, family_log2, salt,
+      engine::merge_legacy_policy({}, backend, nullptr));
+}
 
 }  // namespace pdc::d1lc

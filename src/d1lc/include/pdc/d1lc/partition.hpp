@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/mpc/cost_model.hpp"
@@ -31,20 +31,35 @@ struct PartitionOptions {
   std::uint32_t mid_degree_cap = 32;
   int family_log2 = 7;              // hash candidates searched = 2^this
   std::uint64_t salt = 0xBEEF;
-  /// Substrate for the h1/h2 index searches: kSharded executes every
-  /// totals pass as capacity-checked rounds on `search_cluster` — each
-  /// machine evaluates its shard of high-degree nodes through the
-  /// analytic Lemma-23 closed forms (pdc/d1lc/partition_oracles.hpp)
-  /// and the per-candidate partials are converge-cast. Selections are
-  /// bit-identical to the shared-memory engine's at any machine count.
+  /// How the h1/h2 index searches execute (backend, cluster, engine
+  /// SearchOptions, optional stats sink — pdc/engine/search.hpp). With
+  /// kSharded every totals pass runs as capacity-checked rounds on the
+  /// cluster — each machine evaluates its shard of high-degree nodes
+  /// through the analytic Lemma-23 closed forms
+  /// (pdc/d1lc/partition_oracles.hpp) and the per-candidate partials
+  /// are converge-cast. Selections are bit-identical to the
+  /// shared-memory engine's at any machine count. The default consults
+  /// the oracles' closed forms — zero enumeration sweeps; set
+  /// search.options.use_analytic = false to force the enumerating
+  /// sweeps (differential tests and ablations).
+  engine::ExecutionPolicy search;
+  /// Route both hash selections through the junta-fooling prefix walk
+  /// (engine::SearchRoute::kPrefixWalk) instead of the exhaustive
+  /// argmin. Still guarantees violations <= the family mean; selects a
+  /// (generally different) walk-certified member, with
+  /// SearchStats::prefix accounting the junta work. Default off — the
+  /// E5 prefix leg and the `prefix` test suite exercise it.
+  bool use_prefix_walk = false;
+  /// DEPRECATED aliases (one PR): prefer `search.backend` /
+  /// `search.cluster`. Still honored when the policy is unset.
   engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  /// Required (non-owning) when search_backend == kSharded.
   mpc::Cluster* search_cluster = nullptr;
-  /// Engine options for both hash searches (analytic routing, block
-  /// sizing). The default consults the oracles' closed forms — zero
-  /// enumeration sweeps; set search.use_analytic = false to force the
-  /// enumerating sweeps (differential tests and ablations).
-  engine::SearchOptions search;
+
+  /// The effective policy after folding the deprecated aliases in.
+  engine::ExecutionPolicy search_policy() const {
+    return engine::merge_legacy_policy(search, search_backend,
+                                       search_cluster);
+  }
 };
 
 struct Partition {

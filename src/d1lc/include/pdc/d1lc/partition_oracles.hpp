@@ -17,11 +17,20 @@
 // differential tests drive both paths and require bit-identical
 // Selections, which holds because both route every bucket through
 // EnumerablePairwiseFamily::eval_params.
+//
+// Both oracles additionally sit on the prefix plane
+// (pdc/engine/prefix.hpp): their costs are juntas of bucket values, so
+// a prefix walk classifies the seed-constant items up front — an h1
+// item whose degree bound exceeds its whole junta can never violate;
+// an h2 item in the last bin never restricts, and one whose bin-degree
+// reaches its palette size always violates — and only the remaining
+// items ever evaluate completions.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
-#include "pdc/engine/analytic.hpp"
+#include "pdc/engine/prefix.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/util/hashing.hpp"
@@ -35,13 +44,19 @@ namespace pdc::d1lc {
 /// Analytic form: begin_search filters each item's adjacency to its
 /// high-degree neighbors once (the enumerating sweep re-filters per
 /// block); eval_analytic then needs one eval_params per junta point.
-class H1DegreeOracle final : public engine::AnalyticOracle {
+class H1DegreeOracle final : public engine::PrefixOracle {
  public:
   H1DegreeOracle(const Graph& g, const std::vector<NodeId>& high,
                  const EnumerablePairwiseFamily& family, std::uint32_t nbins,
                  std::uint32_t mid_degree_cap);
 
   std::size_t item_count() const override { return high_->size(); }
+
+  // Prefix plane: the junta is v plus its high-degree neighbors; items
+  // whose bound no junta count can reach are seed-constant zero.
+  int bit_count() const override { return family_->log2(); }
+  std::size_t junta_size(std::size_t item) const override;
+  std::optional<double> constant_cost(std::size_t item) const override;
 
   void begin_search(std::uint64_t num_seeds) override;
   void end_search() override;
@@ -80,7 +95,7 @@ class H1DegreeOracle final : public engine::AnalyticOracle {
 /// once (both candidate-independent — the enumerating sweep recomputes
 /// the bin-degree every block); eval_analytic then needs one
 /// eval_params per palette color.
-class H2PaletteOracle final : public engine::AnalyticOracle {
+class H2PaletteOracle final : public engine::PrefixOracle {
  public:
   H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
                   const std::vector<NodeId>& high,
@@ -89,6 +104,13 @@ class H2PaletteOracle final : public engine::AnalyticOracle {
                   std::uint32_t color_bins);
 
   std::size_t item_count() const override { return high_->size(); }
+
+  // Prefix plane: the junta is v's palette; last-bin items are
+  // seed-constant 0, items whose bin-degree reaches their palette size
+  // are seed-constant 1 (p'(v) <= |palette| <= d'(v) for every member).
+  int bit_count() const override { return family_->log2(); }
+  std::size_t junta_size(std::size_t item) const override;
+  std::optional<double> constant_cost(std::size_t item) const override;
 
   void begin_search(std::uint64_t num_seeds) override;
   void end_search() override;

@@ -51,16 +51,25 @@ struct SolverOptions {
   // Low-degree finish.
   int low_degree_family_log2 = 8;
 
-  /// Substrate for the partition h1/h2 and low-degree trial searches
-  /// (the Lemma-10 searches carry their own choice in `l10`). With
-  /// kSharded every totals pass runs as capacity-checked rounds on
-  /// `search_cluster` — machines evaluate their shards' analytic
-  /// closed forms and converge-cast the per-candidate partials.
-  /// Selections (and hence the coloring) are bit-identical to the
-  /// shared-memory engine's at any machine count.
+  /// How the partition h1/h2 and low-degree trial searches execute
+  /// (the Lemma-10 searches carry their own policy in `l10`): backend
+  /// (kSharedMemory / kSharded / kAuto), cluster, engine options. With
+  /// kSharded every totals pass runs as capacity-checked rounds on the
+  /// cluster — machines evaluate their shards' analytic closed forms
+  /// and converge-cast the per-candidate partials. Selections (and
+  /// hence the coloring) are bit-identical to the shared-memory
+  /// engine's at any machine count.
+  engine::ExecutionPolicy search;
+  /// DEPRECATED aliases (one PR): prefer `search.backend` /
+  /// `search.cluster`. Still honored when the policy is unset.
   engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  /// Required (non-owning) when search_backend == kSharded.
   mpc::Cluster* search_cluster = nullptr;
+
+  /// The effective policy after folding the deprecated aliases in.
+  engine::ExecutionPolicy search_policy() const {
+    return engine::merge_legacy_policy(search, search_backend,
+                                       search_cluster);
+  }
 
   std::uint64_t seed = 1;  // randomized-mode master seed
 };

@@ -26,11 +26,12 @@
 // so their totals (and hence Selections) are bit-identical.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "pdc/derand/coloring_state.hpp"
-#include "pdc/engine/analytic.hpp"
+#include "pdc/engine/prefix.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
 #include "pdc/util/hashing.hpp"
@@ -67,7 +68,7 @@ struct AvailLists {
                                   const Coloring& coloring);
 };
 
-class TrialOracle final : public engine::AnalyticOracle {
+class TrialOracle final : public engine::PrefixOracle {
  public:
   /// `items`: the nodes this objective scores (one item per node).
   /// `active[v]` != 0 marks trial participants (clash candidates);
@@ -82,6 +83,13 @@ class TrialOracle final : public engine::AnalyticOracle {
               const EnumerablePairwiseFamily& family);
 
   std::size_t item_count() const override { return items_->size(); }
+
+  // Prefix plane: the junta is v plus its active neighbors (the picks
+  // a clash can involve); inactive or empty-availability items never
+  // score, so they are seed-constant 0.
+  int bit_count() const override { return family_->log2(); }
+  std::size_t junta_size(std::size_t item) const override;
+  std::optional<double> constant_cost(std::size_t item) const override;
 
   void eval_analytic(std::uint64_t first, std::size_t count,
                      std::size_t item, double* sink) const override;

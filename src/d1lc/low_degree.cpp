@@ -4,8 +4,7 @@
 #include <span>
 
 #include "pdc/d1lc/trial_oracle.hpp"
-#include "pdc/engine/seed_search.hpp"
-#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -63,8 +62,7 @@ std::uint64_t trial(const ColoringState& state,
 LowDegreeReport low_degree_color(derand::ColoringState& state,
                                  mpc::CostModel* cost, int family_log2,
                                  std::uint64_t salt,
-                                 engine::SearchBackend backend,
-                                 mpc::Cluster* search_cluster) {
+                                 const engine::ExecutionPolicy& policy) {
   LowDegreeReport rep;
   const NodeId n = state.num_nodes();
 
@@ -83,9 +81,8 @@ LowDegreeReport low_degree_color(derand::ColoringState& state,
                                     family_log2);
     AvailLists avail = AvailLists::from_state(state, todo);
     TrialOracle oracle(state.graph(), todo, in_todo, avail, family);
-    engine::Selection sc = engine::sharded::search_with_backend(
-        oracle, backend, search_cluster,
-        [&](auto& search) { return search.exhaustive(family.size()); });
+    engine::Selection sc = engine::search(
+        oracle, engine::SearchRequest::exhaustive(family.size(), policy));
     rep.search.absorb(sc.stats);
     if (cost) {
       cost->charge_conditional_expectation(family_log2);

@@ -5,8 +5,7 @@
 #include <span>
 
 #include "pdc/d1lc/trial_oracle.hpp"
-#include "pdc/engine/seed_search.hpp"
-#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::d1lc {
@@ -28,8 +27,8 @@ Color pick_of(const D1lcInstance& inst, const Coloring& coloring,
 
 engine::Selection low_degree_trial_selection(
     const D1lcInstance& inst, const Coloring& coloring,
-    const EnumerablePairwiseFamily& family, engine::SearchBackend backend,
-    mpc::Cluster* search_cluster) {
+    const EnumerablePairwiseFamily& family,
+    const engine::ExecutionPolicy& policy) {
   // Item = node (each home machine scores the nodes it owns). The
   // shared analytic trial oracle carries both evaluation paths; its
   // availability lists come from the same trial_available_colors
@@ -42,9 +41,8 @@ engine::Selection low_degree_trial_selection(
   for (NodeId v = 0; v < n; ++v) active[v] = (coloring[v] == kNoColor);
   AvailLists avail = AvailLists::from_instance(inst, coloring);
   TrialOracle oracle(inst.graph, items, active, avail, family);
-  return engine::sharded::search_with_backend(
-      oracle, backend, search_cluster,
-      [&](auto& search) { return search.exhaustive(family.size()); });
+  return engine::search(
+      oracle, engine::SearchRequest::exhaustive(family.size(), policy));
 }
 
 MpcTrialResult low_degree_trial_shared(const D1lcInstance& inst,
@@ -157,7 +155,10 @@ MpcTrialResult low_degree_trial_mpc(mpc::Cluster& cluster,
 MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
                                         const D1lcInstance& inst,
                                         int family_log2, std::uint64_t salt,
-                                        engine::SearchBackend backend) {
+                                        engine::ExecutionPolicy policy) {
+  // The execution cluster doubles as the search substrate unless the
+  // caller pointed the policy elsewhere.
+  if (policy.cluster == nullptr) policy.cluster = &cluster;
   MpcLowDegreeResult out;
   out.coloring.assign(inst.graph.num_nodes(), kNoColor);
   const std::uint64_t before = cluster.ledger().rounds();
@@ -166,8 +167,8 @@ MpcLowDegreeResult low_degree_color_mpc(mpc::Cluster& cluster,
   while (uncolored > 0) {
     EnumerablePairwiseFamily family(hash_combine(salt, out.phases),
                                     family_log2);
-    engine::Selection sc = low_degree_trial_selection(
-        inst, out.coloring, family, backend, &cluster);
+    engine::Selection sc =
+        low_degree_trial_selection(inst, out.coloring, family, policy);
     out.search.absorb(sc.stats);
 
     MpcTrialResult trial =

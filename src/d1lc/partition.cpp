@@ -5,8 +5,7 @@
 #include <span>
 
 #include "pdc/d1lc/partition_oracles.hpp"
-#include "pdc/engine/seed_search.hpp"
-#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -40,14 +39,20 @@ Partition low_space_partition(const D1lcInstance& inst,
   // --- Select h1: minimize nodes whose bin-internal degree breaks the
   // Lemma-23 bound d'(v) < 2 d(v) / nbins (floored at 1 for small
   // degrees so the bound is meaningful at laptop scale). Both searches
-  // route through the engine's analytic plane by default (closed-form
-  // per-node costs, zero enumeration sweeps) on the chosen backend.
+  // go through the engine front door, which climbs the oracle ladder
+  // (closed forms by default — zero enumeration sweeps; the prefix walk
+  // when use_prefix_walk asks for it) on the policy's backend.
+  engine::ExecutionPolicy policy = opt.search_policy();
+  auto request = [&](int family_log2) {
+    return opt.use_prefix_walk
+               ? engine::SearchRequest::prefix_walk(family_log2, policy)
+               : engine::SearchRequest::exhaustive(1ULL << family_log2,
+                                                   policy);
+  };
   EnumerablePairwiseFamily f1(hash_combine(opt.salt, 1), opt.family_log2);
   H1DegreeOracle h1_oracle(g, high, f1, part.nbins, opt.mid_degree_cap);
-  engine::Selection h1 = engine::sharded::search_with_backend(
-      h1_oracle, opt.search_backend, opt.search_cluster,
-      [&](auto& search) { return search.exhaustive(f1.size()); },
-      opt.search);
+  engine::Selection h1 =
+      engine::search(h1_oracle, request(opt.family_log2));
   part.h1_index = h1.seed;
   part.search.absorb(h1.stats);
   if (cost) {
@@ -64,10 +69,8 @@ Partition low_space_partition(const D1lcInstance& inst,
   EnumerablePairwiseFamily f2(hash_combine(opt.salt, 2), opt.family_log2);
   H2PaletteOracle h2_oracle(g, inst, high, part.bin_of, f2, part.nbins,
                             part.color_bins);
-  engine::Selection h2 = engine::sharded::search_with_backend(
-      h2_oracle, opt.search_backend, opt.search_cluster,
-      [&](auto& search) { return search.exhaustive(f2.size()); },
-      opt.search);
+  engine::Selection h2 =
+      engine::search(h2_oracle, request(opt.family_log2));
   part.h2_index = h2.seed;
   part.search.absorb(h2.stats);
   auto [a2, b2] = f2.params(h2.seed);

@@ -22,6 +22,21 @@ double H1DegreeOracle::bound_of(std::size_t item) const {
                   2.0 * static_cast<double>(g_->degree(v)) / nbins_);
 }
 
+std::size_t H1DegreeOracle::junta_size(std::size_t item) const {
+  // v itself plus its high-degree neighbors (read via begin_search's
+  // CSR, which the prefix walk prepares before asking).
+  return 1 + (high_nbr_off_[item + 1] - high_nbr_off_[item]);
+}
+
+std::optional<double> H1DegreeOracle::constant_cost(std::size_t item) const {
+  // d'(v) can never exceed the high-degree neighbor count; when the
+  // bound is out of reach the item violates under no member.
+  const double max_dprime = static_cast<double>(high_nbr_off_[item + 1] -
+                                                high_nbr_off_[item]);
+  if (max_dprime < bound_[item]) return 0.0;
+  return std::nullopt;
+}
+
 void H1DegreeOracle::begin_search(std::uint64_t /*num_seeds*/) {
   const std::size_t items = high_->size();
   high_nbr_off_.assign(items + 1, 0);
@@ -96,6 +111,19 @@ H2PaletteOracle::H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
                                  std::uint32_t nbins, std::uint32_t color_bins)
     : g_(&g), inst_(&inst), high_(&high), bin_of_(&bin_of),
       family_(&family), nbins_(nbins), color_bins_(color_bins) {}
+
+std::size_t H2PaletteOracle::junta_size(std::size_t item) const {
+  return inst_->palettes.palette((*high_)[item]).size();
+}
+
+std::optional<double> H2PaletteOracle::constant_cost(std::size_t item) const {
+  const std::uint32_t b = item_bin_[item];
+  if (b + 1 >= nbins_) return 0.0;  // last bin keeps everything
+  // p'(v) <= |palette(v)| for every member; once the bin-degree reaches
+  // the palette size the item violates under every member.
+  if (item_dprime_[item] >= junta_size(item)) return 1.0;
+  return std::nullopt;
+}
 
 void H2PaletteOracle::begin_search(std::uint64_t /*num_seeds*/) {
   const std::size_t items = high_->size();

@@ -73,6 +73,20 @@ TrialOracle::TrialOracle(const Graph& g, const std::vector<NodeId>& items,
                   "TrialOracle: active node " << v << " not in items");
 }
 
+std::size_t TrialOracle::junta_size(std::size_t item) const {
+  const NodeId v = (*items_)[item];
+  if (!(*active_)[v] || avail_->of(v).empty()) return 0;
+  std::size_t junta = 1;  // v's own pick
+  for (NodeId u : g_->neighbors(v)) junta += ((*active_)[u] != 0);
+  return junta;
+}
+
+std::optional<double> TrialOracle::constant_cost(std::size_t item) const {
+  const NodeId v = (*items_)[item];
+  if (!(*active_)[v] || avail_->of(v).empty()) return 0.0;
+  return std::nullopt;
+}
+
 Color TrialOracle::pick_params(std::uint64_t a, std::uint64_t b,
                                NodeId v) const {
   auto list = avail_->of(v);

@@ -26,10 +26,9 @@
 #include <vector>
 
 #include "pdc/derand/normal_procedure.hpp"
-#include "pdc/engine/seed_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/graph/power.hpp"
 #include "pdc/mpc/cost_model.hpp"
-#include "pdc/prg/cond_exp.hpp"
 #include "pdc/prg/prg.hpp"
 
 namespace pdc::mpc {
@@ -60,15 +59,25 @@ struct Lemma10Options {
   /// without the Defer mark (they retry in later steps); the
   /// derandomized pipeline defers per the lemma.
   bool defer_failures = true;
-  /// Substrate for the kExhaustive / kConditionalExpectation searches:
-  /// kSharded executes every sweep as capacity-checked rounds on
-  /// `search_cluster` (machine-local shard scoring + converge-cast of
-  /// the per-seed totals; see pdc::engine::sharded). Selections are
-  /// bit-identical to the shared-memory engine's — the backend changes
-  /// where the sums run, never what is chosen.
+  /// How the kExhaustive / kConditionalExpectation searches execute:
+  /// backend (kSharedMemory / kSharded / kAuto), cluster, engine
+  /// SearchOptions, optional stats sink. kSharded runs every totals
+  /// pass as capacity-checked rounds on the cluster (machine-local
+  /// shard scoring + converge-cast; see pdc::engine::sharded);
+  /// Selections are bit-identical to the shared-memory engine's — the
+  /// backend changes where the sums run, never what is chosen.
+  engine::ExecutionPolicy search;
+  /// DEPRECATED aliases (one PR): prefer `search.backend` /
+  /// `search.cluster`. Still honored when the policy is unset
+  /// (engine::merge_legacy_policy).
   engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  /// Required (non-owning) when search_backend == kSharded.
   mpc::Cluster* search_cluster = nullptr;
+
+  /// The effective policy after folding the deprecated aliases in.
+  engine::ExecutionPolicy search_policy() const {
+    return engine::merge_legacy_policy(search, search_backend,
+                                       search_cluster);
+  }
 };
 
 struct Lemma10Report {

@@ -4,8 +4,7 @@
 #include <cmath>
 #include <span>
 
-#include "pdc/engine/seed_search.hpp"
-#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/engine/search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::derand {
@@ -89,13 +88,13 @@ engine::Selection lemma10_seed_selection(const NormalProcedure& proc,
             opt.strategy == SeedStrategy::kConditionalExpectation);
   prg::PrgFamily family = lemma10_family(opt);
   SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
-  const bool cond_exp =
-      opt.strategy == SeedStrategy::kConditionalExpectation;
-  return engine::sharded::search_with_backend(
-      oracle, opt.search_backend, opt.search_cluster, [&](auto& search) {
-        return cond_exp ? search.conditional_expectation(opt.seed_bits)
-                        : search.exhaustive_bits(opt.seed_bits);
-      });
+  const engine::ExecutionPolicy policy = opt.search_policy();
+  return engine::search(
+      oracle, opt.strategy == SeedStrategy::kConditionalExpectation
+                  ? engine::SearchRequest::conditional_expectation(
+                        opt.seed_bits, policy)
+                  : engine::SearchRequest::exhaustive_bits(opt.seed_bits,
+                                                           policy));
 }
 
 ChunkAssignment assign_chunks(const Graph& g, int tau,

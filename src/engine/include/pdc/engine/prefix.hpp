@@ -1,0 +1,144 @@
+#pragma once
+// The prefix oracle plane: junta-fooling walks over seed-bit prefixes.
+//
+// The analytic plane (pdc/engine/analytic.hpp) removed the simulation
+// from each (member, item) evaluation; the member *loop* remained — an
+// analytic search still touches items x members closed forms. Harris's
+// junta-fooling framework (arXiv:1610.03383) conditions on seed-bit
+// prefixes instead of enumerating family members: the search walks the
+// seed bits MSB -> LSB, and at each step every item contributes the
+// exact sum of its costs over the completions consistent with the
+// prefix. Because each item's cost is a junta — it reads the member
+// only through the member's hash values on a fixed point set — an item
+// can answer those conditional sums from its own junta's completions:
+//
+//   * items whose cost is provably seed-CONSTANT (empty junta: a
+//     last-bin node, an inactive node, a degree bound no junta can
+//     reach) answer every query in O(1) with zero formula work;
+//   * active items evaluate each member's junta exactly once across
+//     the whole walk (the base class materializes the item's
+//     completion sums lazily, on first touch) and answer every later
+//     query as an O(1) cumulative-sum lookup;
+//   * oracles with more structure (per-item seed-bit juntas, paper
+//     pessimistic estimators) may override eval_prefix outright with a
+//     genuinely sublinear answer — the contract only requires the sums
+//     to be exact.
+//
+// On the sharded backend this is the honest MPC shape of the Lemma-10
+// walk: each step converge-casts ONE branch sum (two on the first
+// step) instead of a members-wide totals vector, so the cast volume is
+// O(bits) words per walk instead of O(members).
+//
+// Exactness contract: eval_prefix(prefix, bits_fixed, item, subgrid)
+// must return exactly sum_{s in subgrid} cost(s, item). For
+// integer-valued oracles (every production oracle) those sums are
+// exact in doubles, which is what makes the oracle-backed walk select
+// bit-identical seeds to the same walk run over enumerated or analytic
+// totals, on both backends — the `prefix` differential tests enforce
+// it at machine counts 1-17.
+//
+// Accounting: junta completions are counted in the same unit as
+// AnalyticStats::formula_evals (one closed-form member evaluation for
+// one item), so SearchStats::prefix.junta_evals is directly comparable
+// with the analytic member loop — bench_e5_partition gates on the
+// prefix plane doing strictly less formula work than the analytic
+// plane for the same Lemma-23 search.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pdc/engine/analytic.hpp"
+
+namespace pdc::engine {
+
+/// The contiguous member range consistent with a seed-bit prefix: with
+/// `bits_fixed` of `bits` total bits fixed to `prefix`, the completions
+/// are members [prefix << (bits - bits_fixed), ... + 2^(bits -
+/// bits_fixed)). The engine derives it once per query and hands it to
+/// eval_prefix so implementations need no shift arithmetic of their own.
+struct MemberSubgrid {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+};
+
+/// An AnalyticOracle that can additionally answer exact cost sums over
+/// member subgrids conditioned on seed-bit prefixes — the capability
+/// the prefix-walk route dispatches on.
+class PrefixOracle : public AnalyticOracle {
+ public:
+  PrefixOracle* as_prefix() override { return this; }
+
+  /// Width of the searchable bit-seed space (members = 2^bit_count()).
+  /// Walks may fix at most this many bits.
+  virtual int bit_count() const = 0;
+
+  /// The item's junta cardinality: how many hash points its cost reads
+  /// (0 for items whose cost is seed-independent). Accounting and the
+  /// property bound only — the walk never dereferences junta points
+  /// itself.
+  virtual std::size_t junta_size(std::size_t item) const = 0;
+
+  /// Seed-independent classification, consulted once per walk after
+  /// begin_search invariants are ready: items whose cost is the same
+  /// for every member return that constant and answer every
+  /// eval_prefix query as value * subgrid.count with zero junta
+  /// evaluations. Return nullopt for genuinely member-dependent items.
+  virtual std::optional<double> constant_cost(std::size_t item) const {
+    (void)item;
+    return std::nullopt;
+  }
+
+  /// Walk lifecycle. begin_walk prepares begin_search invariants, runs
+  /// the constant classification and allocates the per-item lazy
+  /// caches; end_walk releases everything (end_search included). Both
+  /// run host-side on the sharded backend — the classification and the
+  /// caches are per-item, hence shard-local. The default caches cost
+  /// O(active items x members) doubles (a members-wide array per
+  /// active item, unlike the totals routes' single vector); begin_walk
+  /// refuses footprints past ~2 GiB — larger walks need an eval_prefix
+  /// override or SearchOptions::use_prefix = false.
+  virtual void begin_walk(int bits);
+  virtual void end_walk();
+
+  /// Exact sum of the item's costs over the members consistent with
+  /// `prefix` (`bits_fixed` high bits of the walk's bit space), i.e.
+  /// over `subgrid`. Callable concurrently for distinct items; the
+  /// engine queries each item from one thread at a time, so the
+  /// default implementation's lazy per-item cache is race-free. The
+  /// default answers from the constant classification or from the
+  /// item's completion sums (built on first touch via eval_analytic —
+  /// one junta evaluation per member, counted in junta_evals());
+  /// override it when the oracle can answer sublinearly.
+  virtual double eval_prefix(std::uint64_t prefix, int bits_fixed,
+                             std::size_t item,
+                             const MemberSubgrid& subgrid) const;
+
+  // ---- Walk accounting (reset by begin_walk). ----
+
+  /// Junta completions evaluated since begin_walk (formula_evals unit).
+  std::uint64_t junta_evals() const {
+    return junta_evals_.load(std::memory_order_relaxed);
+  }
+  /// Items the classification proved seed-constant for this walk.
+  std::uint64_t constant_items() const { return constant_items_; }
+  /// Largest junta_size over all items (cached by begin_walk).
+  std::size_t max_junta() const { return max_junta_; }
+  /// Members in the current walk's bit space (2^bits).
+  std::uint64_t walk_members() const { return walk_members_; }
+
+ private:
+  int walk_bits_ = 0;
+  std::uint64_t walk_members_ = 0;
+  std::uint64_t constant_items_ = 0;
+  std::size_t max_junta_ = 0;
+  std::vector<std::uint8_t> is_const_;
+  std::vector<double> const_cost_;
+  // Per-item completion cache: cum_[i][j] = sum of cost(s, i) for
+  // s < j, built lazily on the item's first non-constant query.
+  mutable std::vector<std::vector<double>> cum_;
+  mutable std::atomic<std::uint64_t> junta_evals_{0};
+};
+
+}  // namespace pdc::engine

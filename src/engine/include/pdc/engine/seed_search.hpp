@@ -39,6 +39,8 @@
 namespace pdc::engine {
 
 class AnalyticOracle;
+class PrefixOracle;
+struct MemberSubgrid;
 
 /// Which substrate executes a seed search. Call sites that run on the
 /// MPC cluster accept this choice: kSharedMemory keeps the in-process
@@ -47,11 +49,44 @@ class AnalyticOracle;
 /// machine-local shard scoring plus a converge-cast of the per-seed
 /// partial totals. Both backends return bit-identical Selections for
 /// oracles whose costs sit on the sharded backend's fixed-point grid
-/// (all production oracles are integer-valued).
+/// (all production oracles are integer-valued). kAuto defers the choice
+/// to the engine front door (pdc/engine/search.hpp), which sizes the
+/// per-machine shard against the cluster (the E7-style cutover) and
+/// records its decision in SearchStats::backend / backend_auto.
 enum class SearchBackend {
   kSharedMemory,
   kSharded,
+  kAuto,
 };
+
+/// Which evaluation plane served a search's totals — the capability
+/// ladder's observable outcome (cost/batch enumeration < analytic
+/// closed forms < prefix-conditioned junta walk). kMixed marks stats
+/// absorbed from searches served by different planes.
+enum class PlaneTag : std::uint8_t {
+  kNone = 0,
+  kEnumerating,
+  kAnalytic,
+  kPrefix,
+  kMixed,
+};
+
+/// Which substrate a search actually ran on (after kAuto resolution).
+enum class BackendTag : std::uint8_t {
+  kNone = 0,
+  kSharedMemory,
+  kSharded,
+  kMixed,
+};
+
+namespace detail {
+template <typename Tag>
+Tag merge_tag(Tag a, Tag b) {
+  if (a == Tag::kNone) return b;
+  if (b == Tag::kNone || a == b) return a;
+  return Tag::kMixed;
+}
+}  // namespace detail
 
 /// Accounting for searches executed on the sharded (MPC) backend; all
 /// zero when a search ran in shared memory.
@@ -90,10 +125,38 @@ struct AnalyticStats {
   }
 };
 
+/// Accounting for searches served by the prefix plane — Harris-style
+/// junta-fooling walks over seed-bit prefixes (pdc/engine/prefix.hpp).
+/// All zero when no walk ran oracle-backed.
+struct PrefixStats {
+  /// Oracle-backed prefix walks completed.
+  std::uint64_t walks = 0;
+  /// Bits fixed across those walks (each step = one branch comparison).
+  std::uint64_t bit_steps = 0;
+  /// Junta completions evaluated: one unit = one closed-form member
+  /// evaluation for one item, the same unit as
+  /// AnalyticStats::formula_evals — so the two planes' formula work is
+  /// directly comparable. Items classified seed-constant never
+  /// contribute, so the default walk pays exactly
+  /// (items - constant items) * members — strictly below the analytic
+  /// member loop whenever any item is constant. The aspirational
+  /// items * bits * max-junta ceiling (tight only for sublinear
+  /// eval_prefix overrides) is property-tested on instances whose
+  /// juntas are at least members/bits wide, where the default
+  /// implementation meets it too.
+  std::uint64_t junta_evals = 0;
+
+  void absorb(const PrefixStats& o) {
+    walks += o.walks;
+    bit_steps += o.bit_steps;
+    junta_evals += o.junta_evals;
+  }
+};
+
 /// Work accounting for one (or several, via absorb) seed searches.
 struct SearchStats {
   /// Full-objective evaluations: one unit = all items scored for one
-  /// seed. Matches the legacy `SeedChoice::evaluations` semantics.
+  /// seed. Matches the retired prg shims' `evaluations` semantics.
   /// Counted identically on the enumerating and analytic paths.
   std::uint64_t evaluations = 0;
   /// *Enumerating* passes over the item set (the MPC "every machine
@@ -111,6 +174,17 @@ struct SearchStats {
   ShardedStats sharded;
   /// Analytic-plane accounting (closed-form oracles only).
   AnalyticStats analytic;
+  /// Prefix-plane accounting (junta-fooling walks only).
+  PrefixStats prefix;
+  /// Which plane served the totals (set by the engine; kMixed after
+  /// absorbing searches served differently). Lets reports and benches
+  /// attribute every search to its rung of the capability ladder.
+  PlaneTag route = PlaneTag::kNone;
+  /// Which substrate the search ran on (after kAuto resolution).
+  BackendTag backend = BackendTag::kNone;
+  /// True when a kAuto policy made the backend choice (the front door
+  /// records its E7-style cutover decision here).
+  bool backend_auto = false;
 
   void absorb(const SearchStats& o) {
     evaluations += o.evaluations;
@@ -119,6 +193,10 @@ struct SearchStats {
     wall_ms += o.wall_ms;
     sharded.absorb(o.sharded);
     analytic.absorb(o.analytic);
+    prefix.absorb(o.prefix);
+    route = detail::merge_tag(route, o.route);
+    backend = detail::merge_tag(backend, o.backend);
+    backend_auto = backend_auto || o.backend_auto;
   }
 };
 
@@ -155,6 +233,13 @@ class CostOracle {
   /// AnalyticOracle overrides this to return itself). Every search
   /// route consults it before falling back to enumerating sweeps.
   virtual AnalyticOracle* as_analytic() { return nullptr; }
+
+  /// Prefix capability probe — the top rung of the ladder: non-null
+  /// when the oracle can answer exact subgrid sums conditioned on
+  /// seed-bit prefixes (see pdc/engine/prefix.hpp — PrefixOracle
+  /// overrides this to return itself). Consulted by the prefix-walk
+  /// route before falling back to a totals pass.
+  virtual PrefixOracle* as_prefix() { return nullptr; }
 
   /// Item's contribution to the objective under `seed`. Only called
   /// between begin_sweep/end_sweep for a block containing `seed`.
@@ -194,7 +279,7 @@ class CostOracle {
 /// Adapter for the legacy opaque shape `cost(seed) -> double` (whole
 /// objective in one call). item_count() == 1, so the engine evaluates
 /// distinct seeds concurrently — `fn` must tolerate that, exactly as
-/// the old pdc::prg::SeedCostFn contract required.
+/// the retired pdc::prg::cond_exp callback contract required.
 class ScalarOracle final : public CostOracle {
  public:
   explicit ScalarOracle(std::function<double(std::uint64_t)> fn)
@@ -230,6 +315,13 @@ struct SearchOptions {
   /// Selections are bit-identical either way (the AnalyticOracle
   /// exactness contract).
   bool use_analytic = true;
+  /// Consult the oracle's prefix plane (junta-conditioned subgrid sums)
+  /// on the prefix-walk route when it advertises one. false forces the
+  /// walk to run over a full totals pass (analytic or enumerating per
+  /// use_analytic) — the differential reference; the Selections are
+  /// bit-identical either way for integer-valued oracles (the
+  /// PrefixOracle exactness contract).
+  bool use_prefix = true;
 };
 
 /// Resolves SearchOptions::max_batch against an oracle's item count.
@@ -269,6 +361,19 @@ class SeedSearch {
   /// cost <= mean_cost (mean over the full space).
   Selection conditional_expectation(int seed_bits);
 
+  /// Harris-style junta-fooling walk over 2^seed_bits members: fix seed
+  /// bits MSB -> LSB, at each step comparing the two children's exact
+  /// branch sums and keeping the smaller. When the oracle advertises the
+  /// prefix capability (CostOracle::as_prefix) and
+  /// SearchOptions::use_prefix allows, each step's sums come from
+  /// PrefixOracle::eval_prefix — seed-constant items answer in O(1) and
+  /// active items pay only their own junta's completions; no totals
+  /// vector is ever materialized and no enumeration sweep runs.
+  /// Otherwise the walk runs over a full totals pass (analytic or
+  /// enumerating), which is the differential reference. Guarantees
+  /// cost <= mean_cost (conditional expectations, full depth).
+  Selection prefix_walk(int seed_bits);
+
  private:
   /// Blocked batched sweep filling totals[s] = sum_item cost(s, item)
   /// for s in [0, num_seeds); accounts sweeps/evaluations into `stats`.
@@ -301,6 +406,42 @@ Selection select_exhaustive(const std::vector<double>& totals);
 Selection select_conditional_expectation(const std::vector<double>& totals,
                                          int seed_bits, bool early_exit);
 
+/// The MSB->LSB prefix walk over 2^seed_bits totals — the selection
+/// semantics of SeedSearch::prefix_walk, expressed against a full
+/// totals vector. The oracle-backed walk must pick the same seed from
+/// the same costs (exact for integer-valued oracles, where partial
+/// sums and parent-minus-child derivations are exact in doubles); the
+/// differential tests compare the two.
+Selection select_prefix_walk(const std::vector<double>& totals,
+                             int seed_bits);
+
+/// One step's exact branch sums for the oracle-backed prefix walk:
+/// fill out[0] with the sum of per-item costs over `sub0` (the child
+/// extending the current prefix with bit 0, whose (prefix << 1) value
+/// is `child0_prefix` at depth `bits_fixed`) and, when `need_both`,
+/// out[1] over `sub1`. Backends differ in where the item pass runs
+/// (in-process threads vs. a converge-cast per step).
+using PrefixBranchFn = std::function<void(
+    std::uint64_t child0_prefix, int bits_fixed, const MemberSubgrid& sub0,
+    const MemberSubgrid& sub1, bool need_both, double* out)>;
+
+/// The walk loop shared by both oracle-backed backends: step t asks for
+/// the children's branch sums (both at t = 0; afterwards only child 0,
+/// deriving child 1 as parent - child0 — exact for integer costs),
+/// keeps the smaller branch (ties to 0), and finishes with all bits
+/// fixed, so the final branch sum *is* the chosen seed's total. Fills
+/// seed/cost/mean_cost only; the backend owns stats and wall time.
+Selection run_prefix_walk_oracle(int seed_bits,
+                                 const PrefixBranchFn& branch_sums);
+
+/// The oracle-backed walk's stats discipline, shared by both backends:
+/// one walk of seed_bits steps, the oracle's junta work, evaluations
+/// counted as the full bit space (the walk certifies branch means over
+/// all of it — the same informational unit the totals routes count),
+/// and the kPrefix route tag.
+void stamp_prefix_walk(SearchStats& stats, int seed_bits,
+                       std::uint64_t junta_evals);
+
 /// Route drivers over an arbitrary totals producer (the one thing the
 /// backends differ in): compute totals, select, fill stats and wall
 /// time. Both SeedSearch and sharded::ShardedSeedSearch delegate here,
@@ -310,6 +451,12 @@ using TotalsFn =
 Selection run_exhaustive(const TotalsFn& totals, std::uint64_t num_seeds);
 Selection run_conditional_expectation(const TotalsFn& totals, int seed_bits,
                                       bool early_exit);
+/// Totals-reference driver for the prefix-walk route (the mirror of the
+/// two above): compute the backend's totals, run select_prefix_walk,
+/// fill stats and wall time. Both backends' use_prefix = false
+/// fallbacks delegate here so the reference semantics cannot drift
+/// between them.
+Selection run_prefix_walk_totals(const TotalsFn& totals, int seed_bits);
 
 /// Scores one block of consecutive seeds through the full enumerating
 /// oracle contract (begin_sweep / item sweep / end_sweep) into

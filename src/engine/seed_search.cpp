@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "pdc/engine/analytic.hpp"
+#include "pdc/engine/prefix.hpp"
 #include "pdc/util/check.hpp"
 #include "pdc/util/parallel.hpp"
 #include "pdc/util/timer.hpp"
@@ -87,6 +88,85 @@ Selection select_conditional_expectation(const std::vector<double>& totals,
   return out;
 }
 
+Selection select_prefix_walk(const std::vector<double>& totals,
+                             int seed_bits) {
+  const std::uint64_t n = 1ULL << seed_bits;
+  PDC_CHECK(totals.size() == n);
+  // Mirror of run_prefix_walk_oracle over a totals vector: same branch
+  // rule (compare exact sums, ties to 0), same parent-minus-child
+  // derivation after the first step, same mean. For integer-valued
+  // costs every quantity is an exact integer in doubles, so the two
+  // walks cannot diverge.
+  return run_prefix_walk_oracle(
+      seed_bits,
+      [&](std::uint64_t /*child0_prefix*/, int /*bits_fixed*/,
+          const MemberSubgrid& sub0, const MemberSubgrid& sub1,
+          bool need_both, double* out) {
+        out[0] = 0.0;
+        for (std::uint64_t s = sub0.first; s < sub0.first + sub0.count; ++s)
+          out[0] += totals[s];
+        if (!need_both) return;
+        out[1] = 0.0;
+        for (std::uint64_t s = sub1.first; s < sub1.first + sub1.count; ++s)
+          out[1] += totals[s];
+      });
+}
+
+Selection run_prefix_walk_oracle(int seed_bits,
+                                 const PrefixBranchFn& branch_sums) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  const std::uint64_t n = 1ULL << seed_bits;
+  Selection out;
+  std::uint64_t prefix = 0;
+  double parent = 0.0;
+  for (int t = 0; t < seed_bits; ++t) {
+    const int fixed = t + 1;
+    const std::uint64_t child0 = prefix << 1;
+    const std::uint64_t width = n >> fixed;
+    const MemberSubgrid sub0{child0 * width, width};
+    const MemberSubgrid sub1{(child0 | 1) * width, width};
+    const bool need_both = (t == 0);
+    double s[2] = {0.0, 0.0};
+    branch_sums(child0, fixed, sub0, sub1, need_both, s);
+    if (t == 0) {
+      out.mean_cost = (s[0] + s[1]) / static_cast<double>(n);
+    } else {
+      // The two children partition the chosen parent subgrid; for
+      // integer costs the subtraction is exact, so only one branch sum
+      // is ever recomputed (on the sharded backend: one cast word).
+      s[1] = parent - s[0];
+    }
+    const int pick = s[1] < s[0] ? 1 : 0;
+    prefix = child0 | static_cast<std::uint64_t>(pick);
+    parent = s[pick];
+  }
+  // All bits fixed: the final subgrid is the singleton {prefix}, so the
+  // last chosen branch sum is the seed's total.
+  out.seed = prefix;
+  out.cost = parent;
+  return out;
+}
+
+Selection run_prefix_walk_totals(const TotalsFn& totals, int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  Timer timer;
+  SearchStats stats;
+  Selection out =
+      select_prefix_walk(totals(1ULL << seed_bits, stats), seed_bits);
+  out.stats = stats;
+  out.stats.wall_ms = timer.millis();
+  return out;
+}
+
+void stamp_prefix_walk(SearchStats& stats, int seed_bits,
+                       std::uint64_t junta_evals) {
+  stats.prefix.walks = 1;
+  stats.prefix.bit_steps = static_cast<std::uint64_t>(seed_bits);
+  stats.prefix.junta_evals = junta_evals;
+  stats.evaluations = 1ULL << seed_bits;
+  stats.route = PlaneTag::kPrefix;
+}
+
 Selection run_exhaustive(const TotalsFn& totals, std::uint64_t num_seeds) {
   PDC_CHECK(num_seeds >= 1);
   Timer timer;
@@ -126,6 +206,8 @@ std::vector<double> compute_totals_blocked(CostOracle& oracle,
   std::vector<double> totals(num_seeds, 0.0);
   if (prepared != nullptr) prepared->begin_search(num_seeds);
   if (an != nullptr) ++stats.analytic.searches;
+  stats.route = merge_tag(
+      stats.route, an != nullptr ? PlaneTag::kAnalytic : PlaneTag::kEnumerating);
   for (std::uint64_t s0 = 0; s0 < num_seeds; s0 += max_batch) {
     const std::size_t block = static_cast<std::size_t>(
         std::min<std::uint64_t>(max_batch, num_seeds - s0));
@@ -191,10 +273,21 @@ std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
       });
 }
 
+namespace {
+
+void tag_shared_memory(Selection& sel) {
+  sel.stats.backend =
+      detail::merge_tag(sel.stats.backend, BackendTag::kSharedMemory);
+}
+
+}  // namespace
+
 Selection SeedSearch::exhaustive(std::uint64_t num_seeds) {
-  return detail::run_exhaustive(
+  Selection out = detail::run_exhaustive(
       [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
       num_seeds);
+  tag_shared_memory(out);
+  return out;
 }
 
 Selection SeedSearch::exhaustive_bits(int seed_bits) {
@@ -203,9 +296,48 @@ Selection SeedSearch::exhaustive_bits(int seed_bits) {
 }
 
 Selection SeedSearch::conditional_expectation(int seed_bits) {
-  return detail::run_conditional_expectation(
+  Selection out = detail::run_conditional_expectation(
       [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
       seed_bits, opt_.early_exit);
+  tag_shared_memory(out);
+  return out;
+}
+
+Selection SeedSearch::prefix_walk(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  PrefixOracle* po = opt_.use_prefix ? oracle_->as_prefix() : nullptr;
+  Selection out;
+  if (po == nullptr) {
+    // Reference semantics: the identical walk over a full totals pass
+    // (analytic or enumerating per SearchOptions::use_analytic).
+    out = detail::run_prefix_walk_totals(
+        [this](std::uint64_t n, SearchStats& s) {
+          return compute_totals(n, s);
+        },
+        seed_bits);
+  } else {
+    Timer timer;
+    const std::size_t items = oracle_->item_count();
+    po->begin_walk(seed_bits);
+    out = detail::run_prefix_walk_oracle(
+        seed_bits,
+        [&](std::uint64_t child0, int fixed, const MemberSubgrid& sub0,
+            const MemberSubgrid& sub1, bool need_both, double* sums) {
+          parallel_accumulate(items, need_both ? 2 : 1, sums,
+                              [&](std::size_t item, double* sink) {
+                                sink[0] += po->eval_prefix(child0, fixed,
+                                                           item, sub0);
+                                if (need_both)
+                                  sink[1] += po->eval_prefix(
+                                      child0 | 1, fixed, item, sub1);
+                              });
+        });
+    detail::stamp_prefix_walk(out.stats, seed_bits, po->junta_evals());
+    po->end_walk();
+    out.stats.wall_ms = timer.millis();
+  }
+  tag_shared_memory(out);
+  return out;
 }
 
 double evaluate_seed(CostOracle& oracle, std::uint64_t seed,

@@ -42,6 +42,7 @@
 #include <span>
 #include <vector>
 
+#include "pdc/engine/search.hpp"
 #include "pdc/engine/seed_search.hpp"
 #include "pdc/engine/sharded/shard_plan.hpp"
 #include "pdc/mpc/cluster.hpp"
@@ -77,6 +78,16 @@ class ShardedOracle {
   /// the wrapped oracle to advertise as_analytic().
   void eval_shard_analytic(mpc::MachineId m, std::uint64_t first,
                            std::size_t count, std::int64_t* sink) const;
+
+  /// Prefix counterpart (pdc/engine/prefix.hpp): adds machine m's
+  /// exact branch sum over `subgrid` (the completions of `prefix` at
+  /// depth `bits_fixed`) into sink[0] — one fixed-point word per
+  /// machine per walk step instead of a members-wide partial vector.
+  /// Per-item encode keeps the shard sum exact, same as the other two
+  /// paths. Requires the wrapped oracle to advertise as_prefix().
+  void eval_shard_prefix(mpc::MachineId m, std::uint64_t prefix,
+                         int bits_fixed, const MemberSubgrid& subgrid,
+                         std::int64_t* sink) const;
 
   double decode(std::int64_t fixed) const;
   /// Items the fullest machine owns (seed-sharded mode: seeds per
@@ -138,6 +149,14 @@ class ShardedSeedSearch {
   Selection exhaustive_bits(int seed_bits);
   /// Method of conditional expectations over 2^seed_bits seeds.
   Selection conditional_expectation(int seed_bits);
+  /// Junta-fooling prefix walk over 2^seed_bits members. Oracle-backed
+  /// (the oracle advertises as_prefix and use_prefix allows): each of
+  /// the seed_bits steps runs one converge-cast of a single branch sum
+  /// (two on the first step) — O(seed_bits) cast words per walk
+  /// instead of the totals routes' O(2^seed_bits). Otherwise the walk
+  /// runs over a full sharded totals pass. Selections are bit-identical
+  /// to the shared-memory walk for fixed-point-exact oracles.
+  Selection prefix_walk(int seed_bits);
 
   const ShardPlan& plan() const { return plan_; }
 
@@ -152,19 +171,25 @@ class ShardedSeedSearch {
   ShardedOracle adapter_;
 };
 
-/// Backend dispatch shared by the migrated call sites: constructs the
-/// search for the chosen backend and hands it to `run`, which invokes
-/// one of the three routes (both engines expose the same route names,
-/// so `run` takes the search generically). kSharded requires a cluster.
-/// `opt` (block sizing, early exit, analytic routing) applies to either
-/// backend.
+/// DEPRECATED (kept one PR as a thin alias): backend dispatch has moved
+/// into the engine front door — call pdc::engine::search(oracle,
+/// SearchRequest{route, space, ExecutionPolicy}) instead
+/// (pdc/engine/search.hpp), which additionally resolves kAuto and
+/// feeds the policy's stats sink. This template constructs the search
+/// for the chosen backend and hands it to `run`, which invokes one of
+/// the routes generically. kSharded requires a cluster.
 template <typename Fn>
 Selection search_with_backend(CostOracle& oracle, SearchBackend backend,
                               mpc::Cluster* cluster, Fn&& run,
                               const SearchOptions& opt = {}) {
-  if (backend == SearchBackend::kSharded) {
-    PDC_CHECK_MSG(cluster != nullptr,
-                  "kSharded seed search needs an mpc::Cluster");
+  // kAuto resolves through the front door's cutover (with its default
+  // items-per-machine floor), so the alias stays honest about the
+  // enum's semantics instead of silently running shared-memory.
+  ExecutionPolicy policy;
+  policy.backend = backend;
+  policy.cluster = cluster;
+  if (resolve_backend(policy, oracle.item_count()) ==
+      SearchBackend::kSharded) {
     ShardedOptions sopt;
     sopt.search = opt;
     ShardedSeedSearch search(oracle, *cluster, sopt);

@@ -1,0 +1,71 @@
+// The engine front door (pdc/engine/search.hpp). Lives in the sharded
+// layer because dispatching needs both engines; every consumer already
+// links pdc_engine_sharded.
+
+#include "pdc/engine/search.hpp"
+
+#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/util/check.hpp"
+
+namespace pdc::engine {
+
+SearchBackend resolve_backend(const ExecutionPolicy& policy,
+                              std::size_t item_count) {
+  switch (policy.backend) {
+    case SearchBackend::kSharedMemory:
+      return SearchBackend::kSharedMemory;
+    case SearchBackend::kSharded:
+      PDC_CHECK_MSG(policy.cluster != nullptr,
+                    "kSharded seed search needs an mpc::Cluster");
+      return SearchBackend::kSharded;
+    case SearchBackend::kAuto:
+      break;
+  }
+  if (policy.cluster == nullptr) return SearchBackend::kSharedMemory;
+  const std::size_t p = policy.cluster->num_machines();
+  return item_count >= policy.auto_items_per_machine * p
+             ? SearchBackend::kSharded
+             : SearchBackend::kSharedMemory;
+}
+
+namespace {
+
+template <typename Search>
+Selection run_route(Search& search, const SearchRequest& req) {
+  switch (req.route) {
+    case SearchRoute::kExhaustive:
+      return search.exhaustive(req.num_seeds);
+    case SearchRoute::kExhaustiveBits:
+      return search.exhaustive_bits(req.seed_bits);
+    case SearchRoute::kConditionalExpectation:
+      return search.conditional_expectation(req.seed_bits);
+    case SearchRoute::kPrefixWalk:
+      return search.prefix_walk(req.seed_bits);
+  }
+  PDC_CHECK_MSG(false, "unknown SearchRoute");
+  return {};
+}
+
+}  // namespace
+
+Selection search(CostOracle& oracle, const SearchRequest& request) {
+  const SearchBackend resolved =
+      resolve_backend(request.policy, oracle.item_count());
+  Selection sel;
+  if (resolved == SearchBackend::kSharded) {
+    sharded::ShardedOptions sopt;
+    sopt.search = request.policy.options;
+    sharded::ShardedSeedSearch search(oracle, *request.policy.cluster, sopt);
+    sel = run_route(search, request);
+  } else {
+    SeedSearch search(oracle, request.policy.options);
+    sel = run_route(search, request);
+  }
+  sel.stats.backend_auto =
+      request.policy.backend == SearchBackend::kAuto;
+  if (request.policy.stats_sink != nullptr)
+    request.policy.stats_sink->absorb(sel.stats);
+  return sel;
+}
+
+}  // namespace pdc::engine

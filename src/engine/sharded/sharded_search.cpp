@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "pdc/engine/analytic.hpp"
+#include "pdc/engine/prefix.hpp"
 #include "pdc/engine/sharded/converge_cast.hpp"
 #include "pdc/util/check.hpp"
+#include "pdc/util/timer.hpp"
 
 namespace pdc::engine::sharded {
 
@@ -102,6 +104,20 @@ void ShardedOracle::eval_shard_analytic(mpc::MachineId m, std::uint64_t first,
   }
 }
 
+void ShardedOracle::eval_shard_prefix(mpc::MachineId m, std::uint64_t prefix,
+                                      int bits_fixed,
+                                      const MemberSubgrid& subgrid,
+                                      std::int64_t* sink) const {
+  const PrefixOracle* po = oracle_->as_prefix();
+  PDC_CHECK_MSG(po != nullptr, "eval_shard_prefix on a non-prefix oracle");
+  // Per-item encode keeps the shard sum an exact integer sum, exactly
+  // as in the enumerating and analytic shard paths. (Opaque one-item
+  // oracles need no special case here: item 0 homes on machine 0.)
+  for (std::uint32_t item : plan_->items_of(m))
+    sink[0] += encode_checked(po->eval_prefix(prefix, bits_fixed,
+                                              item, subgrid));
+}
+
 std::uint64_t ShardedOracle::max_machine_load(std::size_t block) const {
   if (oracle_->item_count() == 1) {
     const mpc::MachineId p = plan_->num_machines();
@@ -182,9 +198,12 @@ std::vector<double> ShardedSeedSearch::compute_totals(std::uint64_t num_seeds,
 }
 
 Selection ShardedSeedSearch::exhaustive(std::uint64_t num_seeds) {
-  return detail::run_exhaustive(
+  Selection out = detail::run_exhaustive(
       [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
       num_seeds);
+  out.stats.backend = detail::merge_tag(out.stats.backend,
+                                        BackendTag::kSharded);
+  return out;
 }
 
 Selection ShardedSeedSearch::exhaustive_bits(int seed_bits) {
@@ -193,9 +212,75 @@ Selection ShardedSeedSearch::exhaustive_bits(int seed_bits) {
 }
 
 Selection ShardedSeedSearch::conditional_expectation(int seed_bits) {
-  return detail::run_conditional_expectation(
+  Selection out = detail::run_conditional_expectation(
       [this](std::uint64_t n, SearchStats& s) { return compute_totals(n, s); },
       seed_bits, opt_.search.early_exit);
+  out.stats.backend = detail::merge_tag(out.stats.backend,
+                                        BackendTag::kSharded);
+  return out;
+}
+
+Selection ShardedSeedSearch::prefix_walk(int seed_bits) {
+  PDC_CHECK(seed_bits >= 1 && seed_bits <= 30);
+  PrefixOracle* po =
+      opt_.search.use_prefix ? oracle_->as_prefix() : nullptr;
+  if (po == nullptr) {
+    // Reference semantics: the identical walk over a full sharded
+    // totals pass (analytic or enumerating per use_analytic).
+    Selection out = detail::run_prefix_walk_totals(
+        [this](std::uint64_t n, SearchStats& s) {
+          return compute_totals(n, s);
+        },
+        seed_bits);
+    out.stats.backend = detail::merge_tag(out.stats.backend,
+                                          BackendTag::kSharded);
+    return out;
+  }
+
+  Timer timer;
+  SearchStats stats;
+  const mpc::Config& cfg = cluster_->config();
+  mpc::Ledger& ledger = cluster_->ledger();
+  PhaseGuard restore_phase(ledger);
+  ledger.begin_phase("seed-search(prefix)");
+
+  po->begin_walk(seed_bits);
+  Selection out = detail::run_prefix_walk_oracle(
+      seed_bits,
+      [&](std::uint64_t child0, int fixed, const MemberSubgrid& sub0,
+          const MemberSubgrid& sub1, bool need_both, double* sums) {
+        // One cast of a single branch-sum word per step (two on the
+        // first step) — O(bits) cast volume per walk, the junta-fooling
+        // analogue of the totals routes' O(members)-word casts.
+        const std::size_t width = need_both ? 2 : 1;
+        const std::uint32_t fan_in =
+            opt_.fan_in ? opt_.fan_in : pick_fan_in(cfg, width);
+        ConvergeCastStats cc;
+        std::vector<std::int64_t> fixed_sums = converge_cast_sum(
+            *cluster_, width, fan_in,
+            [&](mpc::MachineId m, std::int64_t* sink) {
+              adapter_.eval_shard_prefix(m, child0, fixed, sub0, sink);
+              if (need_both)
+                adapter_.eval_shard_prefix(m, child0 | 1, fixed, sub1,
+                                           sink + 1);
+            },
+            &cc);
+        for (std::size_t k = 0; k < width; ++k)
+          sums[k] = adapter_.decode(fixed_sums[k]);
+        stats.sharded.rounds += cc.rounds;
+        stats.sharded.words += cc.payload_words;
+        stats.sharded.max_machine_load =
+            std::max(stats.sharded.max_machine_load, plan_.max_load());
+        PDC_CHECK_MSG(!adapter_.saw_off_grid_cost(),
+                      "prefix walk produced a cost not representable on "
+                      "the 2^-" << opt_.frac_bits << " fixed-point grid");
+      });
+  detail::stamp_prefix_walk(stats, seed_bits, po->junta_evals());
+  stats.backend = BackendTag::kSharded;
+  po->end_walk();
+  out.stats = stats;
+  out.stats.wall_ms = timer.millis();
+  return out;
 }
 
 }  // namespace pdc::engine::sharded

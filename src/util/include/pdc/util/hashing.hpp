@@ -100,6 +100,9 @@ class EnumerablePairwiseFamily {
   }
 
   std::uint64_t size() const { return 1ULL << log2_; }
+  /// Bit width of the member index space (size() == 2^log2()). The
+  /// prefix-walk oracles report this as their bit_count().
+  int log2() const { return log2_; }
 
   /// The i-th member's (a, b) parameters, derived deterministically.
   std::pair<std::uint64_t, std::uint64_t> params(std::uint64_t index) const {

@@ -1,18 +1,58 @@
 // Tests for the PRG family and seed selection: chunk disjointness /
 // sharing semantics, determinism, and the conditional-expectations
 // guarantee (chosen cost <= mean cost) on synthetic objectives.
+//
+// The pdc::prg::cond_exp shims are retired; the seed-selection
+// regression suite now drives the engine directly through the same
+// opaque-callback shape (engine::ScalarOracle + SeedSearch), keeping
+// the historical assertions — including the degenerate-space
+// regressions the shims used to carry.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <map>
 
-#include "pdc/prg/cond_exp.hpp"
+#include "pdc/engine/seed_search.hpp"
 #include "pdc/prg/prg.hpp"
 
 namespace pdc::prg {
 namespace {
+
+/// The retired shims' result shape, reconstructed from a Selection so
+/// the historical assertions read unchanged.
+struct SeedChoice {
+  std::uint64_t seed = 0;
+  double cost = 0.0;
+  double mean_cost = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+using SeedCostFn = std::function<double(std::uint64_t)>;
+
+SeedChoice to_choice(const engine::Selection& sel) {
+  return {sel.seed, sel.cost, sel.mean_cost, sel.stats.evaluations};
+}
+
+SeedChoice select_seed_exhaustive(int seed_bits, const SeedCostFn& cost) {
+  engine::ScalarOracle oracle(cost);
+  return to_choice(engine::SeedSearch(oracle).exhaustive_bits(seed_bits));
+}
+
+SeedChoice select_seed_conditional_expectation(int seed_bits,
+                                               const SeedCostFn& cost) {
+  engine::ScalarOracle oracle(cost);
+  return to_choice(
+      engine::SeedSearch(oracle).conditional_expectation(seed_bits));
+}
+
+SeedChoice select_index_exhaustive(std::uint64_t family_size,
+                                   const SeedCostFn& cost) {
+  engine::ScalarOracle oracle(cost);
+  return to_choice(engine::SeedSearch(oracle).exhaustive(family_size));
+}
 
 TEST(PrgFamily, SameSeedSameChunkSameStream) {
   PrgFamily fam(8, 99);
