@@ -15,6 +15,7 @@
 #include "pdc/mpc/cluster.hpp"
 #include "pdc/mpc/dgraph.hpp"
 #include "pdc/mpc/primitives.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/rng.hpp"
 #include "pdc/util/table.hpp"
 
@@ -84,13 +85,19 @@ void print_round_table() {
 /// calibrated against. One production family search (the low-degree
 /// trial oracle at family 2^7) per (n, p) cell, timed on both
 /// backends; the `auto` column shows what ExecutionPolicy::kAuto with
-/// the default items-per-machine floor would pick. At laptop scale the
-/// sharded path serializes machine steps on one host, so shared memory
-/// wins until shards carry real per-member formula work — exactly the
-/// cutover the policy keys on.
-void print_crossover_table() {
+/// an `auto_items` items-per-machine floor would pick, and `cutover`
+/// prints the resolved item floor (auto_items * p) that decision
+/// compared n against. `auto_items` comes from --auto-items (default:
+/// the ExecutionPolicy default), which is the measurement hook for
+/// calibrating the floor on a real cluster: re-run the table with
+/// candidate floors until the `auto` column tracks the measured ratio.
+/// At laptop scale the sharded path serializes machine steps on one
+/// host, so shared memory wins until shards carry real per-member
+/// formula work — exactly the cutover the policy keys on.
+void print_crossover_table(std::size_t auto_items) {
   Table t("E7x: seed-search backend crossover (trial oracle, family 2^7)",
-          {"n", "machines", "shared_ms", "sharded_ms", "ratio", "auto"});
+          {"n", "machines", "shared_ms", "sharded_ms", "ratio", "auto",
+           "cutover"});
   for (NodeId n : {2000u, 8000u}) {
     Graph g = gen::gnp(n, 24.0 / static_cast<double>(n), 7);
     D1lcInstance inst = make_degree_plus_one(g);
@@ -125,9 +132,11 @@ void print_crossover_table() {
       engine::ExecutionPolicy auto_policy;
       auto_policy.backend = engine::SearchBackend::kAuto;
       auto_policy.cluster = &cluster;
+      auto_policy.auto_items_per_machine = auto_items;
       const bool auto_sharded =
           engine::resolve_backend(auto_policy, n) ==
           engine::SearchBackend::kSharded;
+      const std::size_t cutover = auto_items * p;
 
       const double ratio = shared.stats.wall_ms > 0.0
                                ? sharded.stats.wall_ms / shared.stats.wall_ms
@@ -135,7 +144,7 @@ void print_crossover_table() {
       t.row({std::to_string(n), std::to_string(p),
              Table::num(shared.stats.wall_ms, 1),
              Table::num(sharded.stats.wall_ms, 1), Table::num(ratio, 2),
-             auto_sharded ? "sharded" : "shared"});
+             auto_sharded ? "sharded" : "shared", std::to_string(cutover)});
     }
   }
   t.print();
@@ -170,12 +179,22 @@ BENCHMARK(BM_Lemma17Gather)->Arg(100)->Arg(300);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --auto-items overrides ExecutionPolicy::auto_items_per_machine for
+  // the E7x `auto`/`cutover` columns — the real-cluster calibration
+  // hook (ROADMAP). Unknown flags fall through to Google Benchmark.
+  CliArgs args(argc, argv);
+  const std::size_t auto_items = static_cast<std::size_t>(args.get_int(
+      "auto-items",
+      static_cast<std::int64_t>(engine::ExecutionPolicy{}
+                                    .auto_items_per_machine)));
   print_round_table();
-  print_crossover_table();
+  print_crossover_table(auto_items);
   std::cout << "Claim check: rounds constant across input sizes, zero space\n"
                "violations; E7x ratio > 1 at laptop scale (machine steps\n"
                "serialize on one host), shrinking as per-shard work grows —\n"
-               "the measurement ExecutionPolicy::kAuto's cutover encodes.\n\n";
+               "the measurement ExecutionPolicy::kAuto's cutover encodes\n"
+               "(items-per-machine floor " << auto_items
+            << "; tune with --auto-items).\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

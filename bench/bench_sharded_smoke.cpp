@@ -45,8 +45,8 @@ int main() {
   mcfg.local_space_words = 256;  // tight: forces a small fan-in tree
   mcfg.num_machines = p;
   mpc::Cluster cluster(mcfg, /*strict=*/true);
-  opt.search_backend = engine::SearchBackend::kSharded;
-  opt.search_cluster = &cluster;
+  opt.search.backend = engine::SearchBackend::kSharded;
+  opt.search.cluster = &cluster;
   engine::Selection dist =
       derand::lemma10_seed_selection(proc, state, chunks, opt);
 

@@ -73,7 +73,7 @@ MisResult luby_mis_derandomized(const Graph& g,
 /// Selection: searches the round's PRG family (salted by `round`) for a
 /// seed whose number of still-undecided nodes beats the seed-space
 /// mean. Costs are integer counts, so the choice is deterministic. With
-/// opt.search_backend == kSharded and a non-null `search_cluster`, the
+/// opt.search.backend == kSharded and a non-null `search_cluster`, the
 /// sweeps execute as capacity-checked cluster rounds (home machines
 /// score their own nodes, totals converge-cast) and the Selection is
 /// bit-identical to the shared-memory engine's.

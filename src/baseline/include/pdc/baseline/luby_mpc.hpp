@@ -37,7 +37,7 @@ MpcMisResult luby_mis_mpc(mpc::Cluster& cluster, const Graph& g,
 
 /// Derandomized Luby on the cluster: each round's seed is chosen by the
 /// decomposable seed-search engine (select_luby_seed). With
-/// opt.search_backend == kSharded the selection itself executes on this
+/// opt.search.backend == kSharded the selection itself executes on this
 /// cluster — home machines score the candidate block against their own
 /// nodes and the per-seed totals converge-cast up an aggregation tree
 /// (pdc::engine::sharded), the search's rounds landing in mpc_rounds

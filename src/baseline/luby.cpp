@@ -147,14 +147,10 @@ engine::Selection select_luby_seed_selection(
   // lemma10_seed_selection, e.g. to keep search rounds on a dedicated
   // ledger); the parameter is the call site's default substrate — the
   // cluster the MPC variant replays rounds on.
-  engine::ExecutionPolicy policy = opt.search_policy();
+  engine::ExecutionPolicy policy = opt.search;
   if (policy.cluster == nullptr) policy.cluster = search_cluster;
   return engine::search(
-      oracle,
-      opt.strategy == derand::SeedStrategy::kConditionalExpectation
-          ? engine::SearchRequest::conditional_expectation(opt.seed_bits,
-                                                           policy)
-          : engine::SearchRequest::exhaustive_bits(opt.seed_bits, policy));
+      oracle, derand::lemma10_request(opt.strategy, opt.seed_bits, policy));
 }
 
 std::uint64_t select_luby_seed(const Graph& g,

@@ -176,7 +176,7 @@ MpcMisResult luby_mis_mpc_derandomized(mpc::Cluster& cluster, const Graph& g,
   const std::uint64_t rounds_before = cluster.ledger().rounds();
   for (std::uint64_t r = 0;
        r < max_rounds && undecided_count(status) > 0; ++r) {
-    // With opt.search_backend == kSharded the selection sweeps run as
+    // With opt.search.backend == kSharded the selection sweeps run as
     // rounds on this same cluster (counted in out.mpc_rounds and in
     // out.search.sharded) before the chosen round replays on it.
     const std::uint64_t seed = select_luby_seed(

@@ -17,10 +17,6 @@
 #include "pdc/engine/search.hpp"
 #include "pdc/mpc/cost_model.hpp"
 
-namespace pdc::mpc {
-class Cluster;
-}
-
 namespace pdc::d1lc {
 
 struct LowDegreeReport {
@@ -42,15 +38,5 @@ LowDegreeReport low_degree_color(derand::ColoringState& state,
                                  mpc::CostModel* cost, int family_log2 = 8,
                                  std::uint64_t salt = 0xC0FFEE,
                                  const engine::ExecutionPolicy& policy = {});
-
-/// DEPRECATED alias (one PR): the loose backend/cluster argument form.
-inline LowDegreeReport low_degree_color(
-    derand::ColoringState& state, mpc::CostModel* cost, int family_log2,
-    std::uint64_t salt, engine::SearchBackend backend,
-    mpc::Cluster* search_cluster = nullptr) {
-  return low_degree_color(
-      state, cost, family_log2, salt,
-      engine::merge_legacy_policy({}, backend, search_cluster));
-}
 
 }  // namespace pdc::d1lc

@@ -56,16 +56,6 @@ engine::Selection low_degree_trial_selection(
     const EnumerablePairwiseFamily& family,
     const engine::ExecutionPolicy& policy = {});
 
-/// DEPRECATED alias (one PR): the loose backend/cluster argument form.
-inline engine::Selection low_degree_trial_selection(
-    const D1lcInstance& inst, const Coloring& coloring,
-    const EnumerablePairwiseFamily& family, engine::SearchBackend backend,
-    mpc::Cluster* search_cluster = nullptr) {
-  return low_degree_trial_selection(
-      inst, coloring, family,
-      engine::merge_legacy_policy({}, backend, search_cluster));
-}
-
 /// Full deterministic phase loop on the cluster: per phase, select the
 /// winning family member (shared-memory engine by default; with
 /// backend == kSharded the selection sweeps themselves run as cluster
@@ -84,15 +74,5 @@ struct MpcLowDegreeResult {
 MpcLowDegreeResult low_degree_color_mpc(
     mpc::Cluster& cluster, const D1lcInstance& inst, int family_log2 = 6,
     std::uint64_t salt = 0xC0FFEE, engine::ExecutionPolicy policy = {});
-
-/// DEPRECATED alias (one PR): the loose backend argument form (the
-/// execution cluster doubles as the search cluster).
-inline MpcLowDegreeResult low_degree_color_mpc(
-    mpc::Cluster& cluster, const D1lcInstance& inst, int family_log2,
-    std::uint64_t salt, engine::SearchBackend backend) {
-  return low_degree_color_mpc(
-      cluster, inst, family_log2, salt,
-      engine::merge_legacy_policy({}, backend, nullptr));
-}
 
 }  // namespace pdc::d1lc

@@ -50,16 +50,6 @@ struct PartitionOptions {
   /// SearchStats::prefix accounting the junta work. Default off — the
   /// E5 prefix leg and the `prefix` test suite exercise it.
   bool use_prefix_walk = false;
-  /// DEPRECATED aliases (one PR): prefer `search.backend` /
-  /// `search.cluster`. Still honored when the policy is unset.
-  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  mpc::Cluster* search_cluster = nullptr;
-
-  /// The effective policy after folding the deprecated aliases in.
-  engine::ExecutionPolicy search_policy() const {
-    return engine::merge_legacy_policy(search, search_backend,
-                                       search_cluster);
-  }
 };
 
 struct Partition {

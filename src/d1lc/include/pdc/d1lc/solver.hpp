@@ -60,16 +60,6 @@ struct SolverOptions {
   /// hence the coloring) are bit-identical to the shared-memory
   /// engine's at any machine count.
   engine::ExecutionPolicy search;
-  /// DEPRECATED aliases (one PR): prefer `search.backend` /
-  /// `search.cluster`. Still honored when the policy is unset.
-  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  mpc::Cluster* search_cluster = nullptr;
-
-  /// The effective policy after folding the deprecated aliases in.
-  engine::ExecutionPolicy search_policy() const {
-    return engine::merge_legacy_policy(search, search_backend,
-                                       search_cluster);
-  }
 
   std::uint64_t seed = 1;  // randomized-mode master seed
 };

@@ -42,7 +42,7 @@ Partition low_space_partition(const D1lcInstance& inst,
   // go through the engine front door, which climbs the oracle ladder
   // (closed forms by default — zero enumeration sweeps; the prefix walk
   // when use_prefix_walk asks for it) on the policy's backend.
-  engine::ExecutionPolicy policy = opt.search_policy();
+  const engine::ExecutionPolicy& policy = opt.search;
   auto request = [&](int family_log2) {
     return opt.use_prefix_walk
                ? engine::SearchRequest::prefix_walk(family_log2, policy)

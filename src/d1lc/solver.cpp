@@ -100,7 +100,7 @@ void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
     LowDegreeReport ld = low_degree_color(
         state, &cost, opt.low_degree_family_log2,
         hash_combine(0xC0FFEE, inst.graph.num_nodes()),
-        opt.search_policy());
+        opt.search);
     agg.colored_low_degree += ld.colored;
     agg.seed_search.absorb(ld.search);
     for (NodeId v = 0; v < current.graph.num_nodes(); ++v) {
@@ -129,7 +129,7 @@ void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
   popt.mid_degree_cap = mid_cap;
   popt.family_log2 = opt.partition_family_log2;
   popt.salt = hash_combine(0xBEEF, level);
-  popt.search = opt.search_policy();
+  popt.search = opt.search;
   Partition part = low_space_partition(inst, popt, &cost);
   agg.partition_levels = std::max<std::uint64_t>(
       agg.partition_levels, static_cast<std::uint64_t>(level) + 1);

@@ -1,0 +1,29 @@
+#include "pdc/derand/estimator.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::derand {
+
+double PessimisticEstimator::term(std::uint64_t member, NodeId v) const {
+  PDC_CHECK_MSG(ctx_.family != nullptr,
+                "PessimisticEstimator::term called outside prepare/release");
+  prg::PrgFamily::Source src = ctx_.family->source(member);
+  ChunkedSource chunked(src, *ctx_.chunk_of);
+  return term_from_source(*ctx_.state, chunked, v);
+}
+
+std::size_t PessimisticEstimator::junta_size(NodeId v) const {
+  const ColoringState& state = *ctx_.state;
+  if (!state.participates(v)) return 0;
+  std::vector<std::uint32_t> chunks;
+  chunks.push_back((*ctx_.chunk_of)[v]);
+  for (NodeId u : state.graph().neighbors(v))
+    if (state.participates(u)) chunks.push_back((*ctx_.chunk_of)[u]);
+  std::sort(chunks.begin(), chunks.end());
+  chunks.erase(std::unique(chunks.begin(), chunks.end()), chunks.end());
+  return chunks.size();
+}
+
+}  // namespace pdc::derand

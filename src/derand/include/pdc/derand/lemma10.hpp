@@ -19,6 +19,24 @@
 // chunks (the "lazy PRG" — a valid distance-∞ coloring whose only cost
 // in the theory is PRG output length, which our lazy expansion never
 // materializes). DESIGN.md §4 discusses this substitution.
+//
+// Estimator mode (the paper's pessimistic-estimator derandomization):
+// when the procedure provides a PessimisticEstimator
+// (NormalProcedure::estimator) and Lemma10Options::use_estimator is
+// kPrefer/kRequire, step 2 searches the *estimator* objective through
+// SspEstimatorOracle on the engine's analytic/prefix planes instead of
+// simulating per seed — zero search-phase simulations; the only
+// simulate() left is the step-4 commit replay. The guarantee then binds
+// the estimator mean rather than the exact SSP mean:
+//
+//   ssp_failures(selected) <= est_total(selected) <= estimator_mean
+//
+// — weaker per seed (the estimator over-counts failures via its
+// pairwise collision terms) but proved without running a single
+// search-phase simulation; the exact-SSP simulating oracle remains as the
+// differential reference (use_estimator == kOff). Reported via
+// Lemma10Report::estimator_used / estimator_mean and the
+// SearchStats::route plane tag.
 
 #include <cstdint>
 #include <optional>
@@ -31,17 +49,23 @@
 #include "pdc/mpc/cost_model.hpp"
 #include "pdc/prg/prg.hpp"
 
-namespace pdc::mpc {
-class Cluster;
-}
-
 namespace pdc::derand {
 
 enum class SeedStrategy {
   kExhaustive,              // argmin over all seeds
-  kConditionalExpectation,  // bitwise E[...|prefix] walk
+  kConditionalExpectation,  // LSB-first bitwise E[...|prefix] walk
+  kPrefixWalk,              // MSB-first junta-fooling prefix walk
   kFirstSeed,               // seed 0, no search (ablation: "random" seed)
   kTrueRandom,              // no PRG at all: the randomized algorithm
+};
+
+/// Whether the Lemma-10 seed search runs on the procedure's pessimistic
+/// estimator (pdc/derand/estimator.hpp) instead of the simulating
+/// SSP-failure oracle.
+enum class EstimatorMode {
+  kOff,      // always simulate per seed (exact SSP objective)
+  kPrefer,   // use the estimator when the procedure provides one
+  kRequire,  // fail loudly (PDC_CHECK) if the procedure provides none
 };
 
 struct Lemma10Options {
@@ -59,25 +83,19 @@ struct Lemma10Options {
   /// without the Defer mark (they retry in later steps); the
   /// derandomized pipeline defers per the lemma.
   bool defer_failures = true;
-  /// How the kExhaustive / kConditionalExpectation searches execute:
-  /// backend (kSharedMemory / kSharded / kAuto), cluster, engine
-  /// SearchOptions, optional stats sink. kSharded runs every totals
-  /// pass as capacity-checked rounds on the cluster (machine-local
-  /// shard scoring + converge-cast; see pdc::engine::sharded);
-  /// Selections are bit-identical to the shared-memory engine's — the
-  /// backend changes where the sums run, never what is chosen.
+  /// How the search strategies execute: backend (kSharedMemory /
+  /// kSharded / kAuto), cluster, engine SearchOptions, optional stats
+  /// sink. kSharded runs every totals pass as capacity-checked rounds
+  /// on the cluster (machine-local shard scoring + converge-cast; see
+  /// pdc::engine::sharded); Selections are bit-identical to the
+  /// shared-memory engine's — the backend changes where the sums run,
+  /// never what is chosen.
   engine::ExecutionPolicy search;
-  /// DEPRECATED aliases (one PR): prefer `search.backend` /
-  /// `search.cluster`. Still honored when the policy is unset
-  /// (engine::merge_legacy_policy).
-  engine::SearchBackend search_backend = engine::SearchBackend::kSharedMemory;
-  mpc::Cluster* search_cluster = nullptr;
-
-  /// The effective policy after folding the deprecated aliases in.
-  engine::ExecutionPolicy search_policy() const {
-    return engine::merge_legacy_policy(search, search_backend,
-                                       search_cluster);
-  }
+  /// Search the procedure's pessimistic estimator instead of the
+  /// simulating SSP oracle (see the header comment). kPrefer falls
+  /// back to simulation for procedures without an estimator; kRequire
+  /// throws. The commit replay and deferral are unaffected.
+  EstimatorMode use_estimator = EstimatorMode::kOff;
 };
 
 struct Lemma10Report {
@@ -86,7 +104,18 @@ struct Lemma10Report {
   std::uint64_t ssp_failures = 0;   // under the executed source
   std::uint64_t deferred_new = 0;
   double defer_fraction = 0.0;      // deferred_new / participants
-  double mean_failures = 0.0;       // over the seed space (search modes)
+  /// Mean of the *searched objective* over the seed space: the exact
+  /// SSP-failure mean when the simulating oracle ran, the estimator
+  /// mean in estimator mode (estimator_used below says which; the
+  /// guarantee ssp_failures <= mean_failures holds either way — via
+  /// pointwise domination in estimator mode).
+  double mean_failures = 0.0;
+  /// True when the seed search ran on the procedure's pessimistic
+  /// estimator (SspEstimatorOracle) instead of simulating per seed.
+  bool estimator_used = false;
+  /// The estimator mean the guarantee binds in estimator mode (equals
+  /// mean_failures then; 0 otherwise).
+  double estimator_mean = 0.0;
   std::uint64_t seed = 0;
   std::uint64_t seed_evaluations = 0;
   /// Engine accounting for the seed search: evaluations, item sweeps
@@ -122,16 +151,37 @@ inline prg::PrgFamily lemma10_family(const Lemma10Options& opt) {
   return prg::PrgFamily(opt.seed_bits, opt.salt);
 }
 
+/// Maps a search strategy to its engine route over the 2^seed_bits
+/// space (the single strategy->route mapping; lemma10 and the Luby
+/// call sites share it so they cannot drift).
+inline engine::SearchRequest lemma10_request(SeedStrategy strategy,
+                                             int seed_bits,
+                                             engine::ExecutionPolicy policy) {
+  switch (strategy) {
+    case SeedStrategy::kConditionalExpectation:
+      return engine::SearchRequest::conditional_expectation(seed_bits,
+                                                            policy);
+    case SeedStrategy::kPrefixWalk:
+      return engine::SearchRequest::prefix_walk(seed_bits, policy);
+    default:
+      return engine::SearchRequest::exhaustive_bits(seed_bits, policy);
+  }
+}
+
 /// The Lemma-10 seed search alone (no commit): builds the PRG family
 /// via lemma10_family(opt) and searches it for the SSP-failure
-/// objective with the chosen strategy (kExhaustive or
-/// kConditionalExpectation) on the chosen backend. Exposed so the
-/// sharded differential tests can compare whole Selections;
-/// derandomize_procedure routes its search strategies through here.
+/// objective — or, in estimator mode, the procedure's pessimistic
+/// estimator — with the chosen strategy (kExhaustive,
+/// kConditionalExpectation or kPrefixWalk) on the chosen backend.
+/// Exposed so the sharded differential tests can compare whole
+/// Selections; derandomize_procedure routes its search strategies
+/// through here. `estimator_used` (optional) reports whether the
+/// estimator plane served the search.
 engine::Selection lemma10_seed_selection(const NormalProcedure& proc,
                                          const ColoringState& state,
                                          const ChunkAssignment& chunks,
-                                         const Lemma10Options& opt);
+                                         const Lemma10Options& opt,
+                                         bool* estimator_used = nullptr);
 
 /// Derandomizes (or, for kTrueRandom, just runs) one procedure against
 /// the state: selects the seed, commits outputs, defers failures.

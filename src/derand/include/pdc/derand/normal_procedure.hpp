@@ -15,7 +15,13 @@
 //                           hold when any subset of SSP-failing nodes is
 //                           deferred (Definition 5's closing condition);
 //  * commit()             — applies the run's outputs to the state,
-//                           nullifying deferred nodes' outputs.
+//                           nullifying deferred nodes' outputs;
+//  * estimator()          — optional: a pessimistic estimator for the
+//                           SSP-failure objective (per-node pairwise
+//                           collision terms dominating the failure
+//                           indicators), letting Lemma 10 search the
+//                           seed space on the engine's analytic/prefix
+//                           planes with zero simulations.
 //
 // For the coloring procedures in this library SSP and WSP coincide up to
 // the Defer extension (exactly as the paper observes for slack-generation
@@ -23,10 +29,12 @@
 // colors, so it can only help).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pdc/derand/coloring_state.hpp"
+#include "pdc/derand/estimator.hpp"
 #include "pdc/prg/prg.hpp"
 
 namespace pdc::derand {
@@ -77,6 +85,20 @@ class NormalProcedure {
                    NodeId v, const std::vector<std::uint8_t>& defer) const {
     (void)defer;
     return ssp(state, run, v);
+  }
+
+  /// Optional capability: a pessimistic estimator whose per-node terms
+  /// dominate this procedure's SSP-failure indicators pointwise over
+  /// every chunked PRG source (the contract on PessimisticEstimator).
+  /// When provided, Lemma 10 can search the seed space through
+  /// SspEstimatorOracle on the analytic/prefix planes — no simulation
+  /// per candidate seed, with the selection guarantee binding the
+  /// estimator mean instead of the exact SSP mean. Default: none (the
+  /// search falls back to the simulating oracle; EstimatorMode::kRequire
+  /// fails loudly). The returned estimator may reference the
+  /// procedure's configuration and must not outlive it.
+  virtual std::unique_ptr<PessimisticEstimator> estimator() const {
+    return nullptr;
   }
 
   /// Apply the run to the state for non-deferred nodes. Default: commit

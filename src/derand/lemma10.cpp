@@ -4,28 +4,13 @@
 #include <cmath>
 #include <span>
 
+#include "pdc/derand/estimator.hpp"
 #include "pdc/engine/search.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::derand {
 
 namespace {
-
-/// A BitSourceFactory that routes nodes to their assigned chunks.
-class ChunkedSource final : public prg::BitSourceFactory {
- public:
-  ChunkedSource(const prg::BitSourceFactory& inner,
-                const std::vector<std::uint32_t>& chunk_of)
-      : inner_(&inner), chunk_of_(&chunk_of) {}
-
-  BitStream stream(std::uint32_t node, std::uint32_t /*chunk*/) const override {
-    return inner_->stream(node, (*chunk_of_)[node]);
-  }
-
- private:
-  const prg::BitSourceFactory* inner_;
-  const std::vector<std::uint32_t>* chunk_of_;
-};
 
 /// Decomposed Lemma-10 objective: item = node, contribution = "node
 /// participates and fails its strong success property under this seed".
@@ -83,18 +68,32 @@ class SspFailureOracle final : public engine::CostOracle {
 engine::Selection lemma10_seed_selection(const NormalProcedure& proc,
                                          const ColoringState& state,
                                          const ChunkAssignment& chunks,
-                                         const Lemma10Options& opt) {
+                                         const Lemma10Options& opt,
+                                         bool* estimator_used) {
   PDC_CHECK(opt.strategy == SeedStrategy::kExhaustive ||
-            opt.strategy == SeedStrategy::kConditionalExpectation);
+            opt.strategy == SeedStrategy::kConditionalExpectation ||
+            opt.strategy == SeedStrategy::kPrefixWalk);
   prg::PrgFamily family = lemma10_family(opt);
+  const engine::SearchRequest request =
+      lemma10_request(opt.strategy, opt.seed_bits, opt.search);
+
+  std::unique_ptr<PessimisticEstimator> est;
+  if (opt.use_estimator != EstimatorMode::kOff) est = proc.estimator();
+  PDC_CHECK_MSG(
+      opt.use_estimator != EstimatorMode::kRequire || est != nullptr,
+      "Lemma 10: EstimatorMode::kRequire but procedure '"
+          << proc.name() << "' provides no pessimistic estimator");
+  if (estimator_used != nullptr) *estimator_used = est != nullptr;
+  if (est != nullptr) {
+    // Estimator plane: the search never simulates — the engine serves
+    // the totals from the oracle's closed forms (or, on the prefix-walk
+    // route, its junta subgrid sums). The guarantee binds the estimator
+    // mean via pointwise domination.
+    SspEstimatorOracle oracle(*est, state, family, chunks.chunk_of);
+    return engine::search(oracle, request);
+  }
   SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
-  const engine::ExecutionPolicy policy = opt.search_policy();
-  return engine::search(
-      oracle, opt.strategy == SeedStrategy::kConditionalExpectation
-                  ? engine::SearchRequest::conditional_expectation(
-                        opt.seed_bits, policy)
-                  : engine::SearchRequest::exhaustive_bits(opt.seed_bits,
-                                                           policy));
+  return engine::search(oracle, request);
 }
 
 ChunkAssignment assign_chunks(const Graph& g, int tau,
@@ -199,8 +198,10 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
       sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
       sel.mean_cost = sel.cost;
     } else {
-      sel = lemma10_seed_selection(proc, state, chunks, opt);
+      sel = lemma10_seed_selection(proc, state, chunks, opt,
+                                   &rep.estimator_used);
     }
+    if (rep.estimator_used) rep.estimator_mean = sel.mean_cost;
     rep.seed = sel.seed;
     rep.mean_failures = sel.mean_cost;
     rep.seed_evaluations = sel.stats.evaluations;

@@ -19,9 +19,9 @@
 //
 // automatically, and SearchStats::route records which plane served the
 // totals. Call sites hold a single ExecutionPolicy instead of loose
-// backend/cluster/options fields; the legacy per-struct fields and
-// engine::sharded::search_with_backend survive one PR as deprecated
-// aliases (see merge_legacy_policy).
+// backend/cluster/options fields (the transitional aliases and
+// engine::sharded::search_with_backend were removed after their
+// one-PR deprecation window).
 //
 // kAuto backend resolution (the E7-style cutover): the sharded backend
 // pays one serialized machine-step pass plus converge-cast rounds per
@@ -125,25 +125,5 @@ SearchBackend resolve_backend(const ExecutionPolicy& policy,
 /// kAuto decided), and absorbs the stats into policy.stats_sink when
 /// set. The oracle must outlive the call.
 Selection search(CostOracle& oracle, const SearchRequest& request);
-
-/// Legacy-alias merge, kept one PR while the old loose fields
-/// (`search_backend`, `search_cluster`) ride along next to the new
-/// ExecutionPolicy in the call-site option structs. Asymmetry to be
-/// aware of: kSharedMemory is both the enum default and a legal
-/// explicit choice, so a policy left at (or explicitly set to)
-/// kSharedMemory is indistinguishable from "unset" and a non-default
-/// legacy alias fills it in — to force shared memory, clear the alias
-/// too (it defaults to kSharedMemory, so only code that still writes
-/// the deprecated field is affected). A non-default policy backend and
-/// a set policy cluster always win.
-inline ExecutionPolicy merge_legacy_policy(ExecutionPolicy policy,
-                                           SearchBackend legacy_backend,
-                                           mpc::Cluster* legacy_cluster) {
-  if (policy.backend == SearchBackend::kSharedMemory &&
-      legacy_backend != SearchBackend::kSharedMemory)
-    policy.backend = legacy_backend;
-  if (policy.cluster == nullptr) policy.cluster = legacy_cluster;
-  return policy;
-}
 
 }  // namespace pdc::engine

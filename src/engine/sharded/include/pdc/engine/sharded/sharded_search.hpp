@@ -171,32 +171,4 @@ class ShardedSeedSearch {
   ShardedOracle adapter_;
 };
 
-/// DEPRECATED (kept one PR as a thin alias): backend dispatch has moved
-/// into the engine front door — call pdc::engine::search(oracle,
-/// SearchRequest{route, space, ExecutionPolicy}) instead
-/// (pdc/engine/search.hpp), which additionally resolves kAuto and
-/// feeds the policy's stats sink. This template constructs the search
-/// for the chosen backend and hands it to `run`, which invokes one of
-/// the routes generically. kSharded requires a cluster.
-template <typename Fn>
-Selection search_with_backend(CostOracle& oracle, SearchBackend backend,
-                              mpc::Cluster* cluster, Fn&& run,
-                              const SearchOptions& opt = {}) {
-  // kAuto resolves through the front door's cutover (with its default
-  // items-per-machine floor), so the alias stays honest about the
-  // enum's semantics instead of silently running shared-memory.
-  ExecutionPolicy policy;
-  policy.backend = backend;
-  policy.cluster = cluster;
-  if (resolve_backend(policy, oracle.item_count()) ==
-      SearchBackend::kSharded) {
-    ShardedOptions sopt;
-    sopt.search = opt;
-    ShardedSeedSearch search(oracle, *cluster, sopt);
-    return run(search);
-  }
-  SeedSearch search(oracle, opt);
-  return run(search);
-}
-
 }  // namespace pdc::engine::sharded

@@ -11,6 +11,19 @@
 //  * has WSP == SSP modulo Defer extension (deferral only creates slack
 //    — the property the paper highlights for coloring subroutines).
 //
+// The trial/slack-generation procedures (TryRandomColor, GenerateSlack,
+// MultiTrial) additionally provide pessimistic estimators
+// (pdc/derand/estimator.hpp): per-node pairwise-collision counts over
+// the node's and its neighbors' local color draws that dominate the
+// SSP-failure indicator pointwise — a node can only fail its SSP if it
+// stayed uncolored, and it only stays uncolored when its draw is empty
+// or collides. Lemma 10 in estimator mode searches those terms on the
+// engine's analytic/prefix planes with zero simulations. The dense
+// procedures (SynchColorTrial, PutAside) provide none: their SSPs are
+// clique-global tail events whose local recomputation would have to
+// replay leader permutations across neighboring cliques — they keep the
+// simulating oracle (EstimatorMode::kRequire fails loudly on them).
+//
 // Conflict checks and degree/slack quantities use the *participating*
 // subsets (temporary-slack semantics; see ColoringState).
 
@@ -66,6 +79,9 @@ class TryRandomColorProc final : public NormalProcedure {
                         const prg::BitSourceFactory& bits) const override;
   bool ssp(const ColoringState& state, const ProcedureRun& run,
            NodeId v) const override;
+  /// Estimator term: [pick empty] + #{participating neighbors picking
+  /// v's color} (identically 0 for Ssp::kNone — the SSP is vacuous).
+  std::unique_ptr<derand::PessimisticEstimator> estimator() const override;
 
  private:
   HkntConfig cfg_;
@@ -91,6 +107,9 @@ class GenerateSlackProc final : public NormalProcedure {
                         const prg::BitSourceFactory& bits) const override;
   bool ssp(const ColoringState& state, const ProcedureRun& run,
            NodeId v) const override;
+  /// Estimator term: [not sampled] + [sampled, pick empty] +
+  /// #{sampled participating neighbors picking v's color}.
+  std::unique_ptr<derand::PessimisticEstimator> estimator() const override;
 
  private:
   HkntConfig cfg_;
@@ -119,6 +138,11 @@ class MultiTrialProc final : public NormalProcedure {
                         const prg::BitSourceFactory& bits) const override;
   bool ssp(const ColoringState& state, const ProcedureRun& run,
            NodeId v) const override;
+  /// Estimator term: [no draws possible] + ceil(#{(c, u): u a
+  /// participating neighbor whose draw contains v's drawn color c} /
+  /// |v's draws|) — at least 1 whenever every draw of v clashes, i.e.
+  /// whenever v stays uncolored.
+  std::unique_ptr<derand::PessimisticEstimator> estimator() const override;
 
  private:
   HkntConfig cfg_;

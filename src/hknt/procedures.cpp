@@ -46,7 +46,365 @@ bool degree_exempt(const HkntConfig& cfg, const ColoringState& s, NodeId v) {
   return s.graph().degree(v) < cfg.low_degree(s.num_nodes());
 }
 
+// ---------------------------------------------------- estimators (Lemma 10)
+//
+// Shared shape of the trial/slack estimators: a counted node (one whose
+// SSP failure the Lemma-10 objective can register) fails only if it
+// stays uncolored, and it stays uncolored only when its local draw is
+// empty or every drawn color collides with a participating neighbor's
+// draw — so the pairwise-collision count over the node's closed
+// neighborhood dominates the failure indicator pointwise. prepare()
+// caches the seed-independent invariants (participation, availability
+// lists, counted classification) and replays each node's local draws
+// once per family member into flat tables (machine-local work after
+// the Lemma-10 ball gather — no conflict resolution, no ProcedureRun);
+// term() is then pure table arithmetic, and every term is an integer,
+// which keeps the sharded fixed-point encode exact.
+
+class LocalDrawEstimator : public derand::PessimisticEstimator {
+ public:
+  void prepare(const derand::EstimatorContext& ctx) override {
+    derand::PessimisticEstimator::prepare(ctx);
+    const ColoringState& s = *ctx.state;
+    const NodeId n = s.num_nodes();
+    part_.assign(n, 0);
+    counted_.assign(n, 0);
+    has_active_nbr_.assign(n, 0);
+    avail_.assign(n, {});
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if (!s.participates(v)) return;
+      part_[v] = 1;
+      avail_[v] = s.available_colors(v);
+      counted_[v] = counts(s, v) ? 1 : 0;
+    });
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      for (NodeId u : s.graph().neighbors(v)) {
+        if (part_[u]) {
+          has_active_nbr_[v] = 1;
+          break;
+        }
+      }
+    });
+    build_tables(s);
+  }
+
+  void release() override {
+    part_.clear();
+    counted_.clear();
+    has_active_nbr_.clear();
+    avail_.clear();
+    clear_tables();
+    derand::PessimisticEstimator::release();
+  }
+
+  std::optional<double> constant_term(NodeId v) const override {
+    if (!counted_[v]) return 0.0;
+    // Empty availability: the draw is always empty, the node always
+    // stays uncolored — the term is identically 1.
+    if (avail_[v].empty()) return 1.0;
+    // No participating neighbor: nothing to collide with; procedures
+    // whose draw alone decides (Try / MultiTrial) always color the
+    // node. GenerateSlack still flips its sampling coin, so its term
+    // varies with the seed.
+    if (!has_active_nbr_[v] && colored_when_unopposed()) return 0.0;
+    return std::nullopt;
+  }
+
+  std::size_t junta_size(NodeId v) const override {
+    if (!counted_[v]) return 0;
+    return derand::PessimisticEstimator::junta_size(v);
+  }
+
+ protected:
+  /// Does the Lemma-10 objective count this node's SSP failure at all?
+  virtual bool counts(const ColoringState& s, NodeId v) const = 0;
+  /// True when a counted node with a non-empty draw and no
+  /// participating neighbor is guaranteed to color itself.
+  virtual bool colored_when_unopposed() const { return true; }
+  /// Fill the per-member draw tables (ctx() is valid).
+  virtual void build_tables(const ColoringState& s) = 0;
+  virtual void clear_tables() = 0;
+
+  /// Member m's chunk-routed stream for node v — exactly the stream
+  /// simulate() reads through the ChunkedSource.
+  BitStream node_stream(std::uint64_t member, NodeId v) const {
+    prg::PrgFamily::Source src = ctx().family->source(member);
+    return src.stream(v, (*ctx().chunk_of)[v]);
+  }
+
+  /// Guard against absurd table footprints (estimator searches are
+  /// meant for the enumerable Lemma-10 seed spaces).
+  void check_table_budget(std::uint64_t entries_per_member) const {
+    constexpr std::uint64_t kMaxEntries = 1ULL << 28;
+    PDC_CHECK_MSG(ctx().num_members * entries_per_member <= kMaxEntries,
+                  "estimator draw tables would need "
+                      << ctx().num_members << " x " << entries_per_member
+                      << " entries; use fewer seed bits or "
+                         "EstimatorMode::kOff");
+  }
+
+  std::vector<std::uint8_t> part_;
+  std::vector<std::uint8_t> counted_;
+  std::vector<std::uint8_t> has_active_nbr_;
+  std::vector<std::vector<Color>> avail_;
+};
+
+/// TryRandomColor: term = [draw empty] + #{participating neighbors
+/// drawing v's color}. Failure => v uncolored => empty draw or >= 1
+/// collision => term >= 1. Ssp::kNone counts nothing (all-zero
+/// objective, the search is vacuously free).
+class TryRandomColorEstimator final : public LocalDrawEstimator {
+ public:
+  TryRandomColorEstimator(const HkntConfig& cfg, TryRandomColorProc::Ssp ssp)
+      : cfg_(cfg), ssp_(ssp) {}
+
+  double term(std::uint64_t member, NodeId v) const override {
+    if (!counted_[v]) return 0.0;
+    const NodeId n = static_cast<NodeId>(part_.size());
+    const Color pv = pick_[member * n + v];
+    if (pv == kNoColor) return 1.0;
+    double t = 0.0;
+    for (NodeId u : ctx().state->graph().neighbors(v))
+      if (pick_[member * n + u] == pv) t += 1.0;
+    return t;
+  }
+
+  double term_from_source(const ColoringState& s,
+                          const prg::BitSourceFactory& bits,
+                          NodeId v) const override {
+    if (ssp_ == TryRandomColorProc::Ssp::kNone) return 0.0;
+    if (!s.participates(v) || degree_exempt(cfg_, s, v)) return 0.0;
+    BitStream bv = bits.stream(v, 0);
+    const Color pv = s.sample_available(v, bv);
+    if (pv == kNoColor) return 1.0;
+    double t = 0.0;
+    for (NodeId u : s.graph().neighbors(v)) {
+      if (!s.participates(u)) continue;
+      BitStream bu = bits.stream(u, 0);
+      if (s.sample_available(u, bu) == pv) t += 1.0;
+    }
+    return t;
+  }
+
+ protected:
+  bool counts(const ColoringState& s, NodeId v) const override {
+    return ssp_ != TryRandomColorProc::Ssp::kNone &&
+           !degree_exempt(cfg_, s, v);
+  }
+
+  void build_tables(const ColoringState&) override {
+    const NodeId n = static_cast<NodeId>(part_.size());
+    check_table_budget(n);
+    pick_.assign(ctx().num_members * n, kNoColor);
+    parallel_for(ctx().num_members, [&](std::size_t m) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!part_[v] || avail_[v].empty()) continue;
+        BitStream bs = node_stream(m, v);
+        pick_[m * n + v] = avail_[v][bs.below(avail_[v].size())];
+      }
+    });
+  }
+  void clear_tables() override { pick_.clear(); }
+
+ private:
+  HkntConfig cfg_;
+  TryRandomColorProc::Ssp ssp_;
+  std::vector<Color> pick_;  // members x n; kNoColor = no/empty draw
+};
+
+/// GenerateSlack: term = [not sampled] + [sampled, draw empty] +
+/// #{sampled participating neighbors drawing v's color}. Failure =>
+/// v proposed nothing => one of the three events => term >= 1.
+class GenerateSlackEstimator final : public LocalDrawEstimator {
+ public:
+  explicit GenerateSlackEstimator(const HkntConfig& cfg) : cfg_(cfg) {}
+
+  double term(std::uint64_t member, NodeId v) const override {
+    if (!counted_[v]) return 0.0;
+    const NodeId n = static_cast<NodeId>(part_.size());
+    if (!sampled_[member * n + v]) return 1.0;
+    const Color pv = pick_[member * n + v];
+    if (pv == kNoColor) return 1.0;
+    double t = 0.0;
+    for (NodeId u : ctx().state->graph().neighbors(v))
+      if (pick_[member * n + u] == pv) t += 1.0;
+    return t;
+  }
+
+  double term_from_source(const ColoringState& s,
+                          const prg::BitSourceFactory& bits,
+                          NodeId v) const override {
+    if (!s.participates(v) || degree_exempt(cfg_, s, v)) return 0.0;
+    BitStream bv = bits.stream(v, 0);
+    if (!bv.coin(cfg_.sample_num, cfg_.sample_den)) return 1.0;
+    const Color pv = s.sample_available(v, bv);
+    if (pv == kNoColor) return 1.0;
+    double t = 0.0;
+    for (NodeId u : s.graph().neighbors(v)) {
+      if (!s.participates(u)) continue;
+      BitStream bu = bits.stream(u, 0);
+      if (!bu.coin(cfg_.sample_num, cfg_.sample_den)) continue;
+      if (s.sample_available(u, bu) == pv) t += 1.0;
+    }
+    return t;
+  }
+
+ protected:
+  bool counts(const ColoringState& s, NodeId v) const override {
+    return !degree_exempt(cfg_, s, v);
+  }
+  bool colored_when_unopposed() const override { return false; }
+
+  void build_tables(const ColoringState&) override {
+    const NodeId n = static_cast<NodeId>(part_.size());
+    check_table_budget(n);
+    sampled_.assign(ctx().num_members * n, 0);
+    pick_.assign(ctx().num_members * n, kNoColor);
+    parallel_for(ctx().num_members, [&](std::size_t m) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!part_[v]) continue;
+        BitStream bs = node_stream(m, v);
+        if (!bs.coin(cfg_.sample_num, cfg_.sample_den)) continue;
+        sampled_[m * n + v] = 1;
+        if (!avail_[v].empty())
+          pick_[m * n + v] = avail_[v][bs.below(avail_[v].size())];
+      }
+    });
+  }
+  void clear_tables() override {
+    sampled_.clear();
+    pick_.clear();
+  }
+
+ private:
+  HkntConfig cfg_;
+  std::vector<std::uint8_t> sampled_;  // members x n
+  std::vector<Color> pick_;            // members x n; kNoColor if unsampled
+};
+
+/// MultiTrial(x): term = [no draws] + ceil(#{(c, u) collisions} / k_v)
+/// with k_v = |v's draws| (seed-independent: min(x, |avail|)). Failure
+/// => v uncolored => every draw clashes with some participating
+/// neighbor => the collision count reaches k_v => term >= 1. The
+/// ceil-division keeps the term integer (sharded-grid exact) while
+/// staying k_v times tighter than the raw pair count.
+class MultiTrialEstimator final : public LocalDrawEstimator {
+ public:
+  MultiTrialEstimator(const HkntConfig& cfg, std::uint32_t x)
+      : cfg_(cfg), x_(x) {}
+
+  double term(std::uint64_t member, NodeId v) const override {
+    if (!counted_[v]) return 0.0;
+    const std::uint32_t kv = k_[v];
+    if (kv == 0) return 1.0;
+    const Color* pv = &picks_[member * total_k_ + off_[v]];
+    std::uint64_t s = 0;
+    for (std::uint32_t i = 0; i < kv; ++i) {
+      for (NodeId u : ctx().state->graph().neighbors(v)) {
+        if (k_[u] == 0) continue;  // non-participant or empty draw
+        const Color* pu = &picks_[member * total_k_ + off_[u]];
+        if (std::binary_search(pu, pu + k_[u], pv[i])) ++s;
+      }
+    }
+    return static_cast<double>((s + kv - 1) / kv);
+  }
+
+  double term_from_source(const ColoringState& st,
+                          const prg::BitSourceFactory& bits,
+                          NodeId v) const override {
+    if (!st.participates(v) || degree_exempt(cfg_, st, v)) return 0.0;
+    BitStream bv = bits.stream(v, 0);
+    const std::vector<Color> pv = st.sample_available_distinct(v, x_, bv);
+    if (pv.empty()) return 1.0;
+    std::uint64_t s = 0;
+    for (NodeId u : st.graph().neighbors(v)) {
+      if (!st.participates(u)) continue;
+      BitStream bu = bits.stream(u, 0);
+      const std::vector<Color> pu = st.sample_available_distinct(u, x_, bu);
+      for (Color c : pv)
+        if (std::binary_search(pu.begin(), pu.end(), c)) ++s;
+    }
+    const std::uint64_t kv = pv.size();
+    return static_cast<double>((s + kv - 1) / kv);
+  }
+
+ protected:
+  bool counts(const ColoringState& s, NodeId v) const override {
+    return !degree_exempt(cfg_, s, v);
+  }
+
+  void build_tables(const ColoringState& s) override {
+    const NodeId n = static_cast<NodeId>(part_.size());
+    off_.assign(n, 0);
+    k_.assign(n, 0);
+    total_k_ = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      off_[v] = static_cast<std::uint32_t>(total_k_);
+      if (part_[v]) {
+        k_[v] = static_cast<std::uint32_t>(
+            std::min<std::size_t>(x_, avail_[v].size()));
+        total_k_ += k_[v];
+      }
+    }
+    check_table_budget(total_k_);
+    picks_.assign(ctx().num_members * total_k_, kNoColor);
+    parallel_for(ctx().num_members, [&](std::size_t m) {
+      std::vector<Color> scratch;
+      for (NodeId v = 0; v < n; ++v) {
+        if (k_[v] == 0) continue;
+        BitStream bs = node_stream(m, v);
+        // Replay sample_available_distinct exactly: no bits consumed
+        // when the whole list is taken, partial Fisher-Yates + sort
+        // otherwise.
+        Color* out = &picks_[m * total_k_ + off_[v]];
+        if (avail_[v].size() <= x_) {
+          std::copy(avail_[v].begin(), avail_[v].end(), out);
+          continue;
+        }
+        scratch = avail_[v];
+        for (std::uint32_t i = 0; i < x_; ++i) {
+          std::uint64_t j = i + bs.below(scratch.size() - i);
+          std::swap(scratch[i], scratch[j]);
+        }
+        std::copy(scratch.begin(), scratch.begin() + k_[v], out);
+        std::sort(out, out + k_[v]);
+      }
+    });
+  }
+  void clear_tables() override {
+    off_.clear();
+    k_.clear();
+    picks_.clear();
+    total_k_ = 0;
+  }
+
+ private:
+  HkntConfig cfg_;
+  std::uint32_t x_;
+  std::vector<std::uint32_t> off_;  // node -> offset into a member's row
+  std::vector<std::uint32_t> k_;    // node -> draws per member (fixed)
+  std::uint64_t total_k_ = 0;
+  std::vector<Color> picks_;  // members x total_k_, sorted per node
+};
+
 }  // namespace
+
+std::unique_ptr<derand::PessimisticEstimator> TryRandomColorProc::estimator()
+    const {
+  return std::make_unique<TryRandomColorEstimator>(cfg_, ssp_);
+}
+
+std::unique_ptr<derand::PessimisticEstimator> GenerateSlackProc::estimator()
+    const {
+  return std::make_unique<GenerateSlackEstimator>(cfg_);
+}
+
+std::unique_ptr<derand::PessimisticEstimator> MultiTrialProc::estimator()
+    const {
+  return std::make_unique<MultiTrialEstimator>(cfg_, x_);
+}
 
 // ---------------------------------------------------------------- TryRandom
 

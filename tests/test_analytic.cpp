@@ -239,8 +239,11 @@ TEST_P(AnalyticDifferential, LowDegreeTrialMatchesEverywhere) {
 
   mpc::Cluster cluster(cluster_config(p, 4096, g.num_nodes()),
                        /*strict=*/true);
-  Selection dist = d1lc::low_degree_trial_selection(
-      inst, none, family, SearchBackend::kSharded, &cluster);
+  ExecutionPolicy pol;
+  pol.backend = SearchBackend::kSharded;
+  pol.cluster = &cluster;
+  Selection dist =
+      d1lc::low_degree_trial_selection(inst, none, family, pol);
   expect_same_selection(ref, dist);
   expect_fully_analytic(dist.stats);
   EXPECT_TRUE(cluster.ledger().violations().empty());
@@ -266,8 +269,8 @@ TEST(AnalyticCallSites, ShardedPartitionMatchesSharedMemory) {
     mpc::Cluster cluster(cluster_config(p, 8192, g.num_nodes()),
                          /*strict=*/true);
     d1lc::PartitionOptions sopt = opt;
-    sopt.search_backend = SearchBackend::kSharded;
-    sopt.search_cluster = &cluster;
+    sopt.search.backend = SearchBackend::kSharded;
+    sopt.search.cluster = &cluster;
     d1lc::Partition dist = d1lc::low_space_partition(inst, sopt, nullptr);
 
     EXPECT_EQ(dist.h1_index, shared.h1_index) << "p=" << p;
@@ -294,8 +297,11 @@ TEST(AnalyticCallSites, ShardedLowDegreeSolverMatchesSharedMemory) {
   mpc::Cluster cluster(cluster_config(4, 8192, g.num_nodes()),
                        /*strict=*/true);
   derand::ColoringState dist_state(inst.graph, inst.palettes);
-  d1lc::LowDegreeReport dist = d1lc::low_degree_color(
-      dist_state, nullptr, 6, 0xFEED, SearchBackend::kSharded, &cluster);
+  ExecutionPolicy pol;
+  pol.backend = SearchBackend::kSharded;
+  pol.cluster = &cluster;
+  d1lc::LowDegreeReport dist =
+      d1lc::low_degree_color(dist_state, nullptr, 6, 0xFEED, pol);
 
   EXPECT_EQ(dist_state.colors(), shared_state.colors());
   EXPECT_EQ(dist.phases, shared.phases);
@@ -322,8 +328,8 @@ TEST(AnalyticCallSites, SolverCarriesTheClusterThroughEveryPartitionLevel) {
 
   mpc::Cluster cluster(cluster_config(6, 1 << 16, g.num_nodes()));
   d1lc::SolverOptions sopt = opt;
-  sopt.search_backend = SearchBackend::kSharded;
-  sopt.search_cluster = &cluster;
+  sopt.search.backend = SearchBackend::kSharded;
+  sopt.search.cluster = &cluster;
   d1lc::SolveResult dist = d1lc::solve_d1lc(inst, sopt);
 
   EXPECT_TRUE(dist.valid);

@@ -118,7 +118,42 @@ INSTANTIATE_TEST_SUITE_P(
     Strategies, Lemma10Strategy,
     ::testing::Values(SeedStrategy::kExhaustive,
                       SeedStrategy::kConditionalExpectation,
-                      SeedStrategy::kFirstSeed, SeedStrategy::kTrueRandom));
+                      SeedStrategy::kPrefixWalk, SeedStrategy::kFirstSeed,
+                      SeedStrategy::kTrueRandom));
+
+TEST(Lemma10Estimator, EstimatorModeSimulatesOnlyTheCommitReplay) {
+  Graph g = gen::gnp(300, 0.02, 5);
+  D1lcInstance inst =
+      make_random_lists(g, static_cast<Color>(g.max_degree()) + 60, 20, 7);
+  hknt::HkntConfig cfg;
+  hknt::TryRandomColorProc proc(
+      cfg, hknt::TryRandomColorProc::Ssp::kSlackTwiceDegree, "est");
+
+  for (SeedStrategy s :
+       {SeedStrategy::kExhaustive, SeedStrategy::kConditionalExpectation,
+        SeedStrategy::kPrefixWalk}) {
+    ColoringState state(inst.graph, inst.palettes);
+    Lemma10Options opt;
+    opt.seed_bits = 6;
+    opt.strategy = s;
+    opt.use_estimator = EstimatorMode::kPrefer;
+    Lemma10Report rep = derandomize_procedure(proc, state, opt, nullptr);
+
+    EXPECT_TRUE(rep.estimator_used);
+    // Zero search-phase simulations: no enumerating sweep ever ran —
+    // the only simulate() is the commit replay. The guarantee binds
+    // the estimator mean (domination + conditional expectations).
+    EXPECT_EQ(rep.search.sweeps, 0u);
+    EXPECT_LE(static_cast<double>(rep.ssp_failures),
+              rep.estimator_mean + 1e-9);
+    EXPECT_TRUE(rep.search.route == engine::PlaneTag::kAnalytic ||
+                rep.search.route == engine::PlaneTag::kPrefix);
+    EXPECT_EQ(rep.wsp_violations, 0u);
+    auto check = check_coloring(inst, state.colors());
+    EXPECT_EQ(check.monochromatic_edges, 0u);
+    EXPECT_EQ(check.palette_violations, 0u);
+  }
+}
 
 TEST(Lemma10, RandomizedModeDoesNotDefer) {
   Graph g = gen::gnp(200, 0.03, 9);

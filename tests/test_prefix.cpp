@@ -391,21 +391,6 @@ TEST(FrontDoor, AutoBackendAppliesTheCutover) {
   EXPECT_TRUE(cluster.ledger().violations().empty());
 }
 
-TEST(FrontDoor, DeprecatedDispatcherResolvesAutoThroughTheCutover) {
-  // The deprecated alias must not silently map kAuto to shared memory:
-  // it routes through resolve_backend (default floor => shared memory
-  // here, but via the documented cutover, not a fallthrough).
-  Graph g = gen::gnp(150, 0.05, 19);
-  PrefixCollisionOracle a(g, 8, 6), b(g, 8, 6);
-  mpc::Cluster cluster(cluster_config(4, 4096, g.num_nodes()),
-                       /*strict=*/true);
-  Selection via_alias = sharded::search_with_backend(
-      a, SearchBackend::kAuto, &cluster,
-      [&](auto& s) { return s.exhaustive(64); });
-  expect_same_selection(via_alias, SeedSearch(b).exhaustive(64));
-  EXPECT_EQ(via_alias.stats.backend, BackendTag::kSharedMemory);
-}
-
 TEST(FrontDoor, ExplicitBackendsAreNotMarkedAuto) {
   Graph g = gen::gnp(100, 0.05, 17);
   PrefixCollisionOracle oracle(g, 8, 6);
@@ -414,9 +399,9 @@ TEST(FrontDoor, ExplicitBackendsAreNotMarkedAuto) {
   EXPECT_FALSE(sel.stats.backend_auto);
 }
 
-// ---- Call sites: ExecutionPolicy plumbing and legacy aliases. ----
+// ---- Call sites: ExecutionPolicy plumbing. ----
 
-TEST(CallSites, PartitionPolicyAndLegacyAliasesAgree) {
+TEST(CallSites, PartitionPolicyRoutesTheSearchesToTheCluster) {
   Graph g = gen::gnp(300, 0.05, 17);
   D1lcInstance inst = make_degree_plus_one(g);
   d1lc::PartitionOptions base;
@@ -430,18 +415,9 @@ TEST(CallSites, PartitionPolicyAndLegacyAliasesAgree) {
   via_policy.search.cluster = &c1;
   d1lc::Partition p1 = d1lc::low_space_partition(inst, via_policy, nullptr);
 
-  mpc::Cluster c2(cluster_config(5, 8192, g.num_nodes()), /*strict=*/true);
-  d1lc::PartitionOptions via_legacy = base;
-  via_legacy.search_backend = SearchBackend::kSharded;  // deprecated alias
-  via_legacy.search_cluster = &c2;
-  d1lc::Partition p2 = d1lc::low_space_partition(inst, via_legacy, nullptr);
-
   EXPECT_EQ(p1.h1_index, shared.h1_index);
   EXPECT_EQ(p1.h2_index, shared.h2_index);
-  EXPECT_EQ(p2.h1_index, shared.h1_index);
-  EXPECT_EQ(p2.h2_index, shared.h2_index);
   EXPECT_GT(p1.search.sharded.rounds, 0u);
-  EXPECT_GT(p2.search.sharded.rounds, 0u);
   EXPECT_EQ(p1.search.backend, BackendTag::kSharded);
 }
 
@@ -467,19 +443,22 @@ TEST(CallSites, PartitionPrefixWalkMatchesItsTotalsReference) {
   EXPECT_EQ(walk.palette_violations, totals.palette_violations);
 }
 
-TEST(CallSites, LowDegreeTrialLegacyOverloadStillWorks) {
+TEST(CallSites, LowDegreeTrialPolicySelectsTheShardedBackend) {
   Graph g = gen::gnp(150, 0.04, 29);
   D1lcInstance inst = make_degree_plus_one(g);
   EnumerablePairwiseFamily family(55, 6);
   Coloring none(g.num_nodes(), kNoColor);
-  Selection by_policy =
+  Selection by_default =
       d1lc::low_degree_trial_selection(inst, none, family);
   mpc::Cluster cluster(cluster_config(3, 4096, g.num_nodes()),
                        /*strict=*/true);
-  Selection by_legacy = d1lc::low_degree_trial_selection(
-      inst, none, family, SearchBackend::kSharded, &cluster);
-  expect_same_selection(by_policy, by_legacy);
-  EXPECT_EQ(by_legacy.stats.backend, BackendTag::kSharded);
+  ExecutionPolicy pol;
+  pol.backend = SearchBackend::kSharded;
+  pol.cluster = &cluster;
+  Selection by_policy =
+      d1lc::low_degree_trial_selection(inst, none, family, pol);
+  expect_same_selection(by_default, by_policy);
+  EXPECT_EQ(by_policy.stats.backend, BackendTag::kSharded);
 }
 
 }  // namespace

@@ -318,8 +318,8 @@ TEST(ShardedProduction, Lemma10SeedSelectionMatchesOnBothStrategies) {
     Selection shared = derand::lemma10_seed_selection(proc, state, chunks, opt);
 
     mpc::Cluster cluster(cluster_config(7, 4096, g.num_nodes()));
-    opt.search_backend = SearchBackend::kSharded;
-    opt.search_cluster = &cluster;
+    opt.search.backend = SearchBackend::kSharded;
+    opt.search.cluster = &cluster;
     Selection dist = derand::lemma10_seed_selection(proc, state, chunks, opt);
 
     expect_same_selection(shared, dist);
@@ -337,8 +337,10 @@ TEST(ShardedProduction, LowDegreeTrialSelectionMatches) {
 
   Selection shared = d1lc::low_degree_trial_selection(inst, none, family);
   mpc::Cluster cluster(cluster_config(5, 4096, g.num_nodes()));
-  Selection dist = d1lc::low_degree_trial_selection(
-      inst, none, family, SearchBackend::kSharded, &cluster);
+  ExecutionPolicy pol;
+  pol.backend = SearchBackend::kSharded;
+  pol.cluster = &cluster;
+  Selection dist = d1lc::low_degree_trial_selection(inst, none, family, pol);
   expect_same_selection(shared, dist);
   EXPECT_TRUE(cluster.ledger().violations().empty());
 }
@@ -358,7 +360,7 @@ TEST(ShardedProduction, LubySeedSelectionMatchesOnBothStrategies) {
         g, status, opt, chunk_of, /*round=*/2);
 
     mpc::Cluster cluster(cluster_config(6, 4096, g.num_nodes()));
-    opt.search_backend = SearchBackend::kSharded;
+    opt.search.backend = SearchBackend::kSharded;
     Selection dist = baseline::select_luby_seed_selection(
         g, status, opt, chunk_of, /*round=*/2, &cluster);
     expect_same_selection(shared, dist);
@@ -379,7 +381,7 @@ TEST(ShardedEndToEnd, DerandomizedLubyOnClusterMatchesSharedMemory) {
 
   mpc::Config cfg = cluster_config(4, 16384, g.num_nodes());
   mpc::Cluster cluster(cfg);
-  opt.search_backend = SearchBackend::kSharded;
+  opt.search.backend = SearchBackend::kSharded;
   baseline::MpcMisResult dist =
       baseline::luby_mis_mpc_derandomized(cluster, g, opt, 6);
 
@@ -396,10 +398,10 @@ TEST(ShardedEndToEnd, DerandomizedLubyOnClusterMatchesSharedMemory) {
 }
 
 TEST(ShardedEndToEnd, OptionsCarriedClusterAloneSufficesForLuby) {
-  // Lemma10Options::search_cluster documents that setting the options
-  // pair alone selects the sharded backend; the shared-memory Luby loop
-  // passes no explicit cluster, so the fallback must kick in (and the
-  // result must still match a fully shared-memory run).
+  // Lemma10Options::search carrying a backend + cluster alone selects
+  // the sharded backend; the shared-memory Luby loop passes no explicit
+  // cluster, so the policy's cluster must kick in (and the result must
+  // still match a fully shared-memory run).
   Graph g = gen::gnp(120, 0.05, 41);
   derand::Lemma10Options opt;
   opt.seed_bits = 4;
@@ -407,8 +409,8 @@ TEST(ShardedEndToEnd, OptionsCarriedClusterAloneSufficesForLuby) {
   baseline::MisResult shared = baseline::luby_mis_derandomized(g, opt, 4);
 
   mpc::Cluster cluster(cluster_config(3, 8192, g.num_nodes()));
-  opt.search_backend = SearchBackend::kSharded;
-  opt.search_cluster = &cluster;
+  opt.search.backend = SearchBackend::kSharded;
+  opt.search.cluster = &cluster;
   baseline::MisResult via_options = baseline::luby_mis_derandomized(g, opt, 4);
 
   EXPECT_EQ(via_options.in_mis, shared.in_mis);
@@ -425,8 +427,10 @@ TEST(ShardedEndToEnd, LowDegreePhaseLoopMatchesAndAccountsRounds) {
       d1lc::low_degree_color_mpc(shared_cluster, inst);
 
   mpc::Cluster cluster(cluster_config(5, 16384, g.num_nodes()));
-  d1lc::MpcLowDegreeResult dist = d1lc::low_degree_color_mpc(
-      cluster, inst, 6, 0xC0FFEE, SearchBackend::kSharded);
+  ExecutionPolicy pol;
+  pol.backend = SearchBackend::kSharded;
+  d1lc::MpcLowDegreeResult dist =
+      d1lc::low_degree_color_mpc(cluster, inst, 6, 0xC0FFEE, pol);
 
   EXPECT_TRUE(dist.valid);
   EXPECT_EQ(dist.coloring, shared.coloring);
