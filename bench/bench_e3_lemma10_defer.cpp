@@ -20,11 +20,16 @@
 //   * the estimator searches' total wall time must beat the
 //     enumerating baseline's.
 
+// --json <path> writes the per-row experiment records (strategy,
+// failures, means, wall times) as a JSON array for CI/plotting.
+
 #include <iostream>
 
 #include "pdc/derand/lemma10.hpp"
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/procedures.hpp"
+#include "pdc/util/bench_json.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
@@ -57,7 +62,9 @@ const char* plane_name(engine::PlaneTag t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  util::BenchJson json;
   Graph g = gen::gnp(3000, 0.01, 7);
   D1lcInstance inst =
       make_random_lists(g, static_cast<Color>(g.max_degree()) + 60, 15, 3);
@@ -92,6 +99,13 @@ int main() {
            std::to_string(rep.seed_evaluations),
            Table::num(rep.lemma10_bound, 2),
            std::to_string(rep.wsp_violations)});
+    json.obj()
+        .field("table", "e3_defer_by_strategy")
+        .field("strategy", strategy_name(s))
+        .field("ssp_failures", static_cast<std::uint64_t>(rep.ssp_failures))
+        .field("defer_frac", rep.defer_fraction)
+        .field("mean_failures", rep.mean_failures)
+        .field("wall_ms", rep.search.wall_ms);
   }
   t.print();
 
@@ -106,6 +120,11 @@ int main() {
     t2.row({std::to_string(d), std::to_string(rep.ssp_failures),
             Table::num(rep.mean_failures, 2),
             Table::num(rep.defer_fraction, 4)});
+    json.obj()
+        .field("table", "e3b_seed_length")
+        .field("seed_bits", static_cast<std::int64_t>(d))
+        .field("ssp_failures", static_cast<std::uint64_t>(rep.ssp_failures))
+        .field("defer_frac", rep.defer_fraction);
   }
   t2.print();
 
@@ -130,6 +149,14 @@ int main() {
             std::to_string(rep.search.analytic.searches),
             std::to_string(rep.search.prefix.walks),
             Table::num(rep.search.wall_ms, 2)});
+    json.obj()
+        .field("table", "e3e_estimator_plane")
+        .field("strategy", strategy_name(s))
+        .field("plane", plane_name(rep.search.route))
+        .field("ssp_failures", static_cast<std::uint64_t>(rep.ssp_failures))
+        .field("estimator_mean", rep.estimator_mean)
+        .field("sweeps", static_cast<std::uint64_t>(rep.search.sweeps))
+        .field("wall_ms", rep.search.wall_ms);
 
     if (!rep.estimator_used || rep.search.sweeps != 0) {
       std::cout << "REGRESSION: estimator-mode " << strategy_name(s)
@@ -173,5 +200,6 @@ int main() {
                "mean, and beat the enumerating wall time ("
             << Table::num(est_wall_ms, 1) << " ms vs "
             << Table::num(enum_wall_ms, 1) << " ms).\n";
+  if (args.has("json")) json.write(args.get("json", ""));
   return failures;
 }

@@ -12,16 +12,24 @@
 // that did not route through the analytic plane at all — is a
 // regression and exits non-zero.
 
+// --json <path> writes the per-row experiment records (partition
+// quality, backend selections, wall times) as a JSON array for
+// CI/plotting.
+
 #include <iostream>
 
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/generators.hpp"
 #include "pdc/mpc/cluster.hpp"
+#include "pdc/util/bench_json.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  util::BenchJson json;
   Table t("E5 / Lemma 23: partition quality vs delta",
           {"n", "delta", "nbins", "high_nodes", "deg_violations",
            "palette_viol", "max_deg_ratio", "seed_evals", "enum_sweeps",
@@ -67,6 +75,15 @@ int main() {
              Table::num(part.search.wall_ms, 1)});
       gate_analytic(part.search,
                     "n=" + std::to_string(n) + " delta=" + Table::num(delta, 2));
+      json.obj()
+          .field("table", "e5_quality_vs_delta")
+          .field("n", static_cast<std::uint64_t>(n))
+          .field("delta", delta)
+          .field("deg_violations",
+                 static_cast<std::uint64_t>(part.degree_violations))
+          .field("palette_violations",
+                 static_cast<std::uint64_t>(part.palette_violations))
+          .field("wall_ms", part.search.wall_ms);
     }
   }
   t.print();
@@ -103,6 +120,12 @@ int main() {
               std::to_string(dist.search.sharded.words),
               std::to_string(dist.search.sweeps)});
       gate_analytic(dist.search, "sharded p=" + std::to_string(p));
+      json.obj()
+          .field("table", "e5s_sharded_selection")
+          .field("machines", static_cast<std::uint64_t>(p))
+          .field("matches_shared", match)
+          .field("rounds",
+                 static_cast<std::uint64_t>(dist.search.sharded.rounds));
       if (regression.empty() && !match) {
         regression = "REGRESSION: sharded partition selection diverged from "
                      "shared memory at p=" + std::to_string(p);
@@ -147,6 +170,13 @@ int main() {
             std::to_string(analytic.search.analytic.formula_evals),
             std::to_string(walk.search.sweeps), match ? "yes" : "NO",
             Table::num(walk.search.wall_ms, 1)});
+    json.obj()
+        .field("table", "e5p_prefix_plane")
+        .field("n", static_cast<std::uint64_t>(n))
+        .field("matches_ref", match)
+        .field("junta_evals",
+               static_cast<std::uint64_t>(walk.search.prefix.junta_evals))
+        .field("wall_ms", walk.search.wall_ms);
     if (regression.empty()) {
       const std::string where = "prefix n=" + std::to_string(n);
       if (walk.search.sweeps > 0) {
@@ -194,6 +224,8 @@ int main() {
             std::to_string(r.partition_levels), r.valid ? "yes" : "NO"});
   }
   t2.print();
+
+  if (args.has("json")) json.write(args.get("json", ""));
 
   if (!regression.empty()) {
     std::cout << regression << "\n";

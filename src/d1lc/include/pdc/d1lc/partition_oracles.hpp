@@ -33,6 +33,7 @@
 #include "pdc/engine/prefix.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
+#include "pdc/util/aligned.hpp"
 #include "pdc/util/hashing.hpp"
 
 namespace pdc::d1lc {
@@ -63,6 +64,13 @@ class H1DegreeOracle final : public engine::PrefixOracle {
   void eval_analytic(std::uint64_t first, std::size_t count,
                      std::size_t item, double* sink) const override;
 
+  /// SIMD member-major path: one bucket_span over the precomputed SoA
+  /// params table for v, then one bucket_match_span per high-degree
+  /// neighbor. Bit-identical to eval_analytic (the simd.hpp kernel
+  /// contract); falls back to it when the table wasn't affordable.
+  void eval_members(std::uint64_t first, std::size_t count, std::size_t item,
+                    double* sink) const override;
+
   /// Enumerating sweep: loads v's neighbor list once per block and
   /// tests it against the whole candidate block (node-major).
   void eval_batch(std::span<const std::uint64_t> seeds, std::size_t item,
@@ -81,10 +89,16 @@ class H1DegreeOracle final : public engine::PrefixOracle {
   std::vector<std::size_t> high_nbr_off_;
   std::vector<NodeId> high_nbrs_;
   std::vector<double> bound_;
+  // Structure-of-arrays member params (begin_search; empty = fall back
+  // to scalar eval_analytic).
+  util::aligned_vector<std::uint64_t> pa_, pb_;
   // Enumerating-path per-item scratch; thread_local so concurrent items
   // don't race.
   static thread_local std::vector<std::uint64_t> my_bin_;
   static thread_local std::vector<std::uint32_t> dprime_;
+  // Batched-path per-item scratch (64-byte aligned for the SIMD lanes).
+  static thread_local util::aligned_vector<std::uint64_t> mine_batch_;
+  static thread_local util::aligned_vector<std::uint32_t> dprime_batch_;
 };
 
 /// Lemma-23 h2 objective (given h1): contribution is 1 when v (in bins
@@ -117,6 +131,12 @@ class H2PaletteOracle final : public engine::PrefixOracle {
   void eval_analytic(std::uint64_t first, std::size_t count,
                      std::size_t item, double* sink) const override;
 
+  /// SIMD member-major path: one bucket_count_span per palette color
+  /// over the precomputed SoA params table, counting hits on v's bin.
+  /// Bit-identical to eval_analytic; falls back when no table.
+  void eval_members(std::uint64_t first, std::size_t count, std::size_t item,
+                    double* sink) const override;
+
   /// Enumerating sweep: caches the block's (a, b) params in begin_sweep
   /// and re-hashes the palette per candidate.
   void begin_sweep(std::span<const std::uint64_t> seeds) override;
@@ -134,9 +154,14 @@ class H2PaletteOracle final : public engine::PrefixOracle {
   // begin_search invariants: per-item bin and bin-internal degree.
   std::vector<std::uint32_t> item_bin_;
   std::vector<std::uint32_t> item_dprime_;
+  // Structure-of-arrays member params (begin_search; empty = fall back
+  // to scalar eval_analytic).
+  util::aligned_vector<std::uint64_t> pa_, pb_;
   // Enumerating-path block state (params of the block's members).
   std::vector<std::uint64_t> a_, b_;
   static thread_local std::vector<std::uint32_t> pprime_;
+  // Batched-path per-item scratch (64-byte aligned for the SIMD lanes).
+  static thread_local util::aligned_vector<std::uint32_t> pprime_batch_;
 };
 
 }  // namespace pdc::d1lc

@@ -34,6 +34,7 @@
 #include "pdc/engine/prefix.hpp"
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/palette.hpp"
+#include "pdc/util/aligned.hpp"
 #include "pdc/util/hashing.hpp"
 
 namespace pdc::d1lc {
@@ -48,9 +49,11 @@ std::vector<Color> trial_available_colors(const D1lcInstance& inst,
 
 /// Per-node availability lists in CSR form (empty for inactive nodes).
 /// Seed-independent: built once per search, shared by both oracle paths.
+/// 64-byte-aligned structure-of-arrays storage: the batched trial path
+/// gathers from `colors` in its member-major inner loops.
 struct AvailLists {
-  std::vector<std::size_t> offset;  // size n+1
-  std::vector<Color> colors;
+  util::aligned_vector<std::size_t> offset;  // size n+1
+  util::aligned_vector<Color> colors;
 
   std::span<const Color> of(NodeId v) const {
     return {colors.data() + offset[v], offset[v + 1] - offset[v]};
@@ -91,8 +94,18 @@ class TrialOracle final : public engine::PrefixOracle {
   std::size_t junta_size(std::size_t item) const override;
   std::optional<double> constant_cost(std::size_t item) const override;
 
+  void begin_search(std::uint64_t num_seeds) override;
+  void end_search() override;
   void eval_analytic(std::uint64_t first, std::size_t count,
                      std::size_t item, double* sink) const override;
+
+  /// SIMD member-major path: bucket-gathers v's picks from the SoA
+  /// params table, then OR-reduces the clash flag across active
+  /// neighbors — the branch-free equivalent of eval_analytic's
+  /// early-break clash scan, bit-identical by the kernel contract.
+  /// Falls back to eval_analytic when the table wasn't affordable.
+  void eval_members(std::uint64_t first, std::size_t count, std::size_t item,
+                    double* sink) const override;
 
   // Enumerating path: per-block pick tables.
   void begin_sweep(std::span<const std::uint64_t> seeds) override;
@@ -108,9 +121,16 @@ class TrialOracle final : public engine::PrefixOracle {
   const std::vector<std::uint8_t>* active_;
   const AvailLists* avail_;
   const EnumerablePairwiseFamily* family_;
+  // Structure-of-arrays member params (begin_search; empty = fall back
+  // to scalar eval_analytic).
+  util::aligned_vector<std::uint64_t> pa_, pb_;
   // Enumerating-path block state: picks_[k][v] = v's pick under the
   // block's k-th member (kNoColor for inactive / empty-palette nodes).
   std::vector<std::vector<Color>> picks_;
+  // Batched-path per-item scratch (64-byte aligned for the SIMD lanes).
+  static thread_local util::aligned_vector<std::uint64_t> bucket_batch_;
+  static thread_local util::aligned_vector<Color> mine_batch_;
+  static thread_local util::aligned_vector<std::uint8_t> clash_batch_;
 };
 
 }  // namespace pdc::d1lc

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "pdc/util/simd.hpp"
+
 namespace pdc::d1lc {
 
 // ---- H1DegreeOracle. ----
 
 thread_local std::vector<std::uint64_t> H1DegreeOracle::my_bin_;
 thread_local std::vector<std::uint32_t> H1DegreeOracle::dprime_;
+thread_local util::aligned_vector<std::uint64_t> H1DegreeOracle::mine_batch_;
+thread_local util::aligned_vector<std::uint32_t> H1DegreeOracle::dprime_batch_;
 
 H1DegreeOracle::H1DegreeOracle(const Graph& g, const std::vector<NodeId>& high,
                                const EnumerablePairwiseFamily& family,
@@ -37,7 +41,7 @@ std::optional<double> H1DegreeOracle::constant_cost(std::size_t item) const {
   return std::nullopt;
 }
 
-void H1DegreeOracle::begin_search(std::uint64_t /*num_seeds*/) {
+void H1DegreeOracle::begin_search(std::uint64_t num_seeds) {
   const std::size_t items = high_->size();
   high_nbr_off_.assign(items + 1, 0);
   bound_.resize(items);
@@ -54,12 +58,15 @@ void H1DegreeOracle::begin_search(std::uint64_t /*num_seeds*/) {
     for (NodeId u : g_->neighbors((*high_)[i]))
       if (g_->degree(u) > mid_degree_cap_) high_nbrs_[at++] = u;
   }
+  family_->params_table(num_seeds, pa_, pb_);
 }
 
 void H1DegreeOracle::end_search() {
   high_nbr_off_.clear();
   high_nbrs_.clear();
   bound_.clear();
+  pa_.clear();
+  pb_.clear();
 }
 
 void H1DegreeOracle::eval_analytic(std::uint64_t first, std::size_t count,
@@ -78,6 +85,32 @@ void H1DegreeOracle::eval_analytic(std::uint64_t first, std::size_t count,
                                                        nbins_) == mine);
     }
     if (static_cast<double>(dprime) >= bound) sink[j] += 1.0;
+  }
+}
+
+void H1DegreeOracle::eval_members(std::uint64_t first, std::size_t count,
+                                  std::size_t item, double* sink) const {
+  if (pa_.empty() || first + count > pa_.size()) {
+    eval_analytic(first, count, item, sink);
+    return;
+  }
+  const NodeId v = (*high_)[item];
+  const double bound = bound_[item];
+  const std::size_t lo = high_nbr_off_[item];
+  const std::size_t hi = high_nbr_off_[item + 1];
+  const std::uint64_t* a = pa_.data() + first;
+  const std::uint64_t* b = pb_.data() + first;
+  mine_batch_.resize(count);
+  dprime_batch_.assign(count, 0);
+  util::simd::bucket_span(a, b, count, util::simd::HashPoint(v, nbins_),
+                          mine_batch_.data());
+  for (std::size_t e = lo; e < hi; ++e) {
+    util::simd::bucket_match_span(a, b, count,
+                                  util::simd::HashPoint(high_nbrs_[e], nbins_),
+                                  mine_batch_.data(), dprime_batch_.data());
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    if (static_cast<double>(dprime_batch_[j]) >= bound) sink[j] += 1.0;
   }
 }
 
@@ -103,6 +136,7 @@ void H1DegreeOracle::eval_batch(std::span<const std::uint64_t> seeds,
 // ---- H2PaletteOracle. ----
 
 thread_local std::vector<std::uint32_t> H2PaletteOracle::pprime_;
+thread_local util::aligned_vector<std::uint32_t> H2PaletteOracle::pprime_batch_;
 
 H2PaletteOracle::H2PaletteOracle(const Graph& g, const D1lcInstance& inst,
                                  const std::vector<NodeId>& high,
@@ -125,7 +159,7 @@ std::optional<double> H2PaletteOracle::constant_cost(std::size_t item) const {
   return std::nullopt;
 }
 
-void H2PaletteOracle::begin_search(std::uint64_t /*num_seeds*/) {
+void H2PaletteOracle::begin_search(std::uint64_t num_seeds) {
   const std::size_t items = high_->size();
   item_bin_.resize(items);
   item_dprime_.assign(items, 0);
@@ -139,11 +173,14 @@ void H2PaletteOracle::begin_search(std::uint64_t /*num_seeds*/) {
       if ((*bin_of_)[u] == b) ++dprime;
     item_dprime_[i] = dprime;
   }
+  family_->params_table(num_seeds, pa_, pb_);
 }
 
 void H2PaletteOracle::end_search() {
   item_bin_.clear();
   item_dprime_.clear();
+  pa_.clear();
+  pb_.clear();
 }
 
 void H2PaletteOracle::eval_analytic(std::uint64_t first, std::size_t count,
@@ -160,6 +197,30 @@ void H2PaletteOracle::eval_analytic(std::uint64_t first, std::size_t count,
                      pa, pb, static_cast<std::uint64_t>(c), color_bins_) == b);
     }
     if (pprime <= dprime) sink[j] += 1.0;
+  }
+}
+
+void H2PaletteOracle::eval_members(std::uint64_t first, std::size_t count,
+                                   std::size_t item, double* sink) const {
+  if (pa_.empty() || first + count > pa_.size()) {
+    eval_analytic(first, count, item, sink);
+    return;
+  }
+  const NodeId v = (*high_)[item];
+  const std::uint32_t b = item_bin_[item];
+  if (b + 1 >= nbins_) return;  // last bin keeps everything
+  const std::uint32_t dprime = item_dprime_[item];
+  const std::uint64_t* pa = pa_.data() + first;
+  const std::uint64_t* pb = pb_.data() + first;
+  pprime_batch_.assign(count, 0);
+  for (Color c : inst_->palettes.palette(v)) {
+    util::simd::bucket_count_span(
+        pa, pb, count,
+        util::simd::HashPoint(static_cast<std::uint64_t>(c), color_bins_), b,
+        pprime_batch_.data());
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    if (pprime_batch_[j] <= dprime) sink[j] += 1.0;
   }
 }
 

@@ -3,8 +3,13 @@
 #include <algorithm>
 
 #include "pdc/util/parallel.hpp"
+#include "pdc/util/simd.hpp"
 
 namespace pdc::d1lc {
+
+thread_local util::aligned_vector<std::uint64_t> TrialOracle::bucket_batch_;
+thread_local util::aligned_vector<Color> TrialOracle::mine_batch_;
+thread_local util::aligned_vector<std::uint8_t> TrialOracle::clash_batch_;
 
 namespace {
 
@@ -87,6 +92,15 @@ std::optional<double> TrialOracle::constant_cost(std::size_t item) const {
   return std::nullopt;
 }
 
+void TrialOracle::begin_search(std::uint64_t num_seeds) {
+  family_->params_table(num_seeds, pa_, pb_);
+}
+
+void TrialOracle::end_search() {
+  pa_.clear();
+  pb_.clear();
+}
+
 Color TrialOracle::pick_params(std::uint64_t a, std::uint64_t b,
                                NodeId v) const {
   auto list = avail_->of(v);
@@ -110,6 +124,47 @@ void TrialOracle::eval_analytic(std::uint64_t first, std::size_t count,
     }
     if (!clash) sink[j] -= 1.0;
   }
+}
+
+void TrialOracle::eval_members(std::uint64_t first, std::size_t count,
+                               std::size_t item, double* sink) const {
+  if (pa_.empty() || first + count > pa_.size()) {
+    eval_analytic(first, count, item, sink);
+    return;
+  }
+  const NodeId v = (*items_)[item];
+  if (!(*active_)[v]) return;
+  const std::span<const Color> list_v = avail_->of(v);
+  if (list_v.empty()) return;
+  const std::uint64_t* a = pa_.data() + first;
+  const std::uint64_t* b = pb_.data() + first;
+  bucket_batch_.resize(count);
+  mine_batch_.resize(count);
+  clash_batch_.assign(count, 0);
+  util::simd::bucket_span(a, b, count,
+                          util::simd::HashPoint(v, list_v.size()),
+                          bucket_batch_.data());
+  const Color* lv = list_v.data();
+  PDC_PRAGMA_SIMD
+  for (std::size_t j = 0; j < count; ++j)
+    mine_batch_[j] = lv[bucket_batch_[j]];
+  for (NodeId u : g_->neighbors(v)) {
+    if (!(*active_)[u]) continue;
+    const std::span<const Color> list_u = avail_->of(u);
+    // An empty-availability neighbor picks kNoColor, which can never
+    // equal v's (real) pick — same skip the scalar path takes inside
+    // pick_params.
+    if (list_u.empty()) continue;
+    util::simd::bucket_span(a, b, count,
+                            util::simd::HashPoint(u, list_u.size()),
+                            bucket_batch_.data());
+    const Color* lu = list_u.data();
+    PDC_PRAGMA_SIMD
+    for (std::size_t j = 0; j < count; ++j)
+      clash_batch_[j] |= (lu[bucket_batch_[j]] == mine_batch_[j]);
+  }
+  for (std::size_t j = 0; j < count; ++j)
+    if (!clash_batch_[j]) sink[j] -= 1.0;
 }
 
 void TrialOracle::begin_sweep(std::span<const std::uint64_t> seeds) {

@@ -43,6 +43,14 @@
 
 namespace pdc::derand {
 
+/// Footprint ceiling shared by every estimator draw table — the flat
+/// per-(member, node) SoA tables the concrete estimators build in
+/// prepare() (and util::SoaTable enforces again at reset time). 2^28
+/// entries is ~2 GiB of Color; past that prepare() refuses instead of
+/// silently exhausting memory, and callers must search fewer members
+/// at a time.
+inline constexpr std::uint64_t kMaxEstimatorTableEntries = 1ULL << 28;
+
 /// A BitSourceFactory that routes every node to its assigned chunk —
 /// the Lemma-10 discipline (nodes within distance 4τ read disjoint
 /// chunks). Shared by the simulating oracle, the commit replay and the
@@ -111,6 +119,21 @@ class PessimisticEstimator {
   /// defer to term_from_source (correct for any estimator; concrete
   /// estimators override with their table fast path).
   virtual double term(std::uint64_t member, NodeId v) const;
+
+  /// Batched counterpart: ADDS term(member_first + j, v) into sink[j]
+  /// for j in [0, member_count) — the estimator half of the
+  /// AnalyticOracle::eval_members contract, same exactness rule (the
+  /// per-member terms must be bit-identical to term(); terms are
+  /// integers, so vectorized accumulation cannot reassociate them into
+  /// different doubles). Default loops term(); the concrete estimators
+  /// override with member-major SIMD sweeps over their node-major draw
+  /// tables.
+  virtual void term_batch(std::uint64_t member_first,
+                          std::size_t member_count, NodeId v,
+                          double* sink) const {
+    for (std::size_t j = 0; j < member_count; ++j)
+      sink[j] += term(member_first + j, v);
+  }
 
   /// Seed-constant classification: the term's value when it is the
   /// same for every member (a non-participant, a degree-exempt node,
@@ -183,6 +206,14 @@ class SspEstimatorOracle final : public engine::PrefixOracle {
     const NodeId v = static_cast<NodeId>(item);
     for (std::size_t j = 0; j < count; ++j)
       sink[j] += est_->term(first + j, v);
+  }
+
+  /// SIMD member-major path: one term_batch sweep over the estimator's
+  /// node-major draw tables (bit-identical to the scalar loop above by
+  /// the term_batch contract).
+  void eval_members(std::uint64_t first, std::size_t count, std::size_t item,
+                    double* sink) const override {
+    est_->term_batch(first, count, static_cast<NodeId>(item), sink);
   }
 
  private:

@@ -74,6 +74,29 @@ class AnalyticOracle : public CostOracle {
   virtual void eval_analytic(std::uint64_t first, std::size_t count,
                              std::size_t item, double* sink) const = 0;
 
+  /// Batched member-major evaluation: semantically identical to
+  /// eval_analytic (add cost(member_first + j, item) into sink[j] for
+  /// j in [0, member_count)), but the engine's preferred entry point
+  /// for whole member subgrids — implementations vectorize the member
+  /// loop in SIMD lanes over structure-of-arrays invariants
+  /// (pdc/util/simd.hpp, pdc/util/aligned.hpp). The default forwards
+  /// to eval_analytic, so existing oracles keep working unchanged.
+  ///
+  /// Exactness contract, same as eval_analytic's: eval_members must
+  /// equal eval_analytic bit for bit for every (member, item) — the
+  /// vectorized kernels re-derive the identical arithmetic, they never
+  /// reassociate floating-point sums or approximate the hash. That is
+  /// what keeps Selections bit-identical when the engine routes blocks
+  /// through this entry point on either backend
+  /// (SearchOptions::use_batched_members forces the scalar path for
+  /// differential tests; tests/test_simd_planes.cpp compares the two
+  /// at member counts straddling the lane width).
+  virtual void eval_members(std::uint64_t member_first,
+                            std::size_t member_count, std::size_t item,
+                            double* sink) const {
+    eval_analytic(member_first, member_count, item, sink);
+  }
+
   /// Enumerating fallback derived from the closed forms, so a purely
   /// analytic oracle satisfies the CostOracle contract without a
   /// second implementation (production oracles typically override this

@@ -322,6 +322,12 @@ struct SearchOptions {
   /// bit-identical either way for integer-valued oracles (the
   /// PrefixOracle exactness contract).
   bool use_prefix = true;
+  /// Route analytic blocks through AnalyticOracle::eval_members (the
+  /// SIMD member-major entry point) instead of the scalar
+  /// eval_analytic. false forces the scalar path — differential tests
+  /// and the bench_planes scalar leg only; the Selections are
+  /// bit-identical either way (the eval_members exactness contract).
+  bool use_batched_members = true;
 };
 
 /// Resolves SearchOptions::max_batch against an oracle's item count.

@@ -67,9 +67,12 @@ double PrefixOracle::eval_prefix(std::uint64_t prefix, int bits_fixed,
   if (cum.empty()) {
     // First touch: materialize the item's completion sums — one junta
     // evaluation per member, the only formula work this item ever pays.
+    // Filled through eval_members (the SIMD member-major entry point);
+    // its exactness contract keeps the cumulative sums bit-identical
+    // to a scalar eval_analytic fill.
     const std::size_t m = static_cast<std::size_t>(walk_members_);
     std::vector<double> costs(m, 0.0);
-    eval_analytic(0, m, item, costs.data());
+    eval_members(0, m, item, costs.data());
     junta_evals_.fetch_add(m, std::memory_order_relaxed);
     cum.resize(m + 1);
     cum[0] = 0.0;

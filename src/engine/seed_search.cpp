@@ -260,14 +260,21 @@ std::vector<double> SeedSearch::compute_totals(std::uint64_t num_seeds,
       },
       [&](std::uint64_t first, std::size_t count, double* out) {
         AnalyticOracle* an = oracle_->as_analytic();
+        const bool batched = opt_.use_batched_members;
         if (items == 1) {
           parallel_for(count, [&](std::size_t k) {
             an->eval_analytic(first + k, 1, 0, out + k);
           });
         } else {
+          // eval_members is the SIMD member-major entry point; its
+          // default forwards to eval_analytic, and the exactness
+          // contract keeps the totals bit-identical either way.
           parallel_accumulate(items, count, out,
                               [&](std::size_t item, double* sink) {
-                                an->eval_analytic(first, count, item, sink);
+                                if (batched)
+                                  an->eval_members(first, count, item, sink);
+                                else
+                                  an->eval_analytic(first, count, item, sink);
                               });
         }
       });

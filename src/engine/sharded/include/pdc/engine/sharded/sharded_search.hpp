@@ -56,7 +56,13 @@ namespace pdc::engine::sharded {
 /// objective admits.
 class ShardedOracle {
  public:
-  ShardedOracle(CostOracle& oracle, const ShardPlan& plan, int frac_bits);
+  /// `use_batched_members` routes the analytic shard path through
+  /// AnalyticOracle::eval_members (the SIMD member-major entry point);
+  /// false forces scalar eval_analytic — differential tests only, the
+  /// Selections are bit-identical either way (the eval_members
+  /// exactness contract).
+  ShardedOracle(CostOracle& oracle, const ShardPlan& plan, int frac_bits,
+                bool use_batched_members = true);
 
   void begin_sweep(std::span<const std::uint64_t> seeds) {
     oracle_->begin_sweep(seeds);
@@ -109,6 +115,7 @@ class ShardedOracle {
   CostOracle* oracle_;
   const ShardPlan* plan_;
   int frac_bits_;
+  bool use_batched_members_;
   mutable std::atomic<bool> off_grid_{false};
 };
 

@@ -32,8 +32,9 @@ class PhaseGuard {
 }  // namespace
 
 ShardedOracle::ShardedOracle(CostOracle& oracle, const ShardPlan& plan,
-                             int frac_bits)
-    : oracle_(&oracle), plan_(&plan), frac_bits_(frac_bits) {
+                             int frac_bits, bool use_batched_members)
+    : oracle_(&oracle), plan_(&plan), frac_bits_(frac_bits),
+      use_batched_members_(use_batched_members) {
   PDC_CHECK(frac_bits >= 0 && frac_bits <= 32);
 }
 
@@ -96,9 +97,14 @@ void ShardedOracle::eval_shard_analytic(mpc::MachineId m, std::uint64_t first,
   std::vector<double> buf(count);
   for (std::uint32_t item : plan_->items_of(m)) {
     // Per-item encode keeps the shard sum an exact integer sum, exactly
-    // as in the enumerating eval_shard.
+    // as in the enumerating eval_shard. eval_members is the SIMD
+    // member-major entry point; its exactness contract keeps the
+    // fixed-point partials bit-identical to the scalar path.
     std::fill(buf.begin(), buf.end(), 0.0);
-    an->eval_analytic(first, count, item, buf.data());
+    if (use_batched_members_)
+      an->eval_members(first, count, item, buf.data());
+    else
+      an->eval_analytic(first, count, item, buf.data());
     for (std::size_t k = 0; k < count; ++k)
       sink[k] += encode_checked(buf[k]);
   }
@@ -131,7 +137,8 @@ ShardedSeedSearch::ShardedSeedSearch(CostOracle& oracle,
                                      ShardedOptions opt)
     : oracle_(&oracle), cluster_(&cluster), opt_(opt),
       plan_(ShardPlan::make(oracle.item_count(), cluster.config())),
-      adapter_(oracle, plan_, opt.frac_bits) {}
+      adapter_(oracle, plan_, opt.frac_bits,
+               opt.search.use_batched_members) {}
 
 std::vector<double> ShardedSeedSearch::compute_totals(std::uint64_t num_seeds,
                                                       SearchStats& stats) {

@@ -8,36 +8,61 @@ namespace pdc {
 
 Graph Graph::from_edges(NodeId n,
                         std::vector<std::pair<NodeId, NodeId>> edges) {
-  // Symmetrize, drop self-loops, sort, dedup.
-  std::vector<std::pair<NodeId, NodeId>> dir;
-  dir.reserve(edges.size() * 2);
-  for (auto [u, v] : edges) {
-    PDC_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
-    if (u == v) continue;
-    dir.emplace_back(u, v);
-    dir.emplace_back(v, u);
-  }
-  std::sort(dir.begin(), dir.end());
-  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
-
+  // Count-degrees / prefix-sum / scatter, then per-node sort + dedup in
+  // place. The old builder materialized and globally sorted a doubled
+  // (u, v)/(v, u) pair list — a ~3x peak over the CSR itself on large
+  // inputs; this one allocates the adjacency once, up front, and never
+  // holds more than input + CSR.
   Graph g;
   g.n_ = n;
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (auto [u, v] : dir) g.offsets_[u + 1]++;
+  for (auto [u, v] : edges) {
+    PDC_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    g.offsets_[u + 1]++;
+    g.offsets_[v + 1]++;
+  }
   for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
-  g.adjacency_.resize(dir.size());
+  g.adjacency_.resize(g.offsets_[n]);
   {
     std::vector<std::uint64_t> cursor(g.offsets_.begin(),
                                       g.offsets_.end() - 1);
-    for (auto [u, v] : dir) g.adjacency_[cursor[u]++] = v;
+    for (auto [u, v] : edges) {
+      if (u == v) continue;
+      g.adjacency_[cursor[u]++] = v;
+      g.adjacency_[cursor[v]++] = u;
+    }
   }
+  edges.clear();
+  edges.shrink_to_fit();
+  // Sort each neighbor list, drop duplicate edges, compact leftward.
+  std::uint64_t write = 0;
+  std::uint64_t read_lo = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t read_hi = g.offsets_[v + 1];
+    const auto first = g.adjacency_.begin() +
+                       static_cast<std::ptrdiff_t>(read_lo);
+    const auto last = g.adjacency_.begin() +
+                      static_cast<std::ptrdiff_t>(read_hi);
+    std::sort(first, last);
+    const auto uniq = std::unique(first, last);
+    g.offsets_[v] = write;  // after read_lo is captured for this node
+    // write <= read_lo, so the forward copy never overtakes its source.
+    write = static_cast<std::uint64_t>(
+        std::copy(first, uniq,
+                  g.adjacency_.begin() + static_cast<std::ptrdiff_t>(write)) -
+        g.adjacency_.begin());
+    read_lo = read_hi;
+  }
+  g.offsets_[n] = write;
+  g.adjacency_.resize(write);
   for (NodeId v = 0; v < n; ++v)
     g.max_degree_ = std::max(g.max_degree_, g.degree(v));
   return g;
 }
 
-Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
-                      std::vector<NodeId> adjacency) {
+Graph Graph::from_csr(std::vector<std::uint64_t>&& offsets,
+                      std::vector<NodeId>&& adjacency) {
   Graph g;
   PDC_CHECK(!offsets.empty());
   g.n_ = static_cast<NodeId>(offsets.size() - 1);

@@ -23,14 +23,18 @@ class Graph {
   Graph() = default;
 
   /// Builds from an undirected edge list. Self-loops are dropped and
-  /// duplicate edges collapsed; endpoints must be < n.
+  /// duplicate edges collapsed; endpoints must be < n. The adjacency is
+  /// allocated once, up front, and filled by count/scatter — no doubled
+  /// edge-list copy.
   static Graph from_edges(NodeId n,
                           std::vector<std::pair<NodeId, NodeId>> edges);
 
   /// Builds directly from CSR arrays (adjacency must be symmetric,
-  /// per-node sorted, no self-loops). Checked in debug builds.
-  static Graph from_csr(std::vector<std::uint64_t> offsets,
-                        std::vector<NodeId> adjacency);
+  /// per-node sorted, no self-loops). Checked in debug builds. Takes
+  /// the arrays by move — multi-GB CSRs must not be copied anywhere on
+  /// this chain; callers hand ownership over explicitly.
+  static Graph from_csr(std::vector<std::uint64_t>&& offsets,
+                        std::vector<NodeId>&& adjacency);
 
   NodeId num_nodes() const { return n_; }
   std::uint64_t num_edges() const { return adjacency_.size() / 2; }

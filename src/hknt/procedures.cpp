@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "pdc/util/aligned.hpp"
 #include "pdc/util/parallel.hpp"
+#include "pdc/util/simd.hpp"
 
 namespace pdc::hknt {
 
@@ -135,10 +137,12 @@ class LocalDrawEstimator : public derand::PessimisticEstimator {
   }
 
   /// Guard against absurd table footprints (estimator searches are
-  /// meant for the enumerable Lemma-10 seed spaces).
+  /// meant for the enumerable Lemma-10 seed spaces). Shares
+  /// derand::kMaxEstimatorTableEntries with the SoaTable builder, which
+  /// re-checks the padded footprint at reset time.
   void check_table_budget(std::uint64_t entries_per_member) const {
-    constexpr std::uint64_t kMaxEntries = 1ULL << 28;
-    PDC_CHECK_MSG(ctx().num_members * entries_per_member <= kMaxEntries,
+    PDC_CHECK_MSG(ctx().num_members * entries_per_member <=
+                      derand::kMaxEstimatorTableEntries,
                   "estimator draw tables would need "
                       << ctx().num_members << " x " << entries_per_member
                       << " entries; use fewer seed bits or "
@@ -162,13 +166,29 @@ class TryRandomColorEstimator final : public LocalDrawEstimator {
 
   double term(std::uint64_t member, NodeId v) const override {
     if (!counted_[v]) return 0.0;
-    const NodeId n = static_cast<NodeId>(part_.size());
-    const Color pv = pick_[member * n + v];
+    const Color pv = pick_.row(v)[member];
     if (pv == kNoColor) return 1.0;
     double t = 0.0;
     for (NodeId u : ctx().state->graph().neighbors(v))
-      if (pick_[member * n + u] == pv) t += 1.0;
+      if (pick_.row(u)[member] == pv) t += 1.0;
     return t;
+  }
+
+  void term_batch(std::uint64_t first, std::size_t count, NodeId v,
+                  double* sink) const override {
+    if (!counted_[v]) return;
+    const Color* pv = pick_.row(v) + first;
+    static thread_local util::aligned_vector<std::uint32_t> acc;
+    acc.assign(count, 0);
+    for (NodeId u : ctx().state->graph().neighbors(v)) {
+      const Color* pu = pick_.row(u) + first;
+      PDC_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) acc[j] += (pu[j] == pv[j]);
+    }
+    // acc counts kNoColor == kNoColor matches too, but those lanes take
+    // the empty-draw branch — exactly term()'s ordering.
+    for (std::size_t j = 0; j < count; ++j)
+      sink[j] += (pv[j] == kNoColor) ? 1.0 : static_cast<double>(acc[j]);
   }
 
   double term_from_source(const ColoringState& s,
@@ -197,12 +217,17 @@ class TryRandomColorEstimator final : public LocalDrawEstimator {
   void build_tables(const ColoringState&) override {
     const NodeId n = static_cast<NodeId>(part_.size());
     check_table_budget(n);
-    pick_.assign(ctx().num_members * n, kNoColor);
-    parallel_for(ctx().num_members, [&](std::size_t m) {
-      for (NodeId v = 0; v < n; ++v) {
-        if (!part_[v] || avail_[v].empty()) continue;
+    // Node-major structure of arrays: row v holds v's pick under every
+    // member, so term_batch streams contiguous per-member runs.
+    pick_.reset(n, ctx().num_members, kNoColor,
+                derand::kMaxEstimatorTableEntries, "TryRandomColor picks");
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if (!part_[v] || avail_[v].empty()) return;
+      Color* row = pick_.row(v);
+      for (std::uint64_t m = 0; m < ctx().num_members; ++m) {
         BitStream bs = node_stream(m, v);
-        pick_[m * n + v] = avail_[v][bs.below(avail_[v].size())];
+        row[m] = avail_[v][bs.below(avail_[v].size())];
       }
     });
   }
@@ -211,7 +236,7 @@ class TryRandomColorEstimator final : public LocalDrawEstimator {
  private:
   HkntConfig cfg_;
   TryRandomColorProc::Ssp ssp_;
-  std::vector<Color> pick_;  // members x n; kNoColor = no/empty draw
+  util::SoaTable<Color> pick_;  // row v = member-major picks; kNoColor = none
 };
 
 /// GenerateSlack: term = [not sampled] + [sampled, draw empty] +
@@ -223,14 +248,33 @@ class GenerateSlackEstimator final : public LocalDrawEstimator {
 
   double term(std::uint64_t member, NodeId v) const override {
     if (!counted_[v]) return 0.0;
-    const NodeId n = static_cast<NodeId>(part_.size());
-    if (!sampled_[member * n + v]) return 1.0;
-    const Color pv = pick_[member * n + v];
+    if (!sampled_.row(v)[member]) return 1.0;
+    const Color pv = pick_.row(v)[member];
     if (pv == kNoColor) return 1.0;
     double t = 0.0;
     for (NodeId u : ctx().state->graph().neighbors(v))
-      if (pick_[member * n + u] == pv) t += 1.0;
+      if (pick_.row(u)[member] == pv) t += 1.0;
     return t;
+  }
+
+  void term_batch(std::uint64_t first, std::size_t count, NodeId v,
+                  double* sink) const override {
+    if (!counted_[v]) return;
+    const std::uint8_t* sv = sampled_.row(v) + first;
+    const Color* pv = pick_.row(v) + first;
+    static thread_local util::aligned_vector<std::uint32_t> acc;
+    acc.assign(count, 0);
+    for (NodeId u : ctx().state->graph().neighbors(v)) {
+      const Color* pu = pick_.row(u) + first;
+      PDC_PRAGMA_SIMD
+      for (std::size_t j = 0; j < count; ++j) acc[j] += (pu[j] == pv[j]);
+    }
+    // Unsampled neighbors hold kNoColor, which never matches a real
+    // pick; lanes where v itself is unsampled or drew nothing take the
+    // constant-1 branch — term()'s ordering exactly.
+    for (std::size_t j = 0; j < count; ++j)
+      sink[j] += (!sv[j] || pv[j] == kNoColor) ? 1.0
+                                               : static_cast<double>(acc[j]);
   }
 
   double term_from_source(const ColoringState& s,
@@ -260,16 +304,21 @@ class GenerateSlackEstimator final : public LocalDrawEstimator {
   void build_tables(const ColoringState&) override {
     const NodeId n = static_cast<NodeId>(part_.size());
     check_table_budget(n);
-    sampled_.assign(ctx().num_members * n, 0);
-    pick_.assign(ctx().num_members * n, kNoColor);
-    parallel_for(ctx().num_members, [&](std::size_t m) {
-      for (NodeId v = 0; v < n; ++v) {
-        if (!part_[v]) continue;
+    sampled_.reset(n, ctx().num_members, 0, derand::kMaxEstimatorTableEntries,
+                   "GenerateSlack sampling");
+    pick_.reset(n, ctx().num_members, kNoColor,
+                derand::kMaxEstimatorTableEntries, "GenerateSlack picks");
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      if (!part_[v]) return;
+      std::uint8_t* srow = sampled_.row(v);
+      Color* prow = pick_.row(v);
+      for (std::uint64_t m = 0; m < ctx().num_members; ++m) {
         BitStream bs = node_stream(m, v);
         if (!bs.coin(cfg_.sample_num, cfg_.sample_den)) continue;
-        sampled_[m * n + v] = 1;
+        srow[m] = 1;
         if (!avail_[v].empty())
-          pick_[m * n + v] = avail_[v][bs.below(avail_[v].size())];
+          prow[m] = avail_[v][bs.below(avail_[v].size())];
       }
     });
   }
@@ -280,8 +329,8 @@ class GenerateSlackEstimator final : public LocalDrawEstimator {
 
  private:
   HkntConfig cfg_;
-  std::vector<std::uint8_t> sampled_;  // members x n
-  std::vector<Color> pick_;            // members x n; kNoColor if unsampled
+  util::SoaTable<std::uint8_t> sampled_;  // row v = member-major coin flips
+  util::SoaTable<Color> pick_;  // row v = member-major picks; kNoColor if none
 };
 
 /// MultiTrial(x): term = [no draws] + ceil(#{(c, u) collisions} / k_v)
@@ -299,16 +348,53 @@ class MultiTrialEstimator final : public LocalDrawEstimator {
     if (!counted_[v]) return 0.0;
     const std::uint32_t kv = k_[v];
     if (kv == 0) return 1.0;
-    const Color* pv = &picks_[member * total_k_ + off_[v]];
     std::uint64_t s = 0;
     for (std::uint32_t i = 0; i < kv; ++i) {
+      const Color c = picks_.row(off_[v] + i)[member];
       for (NodeId u : ctx().state->graph().neighbors(v)) {
-        if (k_[u] == 0) continue;  // non-participant or empty draw
-        const Color* pu = &picks_[member * total_k_ + off_[u]];
-        if (std::binary_search(pu, pu + k_[u], pv[i])) ++s;
+        const std::uint32_t ku = k_[u];
+        if (ku == 0) continue;  // non-participant or empty draw
+        // Draws are distinct, so the membership scan counts at most one
+        // hit per (i, u) — same as the binary search it replaces.
+        for (std::uint32_t t = 0; t < ku; ++t) {
+          if (picks_.row(off_[u] + t)[member] == c) {
+            ++s;
+            break;
+          }
+        }
       }
     }
     return static_cast<double>((s + kv - 1) / kv);
+  }
+
+  void term_batch(std::uint64_t first, std::size_t count, NodeId v,
+                  double* sink) const override {
+    if (!counted_[v]) return;
+    const std::uint32_t kv = k_[v];
+    if (kv == 0) {
+      for (std::size_t j = 0; j < count; ++j) sink[j] += 1.0;
+      return;
+    }
+    static thread_local util::aligned_vector<std::uint32_t> s;
+    static thread_local util::aligned_vector<std::uint8_t> eq;
+    s.assign(count, 0);
+    for (std::uint32_t i = 0; i < kv; ++i) {
+      const Color* pv = picks_.row(off_[v] + i) + first;
+      for (NodeId u : ctx().state->graph().neighbors(v)) {
+        const std::uint32_t ku = k_[u];
+        if (ku == 0) continue;
+        eq.assign(count, 0);
+        for (std::uint32_t t = 0; t < ku; ++t) {
+          const Color* pu = picks_.row(off_[u] + t) + first;
+          PDC_PRAGMA_SIMD
+          for (std::size_t j = 0; j < count; ++j) eq[j] |= (pu[j] == pv[j]);
+        }
+        PDC_PRAGMA_SIMD
+        for (std::size_t j = 0; j < count; ++j) s[j] += eq[j];
+      }
+    }
+    for (std::size_t j = 0; j < count; ++j)
+      sink[j] += static_cast<double>((s[j] + kv - 1) / kv);
   }
 
   double term_from_source(const ColoringState& st,
@@ -349,18 +435,24 @@ class MultiTrialEstimator final : public LocalDrawEstimator {
       }
     }
     check_table_budget(total_k_);
-    picks_.assign(ctx().num_members * total_k_, kNoColor);
-    parallel_for(ctx().num_members, [&](std::size_t m) {
+    // Node-major structure of arrays: row off_[v] + i holds v's i-th
+    // (sorted) draw under every member.
+    picks_.reset(static_cast<std::size_t>(total_k_), ctx().num_members,
+                 kNoColor, derand::kMaxEstimatorTableEntries,
+                 "MultiTrial picks");
+    parallel_for(n, [&](std::size_t vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      const std::uint32_t kv = k_[v];
+      if (kv == 0) return;
       std::vector<Color> scratch;
-      for (NodeId v = 0; v < n; ++v) {
-        if (k_[v] == 0) continue;
+      for (std::uint64_t m = 0; m < ctx().num_members; ++m) {
         BitStream bs = node_stream(m, v);
         // Replay sample_available_distinct exactly: no bits consumed
         // when the whole list is taken, partial Fisher-Yates + sort
         // otherwise.
-        Color* out = &picks_[m * total_k_ + off_[v]];
         if (avail_[v].size() <= x_) {
-          std::copy(avail_[v].begin(), avail_[v].end(), out);
+          for (std::uint32_t i = 0; i < kv; ++i)
+            picks_.row(off_[v] + i)[m] = avail_[v][i];
           continue;
         }
         scratch = avail_[v];
@@ -368,8 +460,9 @@ class MultiTrialEstimator final : public LocalDrawEstimator {
           std::uint64_t j = i + bs.below(scratch.size() - i);
           std::swap(scratch[i], scratch[j]);
         }
-        std::copy(scratch.begin(), scratch.begin() + k_[v], out);
-        std::sort(out, out + k_[v]);
+        std::sort(scratch.begin(), scratch.begin() + kv);
+        for (std::uint32_t i = 0; i < kv; ++i)
+          picks_.row(off_[v] + i)[m] = scratch[i];
       }
     });
   }
@@ -383,10 +476,10 @@ class MultiTrialEstimator final : public LocalDrawEstimator {
  private:
   HkntConfig cfg_;
   std::uint32_t x_;
-  std::vector<std::uint32_t> off_;  // node -> offset into a member's row
+  std::vector<std::uint32_t> off_;  // node -> first row of its draw block
   std::vector<std::uint32_t> k_;    // node -> draws per member (fixed)
   std::uint64_t total_k_ = 0;
-  std::vector<Color> picks_;  // members x total_k_, sorted per node
+  util::SoaTable<Color> picks_;  // row off_[v]+i = member-major i-th draws
 };
 
 }  // namespace

@@ -1,0 +1,130 @@
+#pragma once
+// 64-byte-aligned storage for the SIMD formula-plane tables.
+//
+// The batched member evaluators (AnalyticOracle::eval_members and the
+// estimator term_batch fast paths) stream contiguous per-member runs
+// through `omp simd` / AVX2 lanes. Two layout properties make those
+// loops profitable: every table row starts on a cache-line boundary
+// (so vector loads never split lines and adjacent rows never false-
+// share between the engine's item threads), and rows of a
+// structure-of-arrays table are padded to whole lines (so a row's
+// length is always a multiple of the lane width for the element type).
+// aligned_vector supplies the storage; SoaTable supplies the row
+// discipline plus the footprint guard shared with the estimator draw
+// tables (pdc/derand/estimator.hpp names the budget constant).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal allocator giving every allocation `Alignment`-byte alignment
+/// (std::vector's default allocator only guarantees alignof(T)).
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T));
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Row stride (in elements) that pads `row_len` up to whole cache
+/// lines, so consecutive rows stay line-aligned inside one allocation.
+template <typename T>
+constexpr std::size_t aligned_stride(std::size_t row_len) {
+  static_assert(kCacheLineBytes % sizeof(T) == 0,
+                "element size must divide the cache line");
+  constexpr std::size_t per_line = kCacheLineBytes / sizeof(T);
+  return (row_len + per_line - 1) / per_line * per_line;
+}
+
+/// Structure-of-arrays table: `rows` logical rows of `row_len` entries
+/// each, every row padded to a cache-line boundary. The padded
+/// footprint is checked against `max_entries` before allocation (the
+/// estimator tables pass pdc::derand::kMaxEstimatorTableEntries), so a
+/// search that would materialize an absurd table refuses up front
+/// instead of exhausting memory.
+template <typename T>
+class SoaTable {
+ public:
+  SoaTable() = default;
+
+  SoaTable(std::size_t rows, std::size_t row_len, T fill,
+           std::uint64_t max_entries, const char* what) {
+    reset(rows, row_len, fill, max_entries, what);
+  }
+
+  void reset(std::size_t rows, std::size_t row_len, T fill,
+             std::uint64_t max_entries, const char* what) {
+    rows_ = rows;
+    row_len_ = row_len;
+    stride_ = aligned_stride<T>(row_len);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(stride_);
+    PDC_CHECK_MSG(total <= max_entries,
+                  what << ": table would need " << rows << " x " << stride_
+                       << " = " << total << " entries (budget " << max_entries
+                       << "); use fewer members or items");
+    data_.assign(static_cast<std::size_t>(total), fill);
+  }
+
+  void clear() {
+    rows_ = 0;
+    row_len_ = 0;
+    stride_ = 0;
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  T* row(std::size_t r) { return data_.data() + r * stride_; }
+  const T* row(std::size_t r) const { return data_.data() + r * stride_; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t row_len() const { return row_len_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t row_len_ = 0;
+  std::size_t stride_ = 0;
+  aligned_vector<T> data_;
+};
+
+}  // namespace pdc::util

@@ -1,0 +1,87 @@
+#pragma once
+// Machine-readable bench output: a tiny JSON-array writer for the
+// microbenches' --json <path> flag. Each record is one flat object of
+// string / number fields ({plane, terms_per_sec, wall_ms} for
+// bench_planes; per-row experiment records for the E-series benches),
+// so CI and plotting scripts can consume throughput gates without
+// scraping the human tables.
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdc/util/check.hpp"
+
+namespace pdc::util {
+
+class BenchJson {
+ public:
+  /// Starts a new record; subsequent field() calls attach to it.
+  BenchJson& obj() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  BenchJson& field(const std::string& name, const std::string& value) {
+    return put(name, quote(value));
+  }
+  BenchJson& field(const std::string& name, const char* value) {
+    return put(name, quote(value));
+  }
+  BenchJson& field(const std::string& name, double value) {
+    std::ostringstream os;
+    os << value;
+    return put(name, os.str());
+  }
+  BenchJson& field(const std::string& name, std::uint64_t value) {
+    return put(name, std::to_string(value));
+  }
+  BenchJson& field(const std::string& name, std::int64_t value) {
+    return put(name, std::to_string(value));
+  }
+  BenchJson& field(const std::string& name, bool value) {
+    return put(name, value ? "true" : "false");
+  }
+
+  /// Writes every record as a JSON array to `path`.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    PDC_CHECK_MSG(out.good(), "cannot open --json path " << path);
+    out << "[\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << "  {";
+      for (std::size_t f = 0; f < records_[r].size(); ++f) {
+        if (f) out << ", ";
+        out << quote(records_[r][f].first) << ": " << records_[r][f].second;
+      }
+      out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+  bool empty() const { return records_.empty(); }
+
+ private:
+  BenchJson& put(const std::string& name, std::string rendered) {
+    PDC_CHECK_MSG(!records_.empty(), "BenchJson::field before obj()");
+    records_.back().emplace_back(name, std::move(rendered));
+    return *this;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+}  // namespace pdc::util

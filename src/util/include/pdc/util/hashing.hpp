@@ -9,10 +9,12 @@
 // outputs and have seeds of k field elements — small enough to enumerate
 // or to search with the method of conditional expectations.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "pdc/util/aligned.hpp"
 #include "pdc/util/check.hpp"
 #include "pdc/util/rng.hpp"
 
@@ -133,6 +135,34 @@ class EnumerablePairwiseFamily {
                      std::uint64_t m) const {
     auto [a, b] = params(index);
     return eval_params(a, b, x, m);
+  }
+
+  /// Ceiling on the structure-of-arrays params tables below: 2^22
+  /// members is 2 x 32 MiB, past which the batched oracles fall back
+  /// to scalar evaluation rather than trade the cache for a table.
+  static constexpr std::uint64_t kMaxParamTableMembers = 1ULL << 22;
+
+  /// Materializes the (a, b) params of members [0, n) into 64-byte-
+  /// aligned structure-of-arrays tables, n clamped to size(). The
+  /// batched (eval_members) oracles build this once per search so the
+  /// member-major inner loops read contiguous params instead of
+  /// re-deriving mix64 chains per (item, member). Leaves both tables
+  /// empty — the callers' scalar-fallback signal — when the table
+  /// would exceed kMaxParamTableMembers.
+  void params_table(std::uint64_t n,
+                    util::aligned_vector<std::uint64_t>& pa,
+                    util::aligned_vector<std::uint64_t>& pb) const {
+    pa.clear();
+    pb.clear();
+    n = std::min(n, size());
+    if (n > kMaxParamTableMembers) return;
+    pa.resize(static_cast<std::size_t>(n));
+    pb.resize(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto [a, b] = params(i);
+      pa[static_cast<std::size_t>(i)] = a;
+      pb[static_cast<std::size_t>(i)] = b;
+    }
   }
 
   // ---- Idealized pairwise-independent expectations (closed forms). ----

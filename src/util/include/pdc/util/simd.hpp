@@ -1,0 +1,219 @@
+#pragma once
+// SIMD kernels for the formula planes.
+//
+// The batched member evaluators (AnalyticOracle::eval_members) stream a
+// contiguous run of family members through one junta point at a time:
+// for members j in a block, compute bucket_j = ((a_j·x + b_j) mod p · m)
+// >> 61 and compare against a reference. This header provides that
+// bucket computation in three forms sharing one 64-bit-only derivation:
+//
+//   * bucket_span       — fill out[j] with the bucket of (a_j, b_j);
+//   * bucket_match_span — acc[j] += (bucket_j == ref[j])  (h1's d');
+//   * bucket_count_span — acc[j] += (bucket_j == target)  (h2's p').
+//
+// The portable member loops use the same one-mulx 128-bit arithmetic
+// as eval_params — their speedup over the scalar oracle paths comes
+// from the hoisted junta point, the precomputed params tables and the
+// independent (hence pipelineable) member iterations, not from vector
+// units. Under -DPDC_ENABLE_AVX2 (CMake option, adds -mavx2) the three
+// entry points instead dispatch to 4-lane AVX2 kernels built from
+// _mm256_mul_epu32 partial products, since x86 has no 64×64→128
+// vector multiply.
+//
+// Bit-identity is the hard contract: every path — scalar eval_params,
+// bucket_one, and the AVX2 lanes — produces the exact same bucket for
+// every (a, b, x, m). The AVX2 derivation: with p = 2^61-1, split
+// a = a_hi·2^32 + a_lo and x = x_hi·2^32 + x_lo (all operands
+// canonical, < p), so a·x = hi_hi·2^64 + mid·2^32 + lo_lo with
+// hi_hi = a_hi·x_hi < 2^58, mid = a_lo·x_hi + a_hi·x_lo < 2^62,
+// lo_lo = a_lo·x_lo < 2^64. Reducing each power of two mod p
+// (2^61 ≡ 1, hence 2^64 ≡ 8 and mid·2^32 ≡ (mid mod 2^29)·2^32 +
+// (mid >> 29)) gives a partial sum < 2^63; two folds and one
+// conditional subtract land in [0, p), matching MersenneField::mul's
+// canonical output exactly. The multiply-shift bucket (v·m) >> 61 for
+// v < 2^61, m < 2^32 is ((v_hi·m + (v_lo·m >> 32)) >> 29) — exact, no
+// 128-bit product needed. tests/test_simd_planes.cpp property-checks
+// the identity against EnumerablePairwiseFamily::eval_params on both
+// compiled paths.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pdc/util/check.hpp"
+#include "pdc/util/hashing.hpp"
+
+#if defined(PDC_ENABLE_AVX2) && defined(__AVX2__)
+#define PDC_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+#if defined(_OPENMP)
+#define PDC_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define PDC_PRAGMA_SIMD
+#endif
+
+namespace pdc::util::simd {
+
+/// One junta point prepared for batched hashing: x reduced mod p and
+/// split into 32-bit halves, with the bucket range m. Hoisting this out
+/// of the member loop is what the batched entry points buy — the scalar
+/// path redoes the reduction per (member, point) pair.
+struct HashPoint {
+  std::uint64_t x_lo = 0;
+  std::uint64_t x_hi = 0;
+  std::uint64_t m = 1;
+
+  HashPoint() = default;
+  HashPoint(std::uint64_t x, std::uint64_t m_in) {
+    const std::uint64_t xr = x % MersenneField::kPrime;
+    x_lo = xr & 0xFFFFFFFFULL;
+    x_hi = xr >> 32;
+    m = m_in;
+    // The 64-bit multiply-shift below needs m < 2^32 (every in-repo
+    // range is a bin count, palette size or availability-list length).
+    PDC_ASSERT(m_in > 0 && m_in <= 0xFFFFFFFFULL);
+  }
+};
+
+/// The scalar bucket computation — the exact eval_params arithmetic
+/// (one 64×64→128 multiply plus the Mersenne fold) applied to a
+/// pre-reduced point; bit-identical to
+/// EnumerablePairwiseFamily::eval_params(a, b, x, m) by construction.
+inline std::uint64_t bucket_one(std::uint64_t a, std::uint64_t b,
+                                const HashPoint& pt) {
+  const std::uint64_t x = pt.x_lo | (pt.x_hi << 32);
+  const std::uint64_t v = MersenneField::add(MersenneField::mul(a, x), b);
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(v) * pt.m) >> 61);
+}
+
+#ifdef PDC_HAVE_AVX2
+
+namespace detail {
+
+/// Four lanes of bucket_one: a/b hold four canonical members.
+inline __m256i bucket4(__m256i a, __m256i b, const HashPoint& pt) {
+  const __m256i p = _mm256_set1_epi64x(
+      static_cast<long long>(MersenneField::kPrime));
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i x_lo = _mm256_set1_epi64x(static_cast<long long>(pt.x_lo));
+  const __m256i x_hi = _mm256_set1_epi64x(static_cast<long long>(pt.x_hi));
+  const __m256i a_lo = _mm256_and_si256(a, lo32);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  // _mm256_mul_epu32 multiplies the low 32 bits of each 64-bit lane;
+  // every operand below is < 2^32, so the products are exact.
+  const __m256i lo_lo = _mm256_mul_epu32(a_lo, x_lo);
+  const __m256i mid = _mm256_add_epi64(_mm256_mul_epu32(a_lo, x_hi),
+                                       _mm256_mul_epu32(a_hi, x_lo));
+  const __m256i hi_hi = _mm256_mul_epu32(a_hi, x_hi);
+  __m256i r = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_and_si256(lo_lo, p),
+                       _mm256_srli_epi64(lo_lo, 61)),
+      _mm256_add_epi64(
+          _mm256_slli_epi64(
+              _mm256_and_si256(mid, _mm256_set1_epi64x(0x1FFFFFFFLL)), 32),
+          _mm256_add_epi64(_mm256_srli_epi64(mid, 29),
+                           _mm256_slli_epi64(hi_hi, 3))));
+  r = _mm256_add_epi64(_mm256_and_si256(r, p), _mm256_srli_epi64(r, 61));
+  // r < p + 4 < 2^62, so the signed 64-bit compare is safe: subtract p
+  // from lanes with r >= p (r > p - 1).
+  const __m256i pm1 = _mm256_set1_epi64x(
+      static_cast<long long>(MersenneField::kPrime - 1));
+  r = _mm256_sub_epi64(r,
+                       _mm256_and_si256(_mm256_cmpgt_epi64(r, pm1), p));
+  r = _mm256_add_epi64(r, b);
+  r = _mm256_sub_epi64(r,
+                       _mm256_and_si256(_mm256_cmpgt_epi64(r, pm1), p));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(pt.m));
+  const __m256i lo_m = _mm256_mul_epu32(_mm256_and_si256(r, lo32), m);
+  const __m256i hi_m = _mm256_mul_epu32(_mm256_srli_epi64(r, 32), m);
+  return _mm256_srli_epi64(
+      _mm256_add_epi64(hi_m, _mm256_srli_epi64(lo_m, 32)), 29);
+}
+
+}  // namespace detail
+
+inline void bucket_span(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n, const HashPoint& pt,
+                        std::uint64_t* out) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + j));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        detail::bucket4(va, vb, pt));
+  }
+  for (; j < n; ++j) out[j] = bucket_one(a[j], b[j], pt);
+}
+
+inline void bucket_match_span(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n, const HashPoint& pt,
+                              const std::uint64_t* ref, std::uint32_t* acc) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + j));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + j));
+    const __m256i vref = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ref + j));
+    const __m256i eq =
+        _mm256_cmpeq_epi64(detail::bucket4(va, vb, pt), vref);
+    // Each equal lane contributes exactly 1 to its 32-bit counter.
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), eq);
+    for (int k = 0; k < 4; ++k) acc[j + k] += lanes[k] & 1u;
+  }
+  for (; j < n; ++j) acc[j] += (bucket_one(a[j], b[j], pt) == ref[j]);
+}
+
+inline void bucket_count_span(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n, const HashPoint& pt,
+                              std::uint64_t target, std::uint32_t* acc) {
+  std::size_t j = 0;
+  const __m256i vt = _mm256_set1_epi64x(static_cast<long long>(target));
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + j));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + j));
+    const __m256i eq = _mm256_cmpeq_epi64(detail::bucket4(va, vb, pt), vt);
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), eq);
+    for (int k = 0; k < 4; ++k) acc[j + k] += lanes[k] & 1u;
+  }
+  for (; j < n; ++j) acc[j] += (bucket_one(a[j], b[j], pt) == target);
+}
+
+#else  // !PDC_HAVE_AVX2
+
+// No omp-simd pragma here: the 128-bit multiply cannot be vectorized
+// for baseline x86-64, and the iterations are already independent —
+// out-of-order pipelining over the member loop is the whole win.
+
+inline void bucket_span(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n, const HashPoint& pt,
+                        std::uint64_t* out) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = bucket_one(a[j], b[j], pt);
+}
+
+inline void bucket_match_span(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n, const HashPoint& pt,
+                              const std::uint64_t* ref, std::uint32_t* acc) {
+  for (std::size_t j = 0; j < n; ++j)
+    acc[j] += (bucket_one(a[j], b[j], pt) == ref[j]);
+}
+
+inline void bucket_count_span(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n, const HashPoint& pt,
+                              std::uint64_t target, std::uint32_t* acc) {
+  for (std::size_t j = 0; j < n; ++j)
+    acc[j] += (bucket_one(a[j], b[j], pt) == target);
+}
+
+#endif  // PDC_HAVE_AVX2
+
+}  // namespace pdc::util::simd

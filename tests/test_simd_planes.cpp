@@ -1,0 +1,352 @@
+// Tests for the batched member-evaluation plane (the SIMD +
+// structure-of-arrays pass):
+//
+//  * the span kernels' bucket computation is bit-identical to
+//    EnumerablePairwiseFamily::eval_params over random (a, b, x, m) —
+//    the property that holds on both compiled paths (portable and
+//    -DPDC_ENABLE_AVX2=ON; CI runs this suite in both configs);
+//  * eval_members == eval_analytic, sink slot by sink slot with ==,
+//    for every plane oracle (h1, h2, trial, and the Lemma-10
+//    pessimistic estimators) at member counts {1, 7, 8, 9, 128} and
+//    offsets straddling the 4-lane boundaries;
+//  * engine-level Selections with SearchOptions::use_batched_members
+//    on vs off are bit-identical on the shared-memory and sharded
+//    backends at machine counts {1, 4, 9};
+//  * the 64-byte-aligned SoA storage: aligned_vector / SoaTable row
+//    alignment, and the shared kMaxEstimatorTableEntries budget —
+//    SoaTable::reset and estimator prepare() must refuse over-budget
+//    tables with check_error instead of exhausting memory.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "pdc/d1lc/partition.hpp"
+#include "pdc/d1lc/partition_oracles.hpp"
+#include "pdc/d1lc/trial_oracle.hpp"
+#include "pdc/derand/estimator.hpp"
+#include "pdc/derand/lemma10.hpp"
+#include "pdc/engine/sharded/sharded_search.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/hknt/params.hpp"
+#include "pdc/hknt/procedures.hpp"
+#include "pdc/util/aligned.hpp"
+#include "pdc/util/hashing.hpp"
+#include "pdc/util/rng.hpp"
+#include "pdc/util/simd.hpp"
+
+namespace pdc::engine {
+namespace {
+
+mpc::Config cluster_config(std::uint32_t machines, std::uint64_t n) {
+  mpc::Config c;
+  c.n = n;
+  c.phi = 0.5;
+  c.local_space_words = 1 << 15;
+  c.num_machines = machines;
+  return c;
+}
+
+void expect_same_selection(const Selection& a, const Selection& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.cost, b.cost);            // bit-identical, not just near
+  EXPECT_EQ(a.mean_cost, b.mean_cost);  // (doubles compared with ==)
+}
+
+// The member counts every batched path must agree on: 1 (degenerate),
+// 7/9 (straddle the 4-lane AVX2 width), 8 (exact lanes), 128 (bulk).
+const std::size_t kCounts[] = {1, 7, 8, 9, 128};
+// Offsets exercise unaligned starts into the params tables.
+const std::uint64_t kFirsts[] = {0, 1, 5};
+
+/// Drives eval_members vs eval_analytic over every item of `oracle`
+/// at each (first, count), comparing sinks with ==. The non-zero
+/// sentinel prefill also catches paths that assign instead of add.
+void expect_batched_matches_scalar(const AnalyticOracle& oracle,
+                                   std::uint64_t num_members) {
+  for (std::uint64_t first : kFirsts) {
+    for (std::size_t count : kCounts) {
+      if (first + count > num_members) continue;
+      std::vector<double> scalar(count), batched(count);
+      for (std::size_t item = 0; item < oracle.item_count(); ++item) {
+        for (std::size_t j = 0; j < count; ++j) {
+          scalar[j] = 0.25 * static_cast<double>(j);
+          batched[j] = 0.25 * static_cast<double>(j);
+        }
+        oracle.eval_analytic(first, count, item, scalar.data());
+        oracle.eval_members(first, count, item, batched.data());
+        for (std::size_t j = 0; j < count; ++j) {
+          ASSERT_EQ(scalar[j], batched[j])
+              << "item " << item << " first " << first << " member-offset "
+              << j;
+        }
+      }
+    }
+  }
+}
+
+/// Selections with the batched member path on vs off must be
+/// bit-identical on both backends.
+void expect_batched_selections_identical(CostOracle& oracle,
+                                         std::uint64_t num_members,
+                                         std::uint64_t n) {
+  SearchOptions on;  // default: use_batched_members = true
+  SearchOptions off;
+  off.use_batched_members = false;
+  Selection sel_on = SeedSearch(oracle, on).exhaustive(num_members);
+  Selection sel_off = SeedSearch(oracle, off).exhaustive(num_members);
+  expect_same_selection(sel_on, sel_off);
+
+  for (std::uint32_t p : {1u, 4u, 9u}) {
+    SCOPED_TRACE(p);
+    mpc::Cluster cluster(cluster_config(p, n), /*strict=*/true);
+    sharded::ShardedOptions sopt_on, sopt_off;
+    sopt_off.search.use_batched_members = false;
+    sharded::ShardedSeedSearch s_on(oracle, cluster, sopt_on);
+    Selection sh_on = s_on.exhaustive(num_members);
+    sharded::ShardedSeedSearch s_off(oracle, cluster, sopt_off);
+    Selection sh_off = s_off.exhaustive(num_members);
+    expect_same_selection(sh_on, sh_off);
+    expect_same_selection(sel_on, sh_on);
+  }
+}
+
+// ---- Kernel property: bucket_one == eval_params everywhere. ----
+
+TEST(SimdKernel, BucketMatchesEvalParamsOnRandomPoints) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint64_t a = rng.below(MersenneField::kPrime - 1) + 1;
+    const std::uint64_t b = rng.below(MersenneField::kPrime);
+    const std::uint64_t x = rng();  // HashPoint reduces mod p
+    const std::uint64_t m = rng.below((1ULL << 32) - 1) + 1;
+    ASSERT_EQ(util::simd::bucket_one(a, b, util::simd::HashPoint(x, m)),
+              EnumerablePairwiseFamily::eval_params(a, b, x, m))
+        << "a=" << a << " b=" << b << " x=" << x << " m=" << m;
+  }
+}
+
+TEST(SimdKernel, SpanKernelsMatchScalarTailAndBulk) {
+  Xoshiro256 rng(77);
+  EnumerablePairwiseFamily fam(42, 8);
+  util::aligned_vector<std::uint64_t> pa, pb;
+  fam.params_table(fam.size(), pa, pb);
+  for (std::size_t n : kCounts) {
+    SCOPED_TRACE(n);
+    const util::simd::HashPoint pt(rng(), 1 + rng.below(1000));
+    std::vector<std::uint64_t> out(n), ref(n);
+    util::simd::bucket_span(pa.data(), pb.data(), n, pt, out.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      ref[j] = util::simd::bucket_one(pa[j], pb[j], pt);
+      ASSERT_EQ(out[j], ref[j]);
+    }
+    std::vector<std::uint32_t> acc_match(n, 3), acc_count(n, 3);
+    util::simd::bucket_match_span(pa.data(), pb.data(), n, pt, ref.data(),
+                                  acc_match.data());
+    util::simd::bucket_count_span(pa.data(), pb.data(), n, pt, ref[0],
+                                  acc_count.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(acc_match[j], 4u);  // every bucket matches its own ref
+      ASSERT_EQ(acc_count[j], 3u + (ref[j] == ref[0] ? 1u : 0u));
+    }
+  }
+}
+
+// ---- Partition planes: h1 / h2. ----
+
+struct PartitionFixture {
+  Graph g;
+  D1lcInstance inst;
+  std::vector<NodeId> high;
+  std::uint32_t nbins = 6;
+  std::uint32_t color_bins = 5;
+  std::uint32_t cap = 8;
+  std::vector<std::uint32_t> bin_of;
+
+  explicit PartitionFixture(std::uint64_t seed)
+      : g(gen::gnp(260, 0.05, seed)), inst(make_degree_plus_one(g)) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (g.degree(v) > cap) high.push_back(v);
+    EnumerablePairwiseFamily f1(77, 6);
+    bin_of.assign(g.num_nodes(), d1lc::Partition::kMid);
+    for (NodeId v : high)
+      bin_of[v] = static_cast<std::uint32_t>(f1.eval(3, v, nbins));
+  }
+};
+
+TEST(SimdPlanes, H1BatchedMatchesScalarOnEveryMemberCount) {
+  PartitionFixture fx(21);
+  ASSERT_GT(fx.high.size(), 20u);
+  EnumerablePairwiseFamily f1(101, 8);
+  d1lc::H1DegreeOracle h1(fx.g, fx.high, f1, fx.nbins, fx.cap);
+  h1.begin_search(f1.size());
+  expect_batched_matches_scalar(h1, f1.size());
+  h1.end_search();
+  expect_batched_selections_identical(h1, f1.size(), fx.g.num_nodes());
+}
+
+TEST(SimdPlanes, H2BatchedMatchesScalarOnEveryMemberCount) {
+  PartitionFixture fx(22);
+  EnumerablePairwiseFamily f2(102, 8);
+  d1lc::H2PaletteOracle h2(fx.g, fx.inst, fx.high, fx.bin_of, f2, fx.nbins,
+                           fx.color_bins);
+  h2.begin_search(f2.size());
+  expect_batched_matches_scalar(h2, f2.size());
+  h2.end_search();
+  expect_batched_selections_identical(h2, f2.size(), fx.g.num_nodes());
+}
+
+// The oversized-family fallback: when the params table would exceed
+// kMaxParamTableMembers the tables stay empty and eval_members must
+// silently take the scalar path — same results, no table.
+TEST(SimdPlanes, OversizedFamilyFallsBackToScalar) {
+  EnumerablePairwiseFamily huge(9, 23);  // 2^23 > kMaxParamTableMembers
+  util::aligned_vector<std::uint64_t> pa, pb;
+  huge.params_table(huge.size(), pa, pb);
+  EXPECT_TRUE(pa.empty());
+  EXPECT_TRUE(pb.empty());
+
+  PartitionFixture fx(23);
+  d1lc::H1DegreeOracle h1(fx.g, fx.high, huge, fx.nbins, fx.cap);
+  h1.begin_search(huge.size());
+  // Compare a window well past any table: must agree via the fallback.
+  std::vector<double> scalar(16, 0.0), batched(16, 0.0);
+  h1.eval_analytic((1ULL << 22) + 3, 16, 0, scalar.data());
+  h1.eval_members((1ULL << 22) + 3, 16, 0, batched.data());
+  for (std::size_t j = 0; j < 16; ++j) EXPECT_EQ(scalar[j], batched[j]);
+  h1.end_search();
+}
+
+// ---- Trial plane. ----
+
+struct TrialFixture {
+  Graph g;
+  D1lcInstance inst;
+  EnumerablePairwiseFamily family;
+  Coloring none;
+  std::vector<NodeId> items;
+  std::vector<std::uint8_t> active;
+  d1lc::AvailLists avail;
+
+  TrialFixture()
+      : g(gen::gnp(300, 0.03, 31)),
+        inst(make_degree_plus_one(g)),
+        family(55, 8),
+        none(g.num_nodes(), kNoColor),
+        items(g.num_nodes()),
+        active(g.num_nodes(), 1),
+        avail(d1lc::AvailLists::from_instance(inst, none)) {
+    std::iota(items.begin(), items.end(), NodeId{0});
+  }
+};
+
+TEST(SimdPlanes, TrialBatchedMatchesScalarOnEveryMemberCount) {
+  TrialFixture fx;
+  d1lc::TrialOracle oracle(fx.g, fx.items, fx.active, fx.avail, fx.family);
+  oracle.begin_search(fx.family.size());
+  expect_batched_matches_scalar(oracle, fx.family.size());
+  oracle.end_search();
+  expect_batched_selections_identical(oracle, fx.family.size(),
+                                      fx.g.num_nodes());
+}
+
+// ---- Estimator planes (term_batch under SspEstimatorOracle). ----
+
+struct EstimatorFixture {
+  Graph g;
+  D1lcInstance inst;
+  derand::ColoringState state;
+  hknt::HkntConfig cfg;
+  hknt::NodeParams params;
+  hknt::TryRandomColorProc try_slack;
+  hknt::GenerateSlackProc gen_slack;
+  hknt::MultiTrialProc multi;
+
+  EstimatorFixture()
+      : g(gen::gnp(180, 0.035, 13)),
+        inst(make_random_lists(g, static_cast<Color>(g.max_degree()) + 25,
+                               12, 5)),
+        state(inst.graph, inst.palettes),
+        params(hknt::compute_params(inst, nullptr)),
+        try_slack(cfg, hknt::TryRandomColorProc::Ssp::kSlackTwiceDegree,
+                  "est"),
+        gen_slack(cfg, params, "est"),
+        multi(cfg, 3, 1.0, /*final=*/false, "est") {}
+};
+
+TEST(SimdPlanes, EstimatorTermBatchMatchesTermOnEveryProcedure) {
+  EstimatorFixture fx;
+  derand::Lemma10Options opt;
+  opt.seed_bits = 8;
+  derand::ChunkAssignment chunks =
+      derand::assign_chunks(fx.g, /*tau=*/1, opt, nullptr);
+  prg::PrgFamily family = derand::lemma10_family(opt);
+
+  const derand::NormalProcedure* procs[] = {&fx.try_slack, &fx.gen_slack,
+                                            &fx.multi};
+  for (const derand::NormalProcedure* proc : procs) {
+    SCOPED_TRACE(proc->name());
+    std::unique_ptr<derand::PessimisticEstimator> est = proc->estimator();
+    ASSERT_NE(est, nullptr);
+    derand::SspEstimatorOracle oracle(*est, fx.state, family,
+                                      chunks.chunk_of);
+    oracle.begin_search(family.num_seeds());
+    expect_batched_matches_scalar(oracle, family.num_seeds());
+    oracle.end_search();
+    expect_batched_selections_identical(oracle, family.num_seeds(),
+                                        fx.g.num_nodes());
+  }
+}
+
+// ---- Aligned SoA storage and the shared table budget. ----
+
+TEST(AlignedStorage, VectorAndTableRowsAre64ByteAligned) {
+  util::aligned_vector<std::uint64_t> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) %
+                util::kCacheLineBytes,
+            0u);
+
+  util::SoaTable<std::uint32_t> t(5, 33, 7u, 1ULL << 20, "test table");
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.row_len(), 33u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.row(r)) %
+                  util::kCacheLineBytes,
+              0u);
+    for (std::size_t i = 0; i < t.row_len(); ++i) EXPECT_EQ(t.row(r)[i], 7u);
+  }
+}
+
+TEST(AlignedStorage, SoaTableRefusesOverBudgetTables) {
+  util::SoaTable<Color> t;
+  // 2^15 rows x 2^14 entries = 2^29 > kMaxEstimatorTableEntries = 2^28:
+  // must throw before allocating.
+  EXPECT_THROW(t.reset(1ULL << 15, 1ULL << 14, kNoColor,
+                       derand::kMaxEstimatorTableEntries, "over budget"),
+               check_error);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AlignedStorage, EstimatorPrepareRefusesOverBudgetMemberCounts) {
+  EstimatorFixture fx;
+  derand::Lemma10Options opt;
+  opt.seed_bits = 4;
+  derand::ChunkAssignment chunks = derand::assign_chunks(fx.g, 1, opt, nullptr);
+  prg::PrgFamily family = derand::lemma10_family(opt);
+  std::unique_ptr<derand::PessimisticEstimator> est = fx.try_slack.estimator();
+  ASSERT_NE(est, nullptr);
+  derand::EstimatorContext ctx;
+  ctx.state = &fx.state;
+  ctx.family = &family;
+  ctx.chunk_of = &chunks.chunk_of;
+  // 180 nodes x 2^22 members = 7.5e8 entries > 2^28: the shared budget
+  // constant must reject the table before any allocation happens.
+  ctx.num_members = 1ULL << 22;
+  EXPECT_THROW(est->prepare(ctx), check_error);
+}
+
+}  // namespace
+}  // namespace pdc::engine
