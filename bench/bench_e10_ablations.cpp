@@ -14,14 +14,18 @@
 #include "pdc/derand/lemma10.hpp"
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/procedures.hpp"
+#include "pdc/obs/cli.hpp"
 #include "pdc/prg/kwise_source.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 #include "pdc/util/timer.hpp"
 
 using namespace pdc;
 using derand::SeedStrategy;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Graph g = gen::gnp(2500, 0.012, 19);
   D1lcInstance inst =
       make_random_lists(g, static_cast<Color>(g.max_degree()) + 50, 12, 3);

@@ -8,12 +8,16 @@
 
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/degree_ranges.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 using namespace pdc::hknt;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Table t0("E12: degree-range thresholds (log-exponent 3)",
            {"n", "thresholds"});
   for (std::uint64_t n : {1000ull, 100'000ull, 10'000'000ull}) {

@@ -9,12 +9,16 @@
 #include "pdc/graph/components.hpp"
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/color_middle.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/stats.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   // The shattering guarantee covers nodes the SSPs actually constrain:
   // degree >= the log^7-analog threshold. The sub-threshold residue is
   // *meant* to flow to the deterministic low-degree stage and is

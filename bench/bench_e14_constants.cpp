@@ -7,12 +7,16 @@
 
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/color_middle.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 using namespace pdc::hknt;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Graph g = gen::core_periphery(1500, 90, 0.012, 0.3, 3);
   D1lcInstance inst = make_degree_plus_one(g);
 

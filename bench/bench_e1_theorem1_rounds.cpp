@@ -10,12 +10,18 @@
 
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/bench_json.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 #include "pdc/util/timer.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
+  util::BenchJson json;
   Table t("E1 / Theorem 1: deterministic D1LC rounds vs n",
           {"n", "m", "Delta", "rounds", "ratio_vs_prev", "peak_local",
            "space_budget", "valid", "seed_evals", "sweeps", "batch",
@@ -51,6 +57,19 @@ int main() {
            std::to_string(r.seed_search.sweeps),
            std::to_string(r.seed_search.batch),
            Table::num(timer.millis(), 1)});
+    json.obj()
+        .field("n", static_cast<std::uint64_t>(n))
+        .field("m", static_cast<std::uint64_t>(g.num_edges()))
+        .field("max_degree", static_cast<std::uint64_t>(g.max_degree()))
+        .field("rounds", r.ledger.rounds())
+        .field("ratio_vs_prev", ratio)
+        .field("peak_local", r.ledger.peak_local_space())
+        .field("space_budget", mcfg.local_space_words)
+        .field("valid", r.valid)
+        .field("seed_evals", r.seed_search.evaluations)
+        .field("sweeps", r.seed_search.sweeps)
+        .field("batch", r.seed_search.batch)
+        .field("wall_ms", timer.millis());
     last_ledger = r.ledger;
     // Sweep budget (the bench_e10 discipline): the engine's batched
     // item-major sweeps must aggregate many evaluations per pass — a
@@ -70,9 +89,14 @@ int main() {
   t.print();
 
   Table p("E1 round attribution by phase (largest n)", {"phase", "rounds"});
-  for (auto& [phase, rounds] : last_ledger.rounds_by_phase())
+  for (auto& [phase, rounds] : last_ledger.rounds_by_phase()) {
     p.row({phase, std::to_string(rounds)});
+    json.obj().field("phase", phase).field("phase_rounds", rounds);
+  }
   p.print();
+
+  if (obs_session.metrics()) last_ledger.publish(obs::Metrics::global());
+  if (args.has("json")) json.write(args.get("json", ""));
 
   if (!regression.empty()) {
     std::cout << regression << "\n";

@@ -9,13 +9,17 @@
 
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/stats.hpp"
 #include "pdc/util/table.hpp"
 #include "pdc/util/timer.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Table t("E2 / Lemma 4: randomized D1LC rounds vs n",
           {"n", "Delta", "rounds(mean)", "rounds(max)", "middle_frac",
            "ssp_fail_frac", "valid_runs", "wall_ms(mean)"});

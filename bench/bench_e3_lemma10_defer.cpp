@@ -29,6 +29,7 @@
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/procedures.hpp"
 #include "pdc/util/bench_json.hpp"
+#include "pdc/obs/cli.hpp"
 #include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
@@ -64,6 +65,7 @@ const char* plane_name(engine::PlaneTag t) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   util::BenchJson json;
   Graph g = gen::gnp(3000, 0.01, 7);
   D1lcInstance inst =

@@ -12,12 +12,18 @@
 
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/color_middle.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/bench_json.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/stats.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
+  util::BenchJson json;
   Table t("E4 / Lemma 13: per-subroutine SSP satisfaction (randomized)",
           {"instance", "subroutine", "participants(mean)", "ssp_rate",
            "runs"});
@@ -60,6 +66,13 @@ int main() {
     for (auto& [proc, stats] : by_proc) {
       t.row({name, proc, Table::num(stats.first.mean(), 0),
              Table::num(stats.second.mean(), 4), std::to_string(kRuns)});
+      json.obj()
+          .field("leg", "randomized")
+          .field("instance", name)
+          .field("subroutine", proc)
+          .field("participants_mean", stats.first.mean())
+          .field("ssp_rate", stats.second.mean())
+          .field("runs", static_cast<std::int64_t>(kRuns));
     }
   }
   t.print();
@@ -88,6 +101,14 @@ int main() {
       ts.row({name, proc, std::to_string(st.evaluations),
               std::to_string(st.sweeps), std::to_string(st.batch),
               Table::num(st.wall_ms, 1)});
+      json.obj()
+          .field("leg", "derandomized")
+          .field("instance", name)
+          .field("subroutine", proc)
+          .field("seed_evals", st.evaluations)
+          .field("sweeps", st.sweeps)
+          .field("batch", st.batch)
+          .field("wall_ms", st.wall_ms);
       // Reported after the table prints so a CI failure still shows
       // the full accounting.
       if (regression.empty() && st.evaluations > 0 &&
@@ -100,6 +121,7 @@ int main() {
     }
   }
   ts.print();
+  if (args.has("json")) json.write(args.get("json", ""));
   if (!regression.empty()) {
     std::cout << regression << "\n";
     return 1;

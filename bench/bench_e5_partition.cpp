@@ -22,6 +22,7 @@
 #include "pdc/graph/generators.hpp"
 #include "pdc/mpc/cluster.hpp"
 #include "pdc/util/bench_json.hpp"
+#include "pdc/obs/cli.hpp"
 #include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
@@ -29,6 +30,7 @@ using namespace pdc;
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   util::BenchJson json;
   Table t("E5 / Lemma 23: partition quality vs delta",
           {"n", "delta", "nbins", "high_nodes", "deg_violations",

@@ -10,12 +10,16 @@
 #include "pdc/baseline/jones_plassmann.hpp"
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 #include "pdc/util/timer.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Table t("E6: algorithm comparison across instance families",
           {"instance", "algorithm", "wall_ms", "colors", "valid"});
 

@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <iostream>
 #include <numeric>
+#include <string>
 
 #include "pdc/d1lc/trial_oracle.hpp"
 #include "pdc/engine/search.hpp"
@@ -15,6 +17,8 @@
 #include "pdc/mpc/cluster.hpp"
 #include "pdc/mpc/dgraph.hpp"
 #include "pdc/mpc/primitives.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/bench_json.hpp"
 #include "pdc/util/cli.hpp"
 #include "pdc/util/rng.hpp"
 #include "pdc/util/table.hpp"
@@ -36,9 +40,23 @@ Config cfg_for(std::size_t records, std::uint32_t machines) {
   return c;
 }
 
-void print_round_table() {
+void print_round_table(util::BenchJson& json) {
   Table t("E7: communication rounds of MPC primitives (O(1) claim)",
           {"primitive", "records", "machines", "rounds", "violations"});
+  auto record = [&](const char* primitive, std::uint64_t records,
+                    std::uint64_t machines, std::uint64_t rounds,
+                    std::uint64_t violations) {
+    t.row({primitive, records ? std::to_string(records) : "-",
+           std::to_string(machines), std::to_string(rounds),
+           std::to_string(violations)});
+    json.obj()
+        .field("leg", "rounds")
+        .field("primitive", primitive)
+        .field("records", records)
+        .field("machines", machines)
+        .field("rounds", rounds)
+        .field("violations", violations);
+  };
   for (std::size_t n : {1000u, 10000u, 50000u}) {
     Xoshiro256 rng(n);
     std::vector<Record> recs(n);
@@ -47,26 +65,24 @@ void print_round_table() {
     scatter_records(c, recs);
     std::uint64_t before = c.ledger().rounds();
     sample_sort(c);
-    t.row({"sample_sort", std::to_string(n), "16",
-           std::to_string(c.ledger().rounds() - before),
-           std::to_string(c.ledger().violations().size())});
+    record("sample_sort", n, 16, c.ledger().rounds() - before,
+           c.ledger().violations().size());
   }
   {
     Cluster c(cfg_for(1000, 25));
     std::vector<Word> payload(64, 7);
     std::vector<std::vector<Word>> recv;
     int rounds = broadcast(c, 3, payload, recv);
-    t.row({"broadcast(64w)", "-", "25", std::to_string(rounds),
-           std::to_string(c.ledger().violations().size())});
+    record("broadcast(64w)", 0, 25, static_cast<std::uint64_t>(rounds),
+           c.ledger().violations().size());
   }
   {
     Cluster c(cfg_for(1000, 25));
     std::vector<Word> vals(25, 3);
     std::uint64_t before = c.ledger().rounds();
     exclusive_prefix(c, vals);
-    t.row({"exclusive_prefix", "-", "25",
-           std::to_string(c.ledger().rounds() - before),
-           std::to_string(c.ledger().violations().size())});
+    record("exclusive_prefix", 0, 25, c.ledger().rounds() - before,
+           c.ledger().violations().size());
   }
   {
     Graph g = gen::gnp(300, 0.05, 3);
@@ -74,9 +90,8 @@ void print_round_table() {
     DistributedGraph dg(c, g);
     std::uint64_t before = c.ledger().rounds();
     dg.gather_neighbor_lists();
-    t.row({"lemma17_gather", std::to_string(g.num_edges() * 2), "8",
-           std::to_string(c.ledger().rounds() - before),
-           std::to_string(c.ledger().violations().size())});
+    record("lemma17_gather", g.num_edges() * 2, 8,
+           c.ledger().rounds() - before, c.ledger().violations().size());
   }
   t.print();
 }
@@ -94,7 +109,7 @@ void print_round_table() {
 /// At laptop scale the sharded path serializes machine steps on one
 /// host, so shared memory wins until shards carry real per-member
 /// formula work — exactly the cutover the policy keys on.
-void print_crossover_table(std::size_t auto_items) {
+void print_crossover_table(std::size_t auto_items, util::BenchJson& json) {
   Table t("E7x: seed-search backend crossover (trial oracle, family 2^7)",
           {"n", "machines", "shared_ms", "sharded_ms", "ratio", "auto",
            "cutover"});
@@ -145,6 +160,15 @@ void print_crossover_table(std::size_t auto_items) {
              Table::num(shared.stats.wall_ms, 1),
              Table::num(sharded.stats.wall_ms, 1), Table::num(ratio, 2),
              auto_sharded ? "sharded" : "shared", std::to_string(cutover)});
+      json.obj()
+          .field("leg", "crossover")
+          .field("n", static_cast<std::uint64_t>(n))
+          .field("machines", static_cast<std::uint64_t>(p))
+          .field("shared_ms", shared.stats.wall_ms)
+          .field("sharded_ms", sharded.stats.wall_ms)
+          .field("ratio", ratio)
+          .field("auto", auto_sharded ? "sharded" : "shared")
+          .field("cutover", static_cast<std::uint64_t>(cutover));
     }
   }
   t.print();
@@ -181,20 +205,44 @@ BENCHMARK(BM_Lemma17Gather)->Arg(100)->Arg(300);
 int main(int argc, char** argv) {
   // --auto-items overrides ExecutionPolicy::auto_items_per_machine for
   // the E7x `auto`/`cutover` columns — the real-cluster calibration
-  // hook (ROADMAP). Unknown flags fall through to Google Benchmark.
+  // hook (ROADMAP). Our flags (--auto-items/--json/--trace/--metrics)
+  // are stripped below before benchmark::Initialize, which errors on
+  // flags it does not know; anything else falls through to it.
   CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
+  util::BenchJson json;
   const std::size_t auto_items = static_cast<std::size_t>(args.get_int(
       "auto-items",
       static_cast<std::int64_t>(engine::ExecutionPolicy{}
                                     .auto_items_per_machine)));
-  print_round_table();
-  print_crossover_table(auto_items);
+  print_round_table(json);
+  print_crossover_table(auto_items, json);
+  if (args.has("json")) json.write(args.get("json", ""));
   std::cout << "Claim check: rounds constant across input sizes, zero space\n"
                "violations; E7x ratio > 1 at laptop scale (machine steps\n"
                "serialize on one host), shrinking as per-shard work grows —\n"
                "the measurement ExecutionPolicy::kAuto's cutover encodes\n"
                "(items-per-machine floor " << auto_items
             << "; tune with --auto-items).\n\n";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool ours = a.rfind("--auto-items", 0) == 0 ||
+                      a.rfind("--json", 0) == 0 ||
+                      a.rfind("--trace", 0) == 0 ||
+                      a.rfind("--metrics", 0) == 0;
+    if (ours) {
+      // Separate-value form consumes the next token too (the CliArgs
+      // rule: a non-flag token after a flag is its value).
+      if (a.find('=') == std::string::npos && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
+        ++i;
+      }
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

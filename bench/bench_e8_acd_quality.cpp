@@ -7,12 +7,16 @@
 
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/acd.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 using namespace pdc::hknt;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Table t("E8 / Definition 3: ACD on planted cliques vs noise",
           {"noise", "cliques_found(true=8)", "dense_frac", "demoted",
            "viol(i)", "viol(ii)", "viol(iii)", "viol(iv)"});

@@ -7,12 +7,16 @@
 
 #include "pdc/baseline/luby.hpp"
 #include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 using namespace pdc::baseline;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   Table t("E9 / Sec 4.1: Luby MIS randomized vs derandomized",
           {"n", "avg_deg", "rand_rounds", "derand_rounds", "greedy_tail",
            "rand_valid", "derand_valid"});

@@ -14,13 +14,24 @@
 // vs off must be bit-identical on the shared-memory AND sharded
 // backends at machine counts {1, 4, 9}.
 //
+// Also the pdc::obs disabled-overhead gate: re-times each plane's
+// batched pass with one disabled PDC_SPAN per item visit and exits
+// non-zero if that costs more than 2% over the plain pass — the
+// "observability is free when off" guarantee the instrumented hot
+// loops rely on.
+//
 // --json <path> writes one {plane, mode, terms_per_sec, wall_ms}
-// record per measurement (mode scalar|batched).
+// record per measurement (mode scalar|batched) plus one
+// {plane, mode: "obs-overhead", plain_ms, spanned_ms, overhead}
+// record per plane.
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <numeric>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "pdc/d1lc/partition.hpp"
@@ -33,6 +44,8 @@
 #include "pdc/hknt/params.hpp"
 #include "pdc/hknt/procedures.hpp"
 #include "pdc/mpc/cluster.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/bench_json.hpp"
 #include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
@@ -47,10 +60,15 @@ struct PlaneTiming {
   double scalar_ms = 0.0;
   double batched_ms = 0.0;
   std::uint64_t terms = 0;  // (item, member) evaluations per timed run
+  double plain_ms = 0.0;    // obs gate: pass without spans
+  double spanned_ms = 0.0;  // obs gate: same pass, disabled PDC_SPAN/item
 
   double scalar_tps() const { return 1e3 * double(terms) / scalar_ms; }
   double batched_tps() const { return 1e3 * double(terms) / batched_ms; }
   double speedup() const { return scalar_ms / batched_ms; }
+  double span_overhead() const {
+    return plain_ms > 0.0 ? spanned_ms / plain_ms : 1.0;
+  }
 };
 
 /// Times one full (items x members) pass over `oracle`, repeated until
@@ -90,6 +108,80 @@ double time_plane(const engine::AnalyticOracle& oracle, std::uint64_t members,
   return best;
 }
 
+/// The obs disabled-overhead leg: the identical batched pass with one
+/// disabled PDC_SPAN per item visit. A 2% gate on a shared CI box
+/// cannot compare whole-pass timings (machine-wide noise is +-10% at
+/// that granularity), so the two variants interleave at *item*
+/// granularity and each item keeps its best-of-7 time per variant —
+/// scheduler preemption lands in single ~100us slices and the min
+/// discards them, while any genuine per-visit span cost survives in
+/// every sample. Variant order alternates per rep so cache warmth
+/// favors neither side. The span's whole disabled lifecycle is one
+/// relaxed atomic load and a branch.
+std::pair<double, double> time_disabled_overhead(
+    const engine::AnalyticOracle& oracle, std::uint64_t members,
+    double pass_ms_hint) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t items = oracle.item_count();
+  std::vector<double> sink(members, 0.0);
+  // Keep each timed slice >= ~20us: fast planes (the estimator's
+  // tables answer an item visit in single-digit us) repeat the visit
+  // inside the slice so clock quantization cannot masquerade as span
+  // overhead.
+  int inner = 1;
+  const double per_item_ms =
+      items > 0 ? pass_ms_hint / static_cast<double>(items) : 1.0;
+  if (per_item_ms > 0.0 && per_item_ms < 0.02) {
+    inner = std::min(32, static_cast<int>(0.02 / per_item_ms) + 1);
+  }
+  constexpr std::uint64_t kInf = ~0ULL;
+  std::vector<std::uint64_t> best_plain(items, kInf), best_spanned(items, kInf);
+  const auto eval_plain = [&](std::size_t i) {
+    const auto t0 = clock::now();
+    for (int k = 0; k < inner; ++k) {
+      std::fill(sink.begin(), sink.end(), 0.0);
+      oracle.eval_members(0, members, i, sink.data());
+    }
+    const auto t1 = clock::now();
+    best_plain[i] = std::min(
+        best_plain[i],
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+  };
+  const auto eval_spanned = [&](std::size_t i) {
+    const auto t0 = clock::now();
+    for (int k = 0; k < inner; ++k) {
+      PDC_SPAN("bench.item_pass");
+      std::fill(sink.begin(), sink.end(), 0.0);
+      oracle.eval_members(0, members, i, sink.data());
+    }
+    const auto t1 = clock::now();
+    best_spanned[i] = std::min(
+        best_spanned[i],
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+  };
+  for (int rep = 0; rep < 7; ++rep) {
+    for (std::size_t i = 0; i < items; ++i) {
+      if (rep % 2 == 0) {
+        eval_plain(i);
+        eval_spanned(i);
+      } else {
+        eval_spanned(i);
+        eval_plain(i);
+      }
+    }
+  }
+  double plain_ns = 0.0, spanned_ns = 0.0;
+  for (std::size_t i = 0; i < items; ++i) {
+    plain_ns += static_cast<double>(best_plain[i]);
+    spanned_ns += static_cast<double>(best_spanned[i]);
+  }
+  return {plain_ns / (1e6 * inner), spanned_ns / (1e6 * inner)};
+}
+
 PlaneTiming measure(const std::string& plane, engine::AnalyticOracle& oracle,
                     std::uint64_t members, std::string& regression) {
   oracle.begin_search(members);
@@ -101,6 +193,8 @@ PlaneTiming measure(const std::string& plane, engine::AnalyticOracle& oracle,
                              scalar_totals);
   out.batched_ms = time_plane(oracle, members, /*batched=*/true,
                               batched_totals);
+  std::tie(out.plain_ms, out.spanned_ms) =
+      time_disabled_overhead(oracle, members, out.batched_ms);
   oracle.end_search();
   if (regression.empty() && scalar_totals != batched_totals) {
     regression = "REGRESSION: " + plane +
@@ -164,6 +258,7 @@ void gate_selections(engine::CostOracle& oracle, std::uint64_t members,
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   const int mbits = static_cast<int>(args.get_int("member-bits", 10));
   const std::uint64_t members = 1ULL << mbits;  // 1024 by default
   std::string regression;
@@ -257,6 +352,35 @@ int main(int argc, char** argv) {
   t.print();
   std::cout << "best speedup: " << Table::num(best_speedup, 2) << "x\n";
 
+  // ---- pdc::obs disabled-overhead gate. ----
+  // Collection is off unless --trace/--metrics was passed; only gate in
+  // the off state, where the Span lifecycle must be one relaxed load.
+  Table ot("bench_planes: disabled-span overhead per plane "
+           "(gate: spanned <= 1.02 x plain)",
+           {"plane", "plain_ms", "spanned_ms", "overhead"});
+  const bool obs_off = !obs::collection_active();
+  for (const PlaneTiming& pt : timings) {
+    ot.row({pt.plane, Table::num(pt.plain_ms, 3),
+            Table::num(pt.spanned_ms, 3),
+            Table::num(pt.span_overhead(), 4) + "x"});
+    json.obj()
+        .field("plane", pt.plane)
+        .field("mode", "obs-overhead")
+        .field("plain_ms", pt.plain_ms)
+        .field("spanned_ms", pt.spanned_ms)
+        .field("overhead", pt.span_overhead());
+    if (obs_off && regression.empty() &&
+        pt.spanned_ms > 1.02 * pt.plain_ms) {
+      regression = "REGRESSION: plane " + pt.plane +
+                   ": disabled-span overhead " +
+                   Table::num(pt.span_overhead(), 4) +
+                   "x exceeds the 1.02x gate (plain " +
+                   Table::num(pt.plain_ms, 3) + " ms, spanned " +
+                   Table::num(pt.spanned_ms, 3) + " ms)";
+    }
+  }
+  ot.print();
+
   if (args.has("json")) json.write(args.get("json", ""));
 
   if (!regression.empty()) {
@@ -264,7 +388,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "Gate: batched > scalar on every plane; batched/scalar\n"
-               "Selections bit-identical on both backends at p in "
-               "{1, 4, 9}.\n";
+               "Selections bit-identical on both backends at p in\n"
+               "{1, 4, 9}; disabled pdc::obs spans cost <= 2% on every\n"
+               "plane's batched pass.\n";
   return 0;
 }

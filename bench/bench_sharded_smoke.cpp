@@ -14,11 +14,15 @@
 #include "pdc/graph/generators.hpp"
 #include "pdc/hknt/procedures.hpp"
 #include "pdc/mpc/cluster.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 #include "pdc/util/table.hpp"
 
 using namespace pdc;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
   // Dense enough, with tight degree+1 palettes, that some seeds do
   // produce SSP failures — a flat objective would make the equality
   // check vacuous.

@@ -7,12 +7,22 @@
 
 #include "pdc/baseline/luby.hpp"
 #include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
 
 using namespace pdc;
 using namespace pdc::baseline;
 
-int main() {
-  Graph g = gen::gnp(5000, 0.002, 99);
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: derand_luby_mis [--n N] [--p P]\n"
+              << obs::CliSession::help();
+    return 0;
+  }
+  obs::CliSession obs_session(args);
+  Graph g = gen::gnp(static_cast<NodeId>(args.get_int("n", 5000)),
+                     args.get_double("p", 0.002), 99);
   std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
             << " Delta=" << g.max_degree() << "\n\n";
 

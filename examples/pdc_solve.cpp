@@ -17,6 +17,7 @@
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/generators.hpp"
 #include "pdc/graph/io.hpp"
+#include "pdc/obs/cli.hpp"
 #include "pdc/util/cli.hpp"
 
 using namespace pdc;
@@ -66,9 +67,11 @@ int main(int argc, char** argv) {
                  "  --seed-bits K     PRG seed length (default 6)\n"
                  "  --phi X --delta X --passes K\n"
                  "  --out FILE        write 'node color' lines\n"
-                 "  --detail          per-procedure tables\n";
+                 "  --detail          per-procedure tables\n"
+              << obs::CliSession::help();
     return 0;
   }
+  obs::CliSession obs_session(args);
   D1lcInstance inst = make_instance(args);
 
   d1lc::SolverOptions opt;
@@ -81,8 +84,10 @@ int main(int argc, char** argv) {
   opt.seed = args.get_int("seed", 1);
 
   d1lc::SolveResult result = d1lc::solve_d1lc(inst, opt);
+  if (obs_session.metrics()) result.ledger.publish(obs::Metrics::global());
   d1lc::print_summary(std::cout, inst, result);
   if (args.has("detail")) d1lc::print_detail(std::cout, result);
+  obs_session.flush();
 
   if (args.has("out")) {
     std::ofstream f(args.get("out", ""));

@@ -4,6 +4,7 @@
 
 #include "pdc/engine/search.hpp"
 #include "pdc/graph/power.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/prg/prg.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -214,6 +215,11 @@ MisResult luby_mis_derandomized(const Graph& g,
 
   for (std::uint64_t r = 0;
        r < max_rounds && undecided_count(status) > 0; ++r) {
+    obs::Span round_span("luby.round", obs::SpanKind::kPhase);
+    if (round_span.active()) {
+      round_span.tag_u64("round", r);
+      round_span.tag_u64("undecided", undecided_count(status));
+    }
     // Fresh PRG family per round (salted by the round index) so the
     // per-round seed searches are independent.
     const std::uint64_t seed =

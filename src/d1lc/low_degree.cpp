@@ -5,6 +5,7 @@
 
 #include "pdc/d1lc/trial_oracle.hpp"
 #include "pdc/engine/search.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -77,6 +78,11 @@ LowDegreeReport low_degree_color(derand::ColoringState& state,
     }
     if (todo.empty()) break;
 
+    obs::Span trial_span("d1lc.low_degree.trial");
+    if (trial_span.active()) {
+      trial_span.tag_u64("phase", rep.phases);
+      trial_span.tag_u64("todo", todo.size());
+    }
     EnumerablePairwiseFamily family(hash_combine(salt, rep.phases),
                                     family_log2);
     AvailLists avail = AvailLists::from_state(state, todo);

@@ -6,6 +6,7 @@
 
 #include "pdc/d1lc/partition_oracles.hpp"
 #include "pdc/engine/search.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/hashing.hpp"
 #include "pdc/util/parallel.hpp"
 
@@ -51,8 +52,10 @@ Partition low_space_partition(const D1lcInstance& inst,
   };
   EnumerablePairwiseFamily f1(hash_combine(opt.salt, 1), opt.family_log2);
   H1DegreeOracle h1_oracle(g, high, f1, part.nbins, opt.mid_degree_cap);
-  engine::Selection h1 =
-      engine::search(h1_oracle, request(opt.family_log2));
+  engine::Selection h1 = [&] {
+    PDC_SPAN_PHASE("d1lc.partition.h1");
+    return engine::search(h1_oracle, request(opt.family_log2));
+  }();
   part.h1_index = h1.seed;
   part.search.absorb(h1.stats);
   if (cost) {
@@ -69,8 +72,10 @@ Partition low_space_partition(const D1lcInstance& inst,
   EnumerablePairwiseFamily f2(hash_combine(opt.salt, 2), opt.family_log2);
   H2PaletteOracle h2_oracle(g, inst, high, part.bin_of, f2, part.nbins,
                             part.color_bins);
-  engine::Selection h2 =
-      engine::search(h2_oracle, request(opt.family_log2));
+  engine::Selection h2 = [&] {
+    PDC_SPAN_PHASE("d1lc.partition.h2");
+    return engine::search(h2_oracle, request(opt.family_log2));
+  }();
   part.h2_index = h2.seed;
   part.search.absorb(h2.stats);
   auto [a2, b2] = f2.params(h2.seed);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/parallel.hpp"
 #include "pdc/util/rng.hpp"
 
@@ -60,6 +61,11 @@ void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
     const std::uint32_t low_cap = opt.hknt.low_degree(inst.graph.num_nodes());
     if (current.graph.max_degree() < low_cap) break;  // low-degree finish
 
+    obs::Span pass_span("d1lc.color_middle", obs::SpanKind::kPhase);
+    if (pass_span.active()) {
+      pass_span.tag_u64("pass", static_cast<std::uint64_t>(pass));
+      pass_span.tag_u64("nodes", current.graph.num_nodes());
+    }
     cost.ledger().begin_phase("color-middle");
     derand::ColoringState state(current.graph, current.palettes);
     hknt::MiddleOptions mo;
@@ -95,6 +101,8 @@ void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
   // Low-degree deterministic finish (Lemma 14 role). Works at any
   // degree; the pipeline arranges for the residue to be low-degree.
   if (current.graph.num_nodes() > 0) {
+    obs::Span ld_span("d1lc.low_degree", obs::SpanKind::kPhase);
+    if (ld_span.active()) ld_span.tag_u64("nodes", current.graph.num_nodes());
     cost.ledger().begin_phase("low-degree");
     derand::ColoringState state(current.graph, current.palettes);
     LowDegreeReport ld = low_degree_color(
@@ -122,7 +130,9 @@ void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
     return;
   }
 
-  // LowSpacePartition + LowSpaceColorReduce (Algorithms 11/12).
+  // LowSpacePartition + LowSpaceColorReduce (Algorithms 11/12). The
+  // phase span covers the partition computation only, not the bin
+  // recursion below (the children open their own phase spans).
   cost.ledger().begin_phase("partition(level " + std::to_string(level) + ")");
   PartitionOptions popt;
   popt.delta = opt.delta;
@@ -130,7 +140,14 @@ void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
   popt.family_log2 = opt.partition_family_log2;
   popt.salt = hash_combine(0xBEEF, level);
   popt.search = opt.search;
-  Partition part = low_space_partition(inst, popt, &cost);
+  Partition part = [&] {
+    obs::Span part_span("d1lc.partition", obs::SpanKind::kPhase);
+    if (part_span.active()) {
+      part_span.tag_u64("level", static_cast<std::uint64_t>(level));
+      part_span.tag_u64("nodes", inst.graph.num_nodes());
+    }
+    return low_space_partition(inst, popt, &cost);
+  }();
   agg.partition_levels = std::max<std::uint64_t>(
       agg.partition_levels, static_cast<std::uint64_t>(level) + 1);
   agg.partition_degree_violations += part.degree_violations;
@@ -179,6 +196,12 @@ void solve_rec(const D1lcInstance& inst, const SolverOptions& opt,
 
 SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt) {
   PDC_CHECK_MSG(inst.valid(), "input is not a valid D1LC instance");
+  obs::Span solve_span("d1lc.solve", obs::SpanKind::kPhase);
+  if (solve_span.active()) {
+    solve_span.tag_u64("nodes", inst.graph.num_nodes());
+    solve_span.tag_u64("edges", inst.graph.num_edges());
+    solve_span.tag_u64("max_degree", inst.graph.max_degree());
+  }
   SolveResult result;
   result.coloring.assign(inst.graph.num_nodes(), kNoColor);
 

@@ -39,6 +39,7 @@
 
 #include "pdc/derand/coloring_state.hpp"
 #include "pdc/engine/prefix.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/prg/prg.hpp"
 
 namespace pdc::derand {
@@ -192,6 +193,8 @@ class SspEstimatorOracle final : public engine::PrefixOracle {
   }
 
   void begin_search(std::uint64_t num_seeds) override {
+    obs::Span span("estimator.prepare");
+    span.tag_u64("members", num_seeds);
     EstimatorContext ctx;
     ctx.state = state_;
     ctx.family = family_;
@@ -199,7 +202,10 @@ class SspEstimatorOracle final : public engine::PrefixOracle {
     ctx.num_members = num_seeds;
     est_->prepare(ctx);
   }
-  void end_search() override { est_->release(); }
+  void end_search() override {
+    obs::Span span("estimator.release");
+    est_->release();
+  }
 
   void eval_analytic(std::uint64_t first, std::size_t count,
                      std::size_t item, double* sink) const override {

@@ -6,6 +6,7 @@
 
 #include "pdc/derand/estimator.hpp"
 #include "pdc/engine/search.hpp"
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::derand {
@@ -158,6 +159,8 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
                                     const ChunkAssignment& chunks,
                                     const Lemma10Options& opt,
                                     mpc::CostModel* cost) {
+  obs::Span derand_span("lemma10.derandomize", obs::SpanKind::kPhase);
+  derand_span.tag("procedure", proc.name());
   Lemma10Report rep;
   rep.procedure = proc.name();
   rep.participants = state.count_participants();
@@ -192,14 +195,21 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
   } else {
     prg::PrgFamily family = lemma10_family(opt);
     engine::Selection sel;
-    if (opt.strategy == SeedStrategy::kFirstSeed) {
-      SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
-      sel.seed = 0;
-      sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
-      sel.mean_cost = sel.cost;
-    } else {
-      sel = lemma10_seed_selection(proc, state, chunks, opt,
-                                   &rep.estimator_used);
+    {
+      obs::Span search_span("lemma10.search");
+      if (opt.strategy == SeedStrategy::kFirstSeed) {
+        SspFailureOracle oracle(proc, state, family, chunks.chunk_of);
+        sel.seed = 0;
+        sel.cost = engine::evaluate_seed(oracle, 0, &sel.stats);
+        sel.mean_cost = sel.cost;
+      } else {
+        sel = lemma10_seed_selection(proc, state, chunks, opt,
+                                     &rep.estimator_used);
+      }
+      if (search_span.active()) {
+        search_span.tag_u64("seed", sel.seed);
+        search_span.tag("estimator", rep.estimator_used ? "yes" : "no");
+      }
     }
     if (rep.estimator_used) rep.estimator_mean = sel.mean_cost;
     rep.seed = sel.seed;
@@ -207,6 +217,7 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
     rep.seed_evaluations = sel.stats.evaluations;
     rep.search = sel.stats;
     if (cost) cost->charge_conditional_expectation(opt.seed_bits);
+    obs::Span replay_span("lemma10.commit_replay");
     auto src = family.source(sel.seed);
     ChunkedSource chunked(src, chunks.chunk_of);
     chosen = proc.simulate(state, chunked);
@@ -214,6 +225,7 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
 
   // Mark SSP failures; defer them (derandomized mode) or leave them
   // uncolored to retry (randomized mode).
+  obs::Span commit_span("lemma10.commit");
   std::vector<std::uint8_t> defer(state.num_nodes(), 0);
   for (NodeId v = 0; v < state.num_nodes(); ++v) {
     if (!state.participates(v)) continue;
@@ -243,6 +255,14 @@ Lemma10Report derandomize_procedure(const NormalProcedure& proc,
           ? static_cast<double>(rep.deferred_new) /
                 static_cast<double>(rep.participants)
           : 0.0;
+  if (commit_span.active()) {
+    commit_span.tag_u64("ssp_failures", rep.ssp_failures);
+    commit_span.tag_u64("deferred", rep.deferred_new);
+  }
+  if (derand_span.active()) {
+    derand_span.tag_u64("participants", rep.participants);
+    derand_span.tag_u64("seed_evaluations", rep.seed_evaluations);
+  }
 
 #ifndef NDEBUG
   // A correct simulate() never proposes conflicting colors; verify.

@@ -52,6 +52,10 @@ enum class SearchRoute {
   kPrefixWalk,              // MSB-first junta-fooling prefix walk
 };
 
+/// Stable kebab-case route names for trace tags and metric labels
+/// ("exhaustive" / "exhaustive-bits" / "cond-exp" / "prefix-walk").
+const char* to_string(SearchRoute route);
+
 /// Everything about how a search executes, bundled so call sites carry
 /// one field instead of backend + cluster + options triples.
 struct ExecutionPolicy {

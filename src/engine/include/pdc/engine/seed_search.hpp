@@ -88,6 +88,12 @@ Tag merge_tag(Tag a, Tag b) {
 }
 }  // namespace detail
 
+/// Stable lowercase names for reports, trace tags, and metric labels
+/// ("enumerating" / "analytic" / "prefix" / "mixed"; "" for kNone).
+const char* to_string(PlaneTag plane);
+/// ("shared-memory" / "sharded" / "mixed"; "" for kNone).
+const char* to_string(BackendTag backend);
+
 /// Accounting for searches executed on the sharded (MPC) backend; all
 /// zero when a search ran in shared memory.
 struct ShardedStats {

@@ -11,6 +11,27 @@
 
 namespace pdc::engine {
 
+const char* to_string(PlaneTag plane) {
+  switch (plane) {
+    case PlaneTag::kNone: return "";
+    case PlaneTag::kEnumerating: return "enumerating";
+    case PlaneTag::kAnalytic: return "analytic";
+    case PlaneTag::kPrefix: return "prefix";
+    case PlaneTag::kMixed: return "mixed";
+  }
+  return "";
+}
+
+const char* to_string(BackendTag backend) {
+  switch (backend) {
+    case BackendTag::kNone: return "";
+    case BackendTag::kSharedMemory: return "shared-memory";
+    case BackendTag::kSharded: return "sharded";
+    case BackendTag::kMixed: return "mixed";
+  }
+  return "";
+}
+
 std::size_t resolve_max_batch(const SearchOptions& opt,
                               std::size_t item_count) {
   if (opt.max_batch != 0) return opt.max_batch;

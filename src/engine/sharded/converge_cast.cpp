@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/check.hpp"
 
 namespace pdc::engine::sharded {
@@ -87,6 +88,13 @@ std::vector<std::int64_t> converge_cast_sum(
                 << " needs " << resident << " resident words > s="
                 << cluster.config().local_space_words);
   const std::uint64_t rounds = converge_cast_rounds(p, fan_in);
+  obs::Span cast_span("sharded.converge_cast");
+  if (cast_span.active()) {
+    cast_span.tag_u64("width", width);
+    cast_span.tag_u64("fan_in", fan_in);
+    cast_span.tag_u64("machines", p);
+    cast_span.tag_u64("rounds", rounds);
+  }
   std::vector<std::uint8_t> fold_ok(p, 1);
   // Measured (not derived) send volume: each machine writes only its
   // own slot inside the parallel step, so the counters are race-free
@@ -94,6 +102,11 @@ std::vector<std::int64_t> converge_cast_sum(
   std::vector<std::uint64_t> sent_words(p, 0);
 
   for (std::uint64_t r = 0; r < rounds; ++r) {
+    // One span per aggregation level: r = 0 is the compute round (shard
+    // scoring), later levels pure fold rounds.
+    obs::Span level_span(r == 0 ? "sharded.cast_level.compute"
+                                : "sharded.cast_level.fold");
+    if (level_span.active()) level_span.tag_u64("level", r);
     // Senders at level r are the machines whose trailing base-fan_in
     // digits first become nonzero at r: m % f^r == 0, m % f^{r+1} != 0.
     std::uint64_t stride = 1;
@@ -143,6 +156,11 @@ std::vector<std::int64_t> converge_cast_sum(
   for (MachineId m = 0; m < p; ++m) cluster.storage(m).clear();
   cluster.clear_inbox(0);
 
+  if (cast_span.active()) {
+    std::uint64_t total_sent = 0;
+    for (MachineId m = 0; m < p; ++m) total_sent += sent_words[m];
+    cast_span.tag_u64("words", total_sent);
+  }
   if (stats) {
     stats->rounds += rounds;
     // Every non-root machine ships its width-word partial exactly once,

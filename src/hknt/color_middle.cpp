@@ -1,7 +1,9 @@
 #include "pdc/hknt/color_middle.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/parallel.hpp"
 
 namespace pdc::hknt {
@@ -43,6 +45,11 @@ void run_slack_color(ColoringState& state, const ChunkAssignment& chunks,
 MiddleReport color_middle(derand::ColoringState& state,
                           const D1lcInstance& inst, const MiddleOptions& opt,
                           mpc::CostModel* cost) {
+  PDC_SPAN_PHASE("hknt.color_middle");
+  // Sequential step spans: emplace/reset walks one optional through the
+  // linear Step 1 -> 2 -> 3 structure (Span is neither copyable nor
+  // movable by design).
+  std::optional<obs::Span> step_span;
   MiddleReport rep;
   const Graph& g = inst.graph;
   const NodeId n = g.num_nodes();
@@ -54,6 +61,7 @@ MiddleReport color_middle(derand::ColoringState& state,
   auto in_scope = [&](NodeId v) { return scope[v] != 0; };
 
   // ---- Step 1: deterministic decomposition (Lemmas 16–22). ----
+  step_span.emplace("hknt.decomposition", obs::SpanKind::kPhase);
   if (cost) cost->ledger().begin_phase("decomposition");
   NodeParams params = compute_params(inst, cost);
   Acd acd = compute_acd(inst, params, opt.cfg, cost);
@@ -77,6 +85,7 @@ MiddleReport color_middle(derand::ColoringState& state,
   ChunkAssignment chunks = derand::assign_chunks(g, /*tau=*/1, opt.l10, cost);
 
   // ---- Step 2: ColorSparse (Algorithm 5). ----
+  step_span.emplace("hknt.color_sparse", obs::SpanKind::kPhase);
   if (cost) cost->ledger().begin_phase("color-sparse");
   // 2a. GenerateSlack on (Vsparse ∪ Vuneven) \ Vstart.
   state.set_active_mask(mask_of(n, [&](NodeId v) {
@@ -99,6 +108,7 @@ MiddleReport color_middle(derand::ColoringState& state,
   run_slack_color(state, chunks, opt, cost, rep, "sparse");
 
   // ---- Step 3: ColorDense (Algorithm 7). ----
+  step_span.emplace("hknt.color_dense", obs::SpanKind::kPhase);
   if (cost) cost->ledger().begin_phase("color-dense");
   // 3a. GenerateSlack on dense nodes.
   state.set_active_mask(mask_of(n, [&](NodeId v) {
@@ -154,6 +164,7 @@ MiddleReport color_middle(derand::ColoringState& state,
   }
 
   // Restore the pass scope and tally the outcome.
+  step_span.reset();
   state.set_active_mask(std::move(scope));
   rep.colored = parallel_count(n, [&](std::size_t v) {
     return state.is_active(static_cast<NodeId>(v)) &&

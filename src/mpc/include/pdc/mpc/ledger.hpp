@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "pdc/obs/obs.hpp"
 #include "pdc/util/check.hpp"
 
 namespace pdc::mpc {
@@ -57,6 +58,25 @@ class Ledger {
     peak_global_ = std::max(peak_global_, sub.peak_global_);
     violations_.insert(violations_.end(), sub.violations_.begin(),
                        sub.violations_.end());
+  }
+
+  /// Publish this ledger's accounting into a metrics registry:
+  /// `mpc.rounds` as one counter per ledger phase (the phase *is* the
+  /// label — round charges carry no route/plane/backend dimension),
+  /// the space peaks as gauges, and the violation count. Publishing
+  /// the same final ledger twice double-counts the round counters;
+  /// call once per execution, on the fully-absorbed ledger (the
+  /// pattern the tools' --metrics flag uses).
+  void publish(obs::Metrics& metrics) const {
+    for (const auto& [phase, rounds] : by_phase_) {
+      if (rounds != 0) metrics.add("mpc.rounds", {.phase = phase}, rounds);
+    }
+    metrics.gauge_max("mpc.peak_local_space", {},
+                      static_cast<double>(peak_local_));
+    metrics.gauge_max("mpc.peak_global_space", {},
+                      static_cast<double>(peak_global_));
+    if (!violations_.empty())
+      metrics.add("mpc.violations", {}, violations_.size());
   }
 
   /// For parallel sub-executions: rounds advance to the max of the

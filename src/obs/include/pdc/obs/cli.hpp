@@ -1,0 +1,108 @@
+#pragma once
+// Shared --trace / --metrics handling for the tools, examples, and
+// benches. Construct one obs::CliSession from the parsed CliArgs at
+// the top of main(); it switches the collectors on and, at scope exit
+// (or an explicit flush()), writes the Chrome trace and the metrics
+// report:
+//
+//   pdc::CliArgs args(argc, argv);
+//   pdc::obs::CliSession obs_session(args);
+//   ...                                  // run the workload
+//   // ~CliSession writes --trace <path> and --metrics [<path>]
+//
+// --trace <path>    collect spans, write Chrome-trace JSON to <path>
+// --metrics [path]  collect metrics; write the BenchJson records to
+//                   <path>, or print a table to stdout when no path
+//                   is given
+
+#include <cstdio>
+#include <string>
+
+#include "pdc/obs/obs.hpp"
+#include "pdc/util/check.hpp"
+#include "pdc/util/cli.hpp"
+
+namespace pdc::obs {
+
+class CliSession {
+ public:
+  explicit CliSession(const CliArgs& args) {
+    if (args.has("trace")) {
+      trace_path_ = args.get("trace", "");
+      PDC_CHECK_MSG(!trace_path_.empty(), "--trace needs an output path");
+      set_tracing(true);
+    }
+    if (args.has("metrics")) {
+      metrics_on_ = true;
+      metrics_path_ = args.get("metrics", "");  // "" → stdout table
+      set_metrics(true);
+    }
+  }
+
+  ~CliSession() { flush(); }
+  CliSession(const CliSession&) = delete;
+  CliSession& operator=(const CliSession&) = delete;
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return metrics_on_; }
+
+  /// Help lines for the tools' --help output.
+  static const char* help() {
+    return "  --trace <path>    write a Chrome-trace JSON of the run "
+           "(open in Perfetto)\n"
+           "  --metrics [path]  report the metrics registry (JSON to "
+           "path, table to stdout)\n";
+  }
+
+  /// Writes the trace / metrics reports now (idempotent; also run by
+  /// the destructor). Call explicitly to flush before later output.
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (!trace_path_.empty()) {
+      write_chrome_trace(trace_path_);
+      std::fprintf(stderr, "pdc: wrote trace to %s (%zu spans)\n",
+                   trace_path_.c_str(), trace_snapshot().size());
+    }
+    if (metrics_on_) {
+      if (!metrics_path_.empty()) {
+        util::BenchJson json;
+        Metrics::global().to_bench_json(json);
+        json.write(metrics_path_);
+        std::fprintf(stderr, "pdc: wrote metrics to %s\n",
+                     metrics_path_.c_str());
+      } else {
+        print_metrics_table();
+      }
+    }
+  }
+
+ private:
+  static void print_metrics_table() {
+    std::printf("\nmetrics {phase, route, plane, backend}:\n");
+    for (const Metrics::Entry& e : Metrics::global().snapshot()) {
+      std::string labels;
+      for (const std::string* part :
+           {&e.labels.phase, &e.labels.route, &e.labels.plane,
+            &e.labels.backend}) {
+        if (part->empty()) continue;
+        if (!labels.empty()) labels += ',';
+        labels += *part;
+      }
+      if (e.value.kind == MetricKind::kCounter) {
+        std::printf("  %-36s {%s} = %llu\n", e.name.c_str(), labels.c_str(),
+                    static_cast<unsigned long long>(e.value.count));
+      } else {
+        std::printf("  %-36s {%s} = %.6g\n", e.name.c_str(), labels.c_str(),
+                    e.value.real);
+      }
+    }
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool metrics_on_ = false;
+  bool flushed_ = false;
+};
+
+}  // namespace pdc::obs

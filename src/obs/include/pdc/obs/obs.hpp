@@ -1,0 +1,253 @@
+#pragma once
+// pdc::obs — unified observability for the whole pipeline: tracing
+// spans, a metrics registry, and Chrome-trace export.
+//
+// Spans are RAII scoped timers with parent/child nesting (nesting is
+// positional: a span contained in another span's [start, start+dur)
+// window on the same thread renders as its child in Perfetto / Chrome's
+// about:tracing). Each thread appends finished spans to its own buffer;
+// the tracer merges buffers at snapshot/export time, so recording never
+// takes a global lock. When collection is disabled the entire Span
+// lifecycle is one relaxed atomic load and a branch — no clock read, no
+// allocation, no buffer touch (the bench_planes overhead gate holds
+// this to <= 2% on every formula plane, and tests/test_obs.cpp asserts
+// the no-allocation guarantee directly).
+//
+//   {
+//     PDC_SPAN("d1lc.low_degree");           // scoped timer
+//     ...
+//   }                                         // recorded on scope exit
+//
+//   obs::Span span("engine.search");          // tagged variant
+//   span.tag("route", "prefix-walk");
+//
+// Phase spans (SpanKind::kPhase) additionally maintain a per-thread
+// phase stack; obs::current_phase() names the innermost open phase and
+// is the `phase` label every metrics publication is keyed by.
+//
+// The metrics registry holds named counters / real-valued sums /
+// high-water gauges keyed by {phase, route, plane, backend} labels,
+// with an absorb-style merge mirroring the SearchStats / ShardedStats /
+// Ledger discipline. engine::search() publishes every Selection's
+// stats into Metrics::global() (keyed by the phase that ran it and the
+// route/plane/backend that served it); mpc::Ledger::publish() mirrors
+// the round/space accounting. Snapshots export through the
+// util::BenchJson shape (one flat record per metric entry).
+//
+// Timestamps come from pdc::Timer::now_us() — the same steady clock
+// behind SearchStats::wall_ms and every bench table — so tables,
+// metrics and traces agree.
+//
+// Trace activation: programmatically (set_tracing), via the tools'
+// --trace flag (obs::CliSession in pdc/obs/cli.hpp), or via the
+// PDC_TRACE=path environment variable (collection starts at load and
+// the trace is written at process exit).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdc/util/bench_json.hpp"
+
+namespace pdc::obs {
+
+namespace detail {
+// Inline atomics so the disabled-path check compiles to one relaxed
+// load at every call site, with no function-call overhead.
+inline std::atomic<bool> g_tracing{false};
+inline std::atomic<bool> g_metrics{false};
+}  // namespace detail
+
+/// True while span collection is on. One relaxed load.
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+/// True while metrics publication is on. One relaxed load.
+inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+/// True when either collector is on — the Span fast-path gate (phase
+/// spans must maintain the phase stack for metrics even without
+/// tracing).
+inline bool collection_active() {
+  return tracing_enabled() || metrics_enabled();
+}
+
+void set_tracing(bool on);
+void set_metrics(bool on);
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+enum class SpanKind : std::uint8_t {
+  kScope,  // plain scoped timer
+  kPhase,  // also pushes its name on the thread's phase stack
+};
+
+/// One finished span, as stored by the tracer and returned by
+/// trace_snapshot().
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;  // Timer::now_us() at construction
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;  // small sequential id, stable per thread
+  bool phase = false;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// RAII scoped timer. The name must outlive the span (string literals
+/// throughout the library). Construction and destruction are a single
+/// relaxed-atomic branch when collection is off; tag() is a no-op then.
+class Span {
+ public:
+  explicit Span(const char* name, SpanKind kind = SpanKind::kScope) {
+    if (collection_active()) init(name, kind);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is recording (collection was on at
+  /// construction) — gate expensive tag-value construction on this.
+  bool active() const { return active_; }
+
+  /// Attach a key=value annotation (rendered as Chrome trace args).
+  void tag(const char* key, const char* value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void tag(const char* key, std::string value) {
+    if (active_) args_.emplace_back(key, std::move(value));
+  }
+  void tag_u64(const char* key, std::uint64_t value);
+  void tag_real(const char* key, double value);
+
+ private:
+  void init(const char* name, SpanKind kind);
+  void finish();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+  bool active_ = false;
+  bool phase_ = false;
+};
+
+#define PDC_OBS_CAT2(a, b) a##b
+#define PDC_OBS_CAT(a, b) PDC_OBS_CAT2(a, b)
+/// Scoped span: PDC_SPAN("subsystem.action");
+#define PDC_SPAN(name) \
+  ::pdc::obs::Span PDC_OBS_CAT(pdc_obs_span_, __LINE__)(name)
+/// Scoped phase span: also keys metrics published underneath it.
+#define PDC_SPAN_PHASE(name)                             \
+  ::pdc::obs::Span PDC_OBS_CAT(pdc_obs_span_, __LINE__)( \
+      name, ::pdc::obs::SpanKind::kPhase)
+
+/// Innermost open phase span's name on this thread ("" when none).
+/// The `phase` label of every metrics publication.
+const char* current_phase();
+
+/// Merged view of every finished span (all threads, including exited
+/// ones). Must not race with concurrent span destruction — snapshot
+/// from the coordinating thread between parallel sections.
+std::vector<SpanRecord> trace_snapshot();
+
+/// Drop every recorded span (flags untouched).
+void clear_trace();
+
+/// Writes the collected spans as Chrome trace-event JSON ("X" complete
+/// events; open the file in Perfetto / chrome://tracing). Same
+/// quiescence requirement as trace_snapshot().
+void write_chrome_trace(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// The metric key schema: every published value is attributed to the
+/// pipeline phase that spent it and the engine route/plane/backend that
+/// served it (empty strings where a dimension does not apply, e.g.
+/// mpc.* ledger metrics carry only a phase).
+struct Labels {
+  std::string phase;
+  std::string route;
+  std::string plane;
+  std::string backend;
+
+  friend bool operator==(const Labels&, const Labels&) = default;
+  friend auto operator<=>(const Labels&, const Labels&) = default;
+};
+
+enum class MetricKind : std::uint8_t {
+  kCounter,  // monotone std::uint64_t; absorb adds
+  kReal,     // double sum (wall-clock milliseconds); absorb adds
+  kGauge,    // double high-water mark; absorb takes the max
+};
+
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  double real = 0.0;
+
+  void absorb(const MetricValue& o);
+  /// The value as a double regardless of kind (for uniform export).
+  double as_double() const {
+    return kind == MetricKind::kCounter ? static_cast<double>(count) : real;
+  }
+};
+
+/// A registry of named counters/gauges. All operations are
+/// thread-safe. Metrics::global() is the process-wide registry the
+/// instrumented layers publish into; independent instances support the
+/// absorb-style merge (e.g. per-shard registries folded into one).
+class Metrics {
+ public:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricValue value;
+  };
+
+  void add(const std::string& name, const Labels& labels,
+           std::uint64_t delta);
+  void add_real(const std::string& name, const Labels& labels, double delta);
+  void gauge_max(const std::string& name, const Labels& labels, double value);
+
+  /// Counter/real/gauge-respecting merge: counters and reals add,
+  /// gauges take the max — the same semantics as SearchStats::absorb.
+  void absorb(const Metrics& other);
+
+  std::vector<Entry> snapshot() const;
+  void clear();
+
+  /// Sum of a counter across every label combination (0 when absent).
+  std::uint64_t counter_total(const std::string& name) const;
+  /// Sum of a real-valued metric across every label combination.
+  double real_total(const std::string& name) const;
+
+  /// One flat {metric, phase, route, plane, backend, kind, value}
+  /// record per entry — the util::BenchJson shape the benches' --json
+  /// flag already emits.
+  void to_bench_json(util::BenchJson& json) const;
+
+  /// The process-wide registry. Publication helpers are no-ops unless
+  /// metrics_enabled().
+  static Metrics& global();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+  mutable Impl* impl_ = nullptr;
+
+ public:
+  Metrics();
+  ~Metrics();
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+};
+
+}  // namespace pdc::obs

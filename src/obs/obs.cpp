@@ -1,0 +1,328 @@
+// pdc::obs implementation: per-thread span buffers merged by a leaky
+// tracer singleton, a mutex-protected metrics registry, and the Chrome
+// trace-event writer. See obs.hpp for the model.
+
+#include "pdc/obs/obs.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "pdc/util/check.hpp"
+#include "pdc/util/timer.hpp"
+
+namespace pdc::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tracer: one buffer per thread, merged at snapshot time.
+// ---------------------------------------------------------------------
+
+struct ThreadBuf {
+  std::mutex mu;  // taken per record; snapshot takes it too
+  std::vector<SpanRecord> spans;
+  std::uint32_t tid = 0;
+};
+
+// Leaky singleton: never destroyed, so spans finishing during static
+// teardown (and the atexit PDC_TRACE writer) stay safe regardless of
+// destruction order.
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer* t = new Tracer();
+    return *t;
+  }
+
+  ThreadBuf* register_thread() {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->tid = next_tid_++;
+    ThreadBuf* raw = buf.get();
+    bufs_.push_back(std::move(buf));
+    return raw;
+  }
+
+  std::vector<SpanRecord> snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    for (auto& buf : bufs_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+    }
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buf : bufs_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      buf->spans.clear();
+    }
+  }
+
+ private:
+  std::mutex mu_;  // guards bufs_ layout, not their contents
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 0;
+};
+
+ThreadBuf& thread_buf() {
+  // The buffer itself is owned (and never freed) by the Tracer, so a
+  // pointer cached thread_local stays valid past thread exit.
+  thread_local ThreadBuf* buf = Tracer::instance().register_thread();
+  return *buf;
+}
+
+// The innermost-open-phase stack; only SpanKind::kPhase spans touch it.
+thread_local std::vector<const char*> t_phase_stack;
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// PDC_TRACE=path: collect from load, write at exit.
+// ---------------------------------------------------------------------
+
+std::string& env_trace_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void write_env_trace() { write_chrome_trace(env_trace_path()); }
+
+struct EnvTraceInit {
+  EnvTraceInit() {
+    if (const char* path = std::getenv("PDC_TRACE");
+        path != nullptr && *path != '\0') {
+      env_trace_path() = path;
+      set_tracing(true);
+      std::atexit(write_env_trace);
+    }
+  }
+};
+EnvTraceInit g_env_trace_init;
+
+}  // namespace
+
+void set_tracing(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+void set_metrics(bool on) {
+  detail::g_metrics.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------
+
+void Span::init(const char* name, SpanKind kind) {
+  name_ = name;
+  active_ = true;
+  phase_ = (kind == SpanKind::kPhase);
+  if (phase_) t_phase_stack.push_back(name);
+  start_us_ = Timer::now_us();
+}
+
+void Span::finish() {
+  const std::uint64_t end_us = Timer::now_us();
+  if (phase_ && !t_phase_stack.empty()) t_phase_stack.pop_back();
+  // A phase span opened for metrics keying alone leaves no record.
+  if (tracing_enabled()) {
+    ThreadBuf& buf = thread_buf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    SpanRecord& rec = buf.spans.emplace_back();
+    rec.name = name_;
+    rec.start_us = start_us_;
+    rec.dur_us = end_us - start_us_;
+    rec.tid = buf.tid;
+    rec.phase = phase_;
+    rec.args = std::move(args_);
+  }
+}
+
+void Span::tag_u64(const char* key, std::uint64_t value) {
+  if (active_) args_.emplace_back(key, std::to_string(value));
+}
+
+void Span::tag_real(const char* key, double value) {
+  if (active_) args_.emplace_back(key, std::to_string(value));
+}
+
+const char* current_phase() {
+  return t_phase_stack.empty() ? "" : t_phase_stack.back();
+}
+
+std::vector<SpanRecord> trace_snapshot() {
+  return Tracer::instance().snapshot();
+}
+
+void clear_trace() { Tracer::instance().clear(); }
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  PDC_CHECK_MSG(out.good(), "cannot open trace path " << path);
+  std::vector<SpanRecord> spans = trace_snapshot();
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::string line = "{\"name\":\"";
+    json_escape(line, s.name);
+    line += "\",\"cat\":\"pdc\",\"ph\":\"X\",\"ts\":";
+    line += std::to_string(s.start_us);
+    line += ",\"dur\":";
+    line += std::to_string(s.dur_us);
+    line += ",\"pid\":1,\"tid\":";
+    line += std::to_string(s.tid);
+    if (!s.args.empty()) {
+      line += ",\"args\":{";
+      for (std::size_t a = 0; a < s.args.size(); ++a) {
+        if (a) line += ',';
+        line += '"';
+        json_escape(line, s.args[a].first);
+        line += "\":\"";
+        json_escape(line, s.args[a].second);
+        line += '"';
+      }
+      line += '}';
+    }
+    line += '}';
+    out << line << (i + 1 < spans.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+void MetricValue::absorb(const MetricValue& o) {
+  kind = o.kind;
+  switch (o.kind) {
+    case MetricKind::kCounter: count += o.count; break;
+    case MetricKind::kReal: real += o.real; break;
+    case MetricKind::kGauge: real = std::max(real, o.real); break;
+  }
+}
+
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  // Ordered map so snapshots (and the JSON export) are deterministic.
+  std::map<std::pair<std::string, Labels>, MetricValue> entries;
+};
+
+Metrics::Metrics() : impl_(new Impl()) {}
+Metrics::~Metrics() { delete impl_; }
+
+Metrics::Impl& Metrics::impl() const { return *impl_; }
+
+void Metrics::add(const std::string& name, const Labels& labels,
+                  std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  MetricValue& v = impl().entries[{name, labels}];
+  v.kind = MetricKind::kCounter;
+  v.count += delta;
+}
+
+void Metrics::add_real(const std::string& name, const Labels& labels,
+                       double delta) {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  MetricValue& v = impl().entries[{name, labels}];
+  v.kind = MetricKind::kReal;
+  v.real += delta;
+}
+
+void Metrics::gauge_max(const std::string& name, const Labels& labels,
+                        double value) {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  MetricValue& v = impl().entries[{name, labels}];
+  v.kind = MetricKind::kGauge;
+  v.real = std::max(v.real, value);
+}
+
+void Metrics::absorb(const Metrics& other) {
+  // Copy first so self-absorb and lock ordering are non-issues.
+  std::vector<Entry> theirs = other.snapshot();
+  std::lock_guard<std::mutex> lock(impl().mu);
+  for (const Entry& e : theirs) {
+    impl().entries[{e.name, e.labels}].absorb(e.value);
+  }
+}
+
+std::vector<Metrics::Entry> Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  std::vector<Entry> out;
+  out.reserve(impl().entries.size());
+  for (const auto& [key, value] : impl().entries) {
+    out.push_back(Entry{key.first, key.second, value});
+  }
+  return out;
+}
+
+void Metrics::clear() {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  impl().entries.clear();
+}
+
+std::uint64_t Metrics::counter_total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : impl().entries) {
+    if (key.first == name) total += value.count;
+  }
+  return total;
+}
+
+double Metrics::real_total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  double total = 0.0;
+  for (const auto& [key, value] : impl().entries) {
+    if (key.first == name) total += value.real;
+  }
+  return total;
+}
+
+void Metrics::to_bench_json(util::BenchJson& json) const {
+  static const char* kKindNames[] = {"counter", "real", "gauge"};
+  for (const Entry& e : snapshot()) {
+    json.obj()
+        .field("metric", e.name)
+        .field("phase", e.labels.phase)
+        .field("route", e.labels.route)
+        .field("plane", e.labels.plane)
+        .field("backend", e.labels.backend)
+        .field("kind", kKindNames[static_cast<int>(e.value.kind)]);
+    if (e.value.kind == MetricKind::kCounter) {
+      json.field("value", e.value.count);
+    } else {
+      json.field("value", e.value.real);
+    }
+  }
+}
+
+Metrics& Metrics::global() {
+  static Metrics* m = new Metrics();  // leaky, like the Tracer
+  return *m;
+}
+
+}  // namespace pdc::obs

@@ -6,8 +6,11 @@
 // so CI and plotting scripts can consume throughput gates without
 // scraping the human tables.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -32,8 +35,12 @@ class BenchJson {
     return put(name, quote(value));
   }
   BenchJson& field(const std::string& name, double value) {
+    // inf/nan are not JSON; emit null so consumers see an absent value
+    // instead of a parse error. Finite values round-trip exactly.
+    if (!std::isfinite(value)) return put(name, "null");
     std::ostringstream os;
-    os << value;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
     return put(name, os.str());
   }
   BenchJson& field(const std::string& name, std::uint64_t value) {

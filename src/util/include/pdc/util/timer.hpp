@@ -1,7 +1,11 @@
 #pragma once
-// Wall-clock timer for coarse benchmark measurements.
+// Wall-clock timer for coarse benchmark measurements. This is the one
+// clock in the codebase: SearchStats::wall_ms, the bench tables, and
+// the pdc::obs trace spans all read the same steady_clock through this
+// class, so timelines and tables agree.
 
 #include <chrono>
+#include <cstdint>
 
 namespace pdc {
 
@@ -13,6 +17,15 @@ class Timer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
   double millis() const { return seconds() * 1e3; }
+
+  /// Microseconds since the steady_clock epoch — the timestamp base of
+  /// every obs::Span. Monotone, not wall time.
+  static std::uint64_t now_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clock::now().time_since_epoch())
+            .count());
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -3,10 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "pdc/util/bench_json.hpp"
 #include "pdc/util/bits.hpp"
 #include "pdc/util/check.hpp"
 #include "pdc/util/hashing.hpp"
@@ -163,6 +168,62 @@ TEST(Table, PrintsAlignedRowsAndRejectsBadWidth) {
   EXPECT_NE(os.str().find("demo"), std::string::npos);
   EXPECT_NE(os.str().find("bb"), std::string::npos);
   EXPECT_THROW(t.row({"only-one"}), check_error);
+}
+
+using util::BenchJson;
+
+namespace {
+std::string write_and_read(const BenchJson& json) {
+  const std::string path = ::testing::TempDir() + "pdc_bench_json_test.json";
+  json.write(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+}  // namespace
+
+TEST(BenchJson, DoubleFieldsRoundTripAtFullPrecision) {
+  BenchJson json;
+  // 0.1 is not exactly representable; max_digits10 output must
+  // round-trip to the identical bit pattern.
+  const double tricky = 0.1 + 0.2;
+  json.obj().field("v", tricky).field("third", 1.0 / 3.0);
+  const std::string text = write_and_read(json);
+  const auto at = [&](const std::string& key) {
+    std::size_t p = text.find("\"" + key + "\": ");
+    EXPECT_NE(p, std::string::npos) << key;
+    return std::stod(text.substr(p + key.size() + 4));
+  };
+  EXPECT_EQ(at("v"), tricky);  // exact, not NEAR
+  EXPECT_EQ(at("third"), 1.0 / 3.0);
+}
+
+TEST(BenchJson, NonFiniteDoublesBecomeNull) {
+  BenchJson json;
+  json.obj()
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("ok", 2.5);
+  const std::string text = write_and_read(json);
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"ninf\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": 2.5"), std::string::npos);
+  // inf/nan literals would make every consumer's parse fail.
+  EXPECT_EQ(text.find("inf,"), std::string::npos);
+  EXPECT_EQ(text.find("nan,"), std::string::npos);
+}
+
+TEST(BenchJson, EscapesQuotesAndRejectsFieldBeforeObj) {
+  BenchJson json;
+  EXPECT_THROW(json.field("orphan", 1.0), check_error);
+  json.obj().field("s", "say \"hi\" \\ bye");
+  const std::string text = write_and_read(json);
+  EXPECT_NE(text.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\\\ bye"), std::string::npos);
 }
 
 }  // namespace
