@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <numeric>
@@ -97,22 +98,29 @@ void print_round_table(util::BenchJson& json) {
 }
 
 /// E7x: the shared-vs-sharded wall-time crossover the kAuto policy is
-/// calibrated against. One production family search (the low-degree
-/// trial oracle at family 2^7) per (n, p) cell, timed on both
-/// backends; the `auto` column shows what ExecutionPolicy::kAuto with
-/// an `auto_items` items-per-machine floor would pick, and `cutover`
-/// prints the resolved item floor (auto_items * p) that decision
+/// calibrated against — now per execution substrate. One production
+/// family search (the low-degree trial oracle at family 2^7) per
+/// (n, p) cell, timed on the shared-memory backend and on the sharded
+/// backend twice: once on the sequential reference substrate (`seq_ms`)
+/// and once on the thread-pool substrate with --threads workers
+/// (`tpool_ms`, `tp_speedup` = seq/tpool). The `auto` column shows what
+/// ExecutionPolicy::kAuto with an `auto_items` items-per-machine floor
+/// would pick for the thread-pool cluster, and `cutover` prints the
+/// resolved item floor ((auto_items / concurrency) * p) that decision
 /// compared n against. `auto_items` comes from --auto-items (default:
 /// the ExecutionPolicy default), which is the measurement hook for
 /// calibrating the floor on a real cluster: re-run the table with
 /// candidate floors until the `auto` column tracks the measured ratio.
-/// At laptop scale the sharded path serializes machine steps on one
-/// host, so shared memory wins until shards carry real per-member
-/// formula work — exactly the cutover the policy keys on.
-void print_crossover_table(std::size_t auto_items, util::BenchJson& json) {
+/// On a sequential substrate the sharded path serializes machine steps
+/// on one host, so shared memory wins until shards carry real
+/// per-member formula work; the thread-pool substrate divides the step
+/// wall across its workers and moves that crossover proportionally
+/// earlier — exactly the concurrency division resolve_backend encodes.
+void print_crossover_table(std::size_t auto_items, std::uint32_t threads,
+                           util::BenchJson& json) {
   Table t("E7x: seed-search backend crossover (trial oracle, family 2^7)",
-          {"n", "machines", "shared_ms", "sharded_ms", "ratio", "auto",
-           "cutover"});
+          {"n", "machines", "shared_ms", "seq_ms", "tpool_ms", "tp_speedup",
+           "auto", "cutover"});
   for (NodeId n : {2000u, 8000u}) {
     Graph g = gen::gnp(n, 24.0 / static_cast<double>(n), 7);
     D1lcInstance inst = make_degree_plus_one(g);
@@ -129,6 +137,10 @@ void print_crossover_table(std::size_t auto_items, util::BenchJson& json) {
       cfg.local_space_words = 1 << 14;
       cfg.num_machines = p;
       mpc::Cluster cluster(cfg);
+      mpc::Config tp_cfg = cfg;
+      tp_cfg.substrate = mpc::SubstrateKind::kThreadPool;
+      tp_cfg.substrate_threads = threads;
+      mpc::Cluster tp_cluster(tp_cfg);
 
       d1lc::TrialOracle sh_oracle(g, items, active, avail, family);
       engine::ExecutionPolicy shared_policy;
@@ -144,29 +156,48 @@ void print_crossover_table(std::size_t auto_items, util::BenchJson& json) {
           cl_oracle,
           engine::SearchRequest::exhaustive(family.size(), sharded_policy));
 
+      d1lc::TrialOracle tp_oracle(g, items, active, avail, family);
+      engine::ExecutionPolicy tp_policy;
+      tp_policy.backend = engine::SearchBackend::kSharded;
+      tp_policy.cluster = &tp_cluster;
+      engine::Selection tpool = engine::search(
+          tp_oracle,
+          engine::SearchRequest::exhaustive(family.size(), tp_policy));
+      if (tpool.seed != sharded.seed || tpool.cost != sharded.cost) {
+        std::cout << "WARNING: thread-pool Selection diverged at n=" << n
+                  << " p=" << p << "\n";
+      }
+
       engine::ExecutionPolicy auto_policy;
       auto_policy.backend = engine::SearchBackend::kAuto;
-      auto_policy.cluster = &cluster;
+      auto_policy.cluster = &tp_cluster;
       auto_policy.auto_items_per_machine = auto_items;
       const bool auto_sharded =
           engine::resolve_backend(auto_policy, n) ==
           engine::SearchBackend::kSharded;
-      const std::size_t cutover = auto_items * p;
+      const unsigned conc =
+          std::max(1u, tp_cluster.substrate_concurrency());
+      const std::size_t cutover =
+          std::max<std::size_t>(1, auto_items / conc) * p;
 
-      const double ratio = shared.stats.wall_ms > 0.0
-                               ? sharded.stats.wall_ms / shared.stats.wall_ms
-                               : 0.0;
+      const double tp_speedup = tpool.stats.wall_ms > 0.0
+                                    ? sharded.stats.wall_ms /
+                                          tpool.stats.wall_ms
+                                    : 0.0;
       t.row({std::to_string(n), std::to_string(p),
              Table::num(shared.stats.wall_ms, 1),
-             Table::num(sharded.stats.wall_ms, 1), Table::num(ratio, 2),
+             Table::num(sharded.stats.wall_ms, 1),
+             Table::num(tpool.stats.wall_ms, 1), Table::num(tp_speedup, 2),
              auto_sharded ? "sharded" : "shared", std::to_string(cutover)});
       json.obj()
           .field("leg", "crossover")
           .field("n", static_cast<std::uint64_t>(n))
           .field("machines", static_cast<std::uint64_t>(p))
+          .field("threads", static_cast<std::uint64_t>(conc))
           .field("shared_ms", shared.stats.wall_ms)
-          .field("sharded_ms", sharded.stats.wall_ms)
-          .field("ratio", ratio)
+          .field("seq_ms", sharded.stats.wall_ms)
+          .field("tpool_ms", tpool.stats.wall_ms)
+          .field("tp_speedup", tp_speedup)
           .field("auto", auto_sharded ? "sharded" : "shared")
           .field("cutover", static_cast<std::uint64_t>(cutover));
     }
@@ -205,9 +236,11 @@ BENCHMARK(BM_Lemma17Gather)->Arg(100)->Arg(300);
 int main(int argc, char** argv) {
   // --auto-items overrides ExecutionPolicy::auto_items_per_machine for
   // the E7x `auto`/`cutover` columns — the real-cluster calibration
-  // hook (ROADMAP). Our flags (--auto-items/--json/--trace/--metrics)
-  // are stripped below before benchmark::Initialize, which errors on
-  // flags it does not know; anything else falls through to it.
+  // hook (ROADMAP) — and --threads sets the thread-pool substrate's
+  // worker count for the tpool_ms column (0 = hardware concurrency).
+  // Our flags (--auto-items/--threads/--json/--trace/--metrics) are
+  // stripped below before benchmark::Initialize, which errors on flags
+  // it does not know; anything else falls through to it.
   CliArgs args(argc, argv);
   obs::CliSession obs_session(args);
   util::BenchJson json;
@@ -215,19 +248,24 @@ int main(int argc, char** argv) {
       "auto-items",
       static_cast<std::int64_t>(engine::ExecutionPolicy{}
                                     .auto_items_per_machine)));
+  const std::uint32_t threads =
+      static_cast<std::uint32_t>(args.get_int("threads", 0));
   print_round_table(json);
-  print_crossover_table(auto_items, json);
+  print_crossover_table(auto_items, threads, json);
   if (args.has("json")) json.write(args.get("json", ""));
   std::cout << "Claim check: rounds constant across input sizes, zero space\n"
-               "violations; E7x ratio > 1 at laptop scale (machine steps\n"
-               "serialize on one host), shrinking as per-shard work grows —\n"
-               "the measurement ExecutionPolicy::kAuto's cutover encodes\n"
-               "(items-per-machine floor " << auto_items
-            << "; tune with --auto-items).\n\n";
+               "violations; E7x seq_ms > shared_ms at laptop scale (the\n"
+               "sequential substrate serializes machine steps on one host),\n"
+               "with tp_speedup approaching the worker count as per-shard\n"
+               "work grows — the measurement ExecutionPolicy::kAuto's\n"
+               "cutover encodes (items-per-machine floor " << auto_items
+            << ", divided by the substrate concurrency;\n"
+               "tune with --auto-items / --threads).\n\n";
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const bool ours = a.rfind("--auto-items", 0) == 0 ||
+                      a.rfind("--threads", 0) == 0 ||
                       a.rfind("--json", 0) == 0 ||
                       a.rfind("--trace", 0) == 0 ||
                       a.rfind("--metrics", 0) == 0;

@@ -1,0 +1,136 @@
+// Substrate CI smoke: the thread-pool substrate must (a) return exactly
+// the totals the sequential reference returns on the E7 converge-cast
+// workload, and (b) actually be faster than the reference at p >= 8
+// when the host has cores to parallelize across. Exits non-zero on a
+// totals mismatch, on capacity violations, or on a speedup <= 1.0x;
+// when the host reports fewer than 2 hardware threads the speedup gate
+// is skipped (printed as such) — a single core cannot run machine
+// steps concurrently, so the ratio would measure barrier overhead, not
+// the substrate.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "pdc/engine/sharded/converge_cast.hpp"
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/util/cli.hpp"
+#include "pdc/util/rng.hpp"
+#include "pdc/util/table.hpp"
+#include "pdc/util/timer.hpp"
+
+using namespace pdc;
+using engine::sharded::converge_cast_sum;
+
+namespace {
+
+constexpr std::uint32_t kMachines = 16;
+constexpr std::size_t kWidth = 8;
+constexpr int kCasts = 8;
+// Per-machine shard-scoring work per cast — heavy enough that the step
+// phase dominates the barriers (the regime the thread-pool exists for).
+constexpr std::uint64_t kItemsPerMachine = 60000;
+
+mpc::Config make_config(mpc::SubstrateKind kind, std::uint32_t threads) {
+  mpc::Config c;
+  c.n = 1 << 16;
+  c.phi = 0.5;
+  c.local_space_words = 4096;
+  c.num_machines = kMachines;
+  c.substrate = kind;
+  c.substrate_threads = threads;
+  return c;
+}
+
+/// Simulated shard scoring: every machine hashes its items into
+/// width-wide integer partials, the exact shape ShardedSeedSearch's
+/// compute rounds have.
+void score_shard(mpc::MachineId m, std::int64_t* acc) {
+  for (std::size_t k = 0; k < kWidth; ++k) acc[k] = 0;
+  for (std::uint64_t i = 0; i < kItemsPerMachine; ++i) {
+    const std::uint64_t h = mix64(hash_combine(m, i));
+    acc[h % kWidth] += static_cast<std::int64_t>(h % 9) - 4;
+  }
+}
+
+struct RunResult {
+  std::vector<std::int64_t> totals;
+  double wall_ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t violations = 0;
+  mpc::SubstrateStats stats;
+};
+
+RunResult run(mpc::SubstrateKind kind, std::uint32_t threads) {
+  mpc::Cluster cluster(make_config(kind, threads));
+  RunResult r;
+  const std::uint64_t t0 = Timer::now_us();
+  for (int c = 0; c < kCasts; ++c) {
+    auto totals = converge_cast_sum(cluster, kWidth, 4, score_shard, nullptr);
+    if (c == 0) r.totals = totals;
+    if (totals != r.totals) r.totals.clear();  // nondeterminism → mismatch
+  }
+  r.wall_ms = static_cast<double>(Timer::now_us() - t0) / 1000.0;
+  r.rounds = cluster.ledger().rounds();
+  r.violations = cluster.ledger().violations().size();
+  r.stats = cluster.substrate_stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  RunResult seq = run(mpc::SubstrateKind::kSequential, 0);
+  RunResult tp = run(mpc::SubstrateKind::kThreadPool, 0);
+  const double speedup = tp.wall_ms > 0.0 ? seq.wall_ms / tp.wall_ms : 0.0;
+
+  Table t("Substrate smoke: E7 converge-cast, sequential vs thread-pool",
+          {"substrate", "wall_ms", "rounds", "step_ms", "exchange_ms",
+           "barrier_ms", "speedup"});
+  t.row({"sequential", Table::num(seq.wall_ms, 1),
+         std::to_string(seq.rounds), Table::num(seq.stats.step_ms, 1),
+         Table::num(seq.stats.exchange_ms, 1),
+         Table::num(seq.stats.barrier_wait_ms, 1), "1.00"});
+  t.row({"thread-pool", Table::num(tp.wall_ms, 1), std::to_string(tp.rounds),
+         Table::num(tp.stats.step_ms, 1), Table::num(tp.stats.exchange_ms, 1),
+         Table::num(tp.stats.barrier_wait_ms, 1), Table::num(speedup, 2)});
+  t.print();
+
+  if (seq.totals.empty() || tp.totals.empty() || seq.totals != tp.totals) {
+    std::cout << "REGRESSION: thread-pool converge-cast totals differ from "
+                 "the sequential reference\n";
+    return 1;
+  }
+  if (seq.rounds != tp.rounds) {
+    std::cout << "REGRESSION: ledger rounds differ across substrates ("
+              << seq.rounds << " vs " << tp.rounds << ")\n";
+    return 1;
+  }
+  if (seq.violations != 0 || tp.violations != 0) {
+    std::cout << "REGRESSION: capacity violations recorded\n";
+    return 1;
+  }
+  if (cores < 2) {
+    std::cout << "Claim check: identical totals and ledgers; speedup gate\n"
+                 "SKIPPED (hardware_concurrency=" << cores
+              << " — one core cannot run machine steps concurrently).\n";
+    return 0;
+  }
+  if (speedup <= 1.0) {
+    std::cout << "REGRESSION: thread-pool substrate is not faster than the\n"
+                 "sequential reference on " << cores << " cores (speedup "
+              << speedup << "x <= 1.0x)\n";
+    return 1;
+  }
+  std::cout << "Claim check: identical totals and ledgers, thread-pool "
+            << speedup << "x faster\nthan the sequential reference on "
+            << cores << " cores at p=" << kMachines << ".\n";
+  return 0;
+}

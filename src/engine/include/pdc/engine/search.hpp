@@ -24,14 +24,17 @@
 // one-PR deprecation window).
 //
 // kAuto backend resolution (the E7-style cutover): the sharded backend
-// pays one serialized machine-step pass plus converge-cast rounds per
-// block, so it only wins once every machine's shard carries enough
-// per-member formula work to amortize that overhead. resolve_backend
-// picks kSharded exactly when a cluster is present and the oracle's
-// item count reaches auto_items_per_machine per machine; the decision
-// is recorded in SearchStats::backend / backend_auto, and bench_e7
-// prints the measured crossover table the default is calibrated
-// against.
+// pays one machine-step pass plus converge-cast rounds per block, so
+// it only wins once every machine's shard carries enough per-member
+// formula work to amortize that overhead. resolve_backend picks
+// kSharded exactly when a cluster is present and the oracle's item
+// count reaches auto_items_per_machine per machine — divided by the
+// cluster's substrate concurrency, because a thread-pool substrate
+// (mpc::SubstrateKind::kThreadPool) splits the per-round step wall
+// across its workers and moves the crossover proportionally earlier.
+// The decision is recorded in SearchStats::backend / backend_auto, and
+// bench_e7 prints the measured crossover table (per substrate) the
+// default is calibrated against.
 
 #include <cstdint>
 
@@ -69,9 +72,12 @@ struct ExecutionPolicy {
   /// call sites stop hand-threading `report.absorb(sel.stats)`.
   SearchStats* stats_sink = nullptr;
   /// kAuto cutover: choose kSharded once item_count >=
-  /// auto_items_per_machine * machines (each shard must amortize the
-  /// serialized per-round overhead). Tests and benches tune it; the
-  /// default is calibrated against bench_e7's crossover table.
+  /// (auto_items_per_machine / substrate_concurrency) * machines —
+  /// each shard must amortize the per-round substrate overhead, and a
+  /// parallel substrate amortizes it substrate_concurrency times
+  /// faster. Tests and benches tune it; the default is calibrated
+  /// against bench_e7's crossover table (sequential substrate; see
+  /// bench/snapshots/BENCH_E7.json for the measured value).
   std::size_t auto_items_per_machine = 4096;
 };
 

@@ -18,9 +18,10 @@ inline std::int64_t decode(Word w) { return std::bit_cast<std::int64_t>(w); }
 
 /// Folds an inbox of width-wide partials into `storage` by integer
 /// addition. Returns false on a mis-framed message (wrong width)
-/// instead of throwing: machine steps run inside an OpenMP parallel
-/// region, where an escaping exception would terminate the process —
-/// callers check the flag host-side after the round.
+/// instead of throwing: machine steps may run on substrate worker
+/// threads (see the Substrate contract in cluster.hpp), where an
+/// escaping exception would terminate the process — callers check the
+/// flag host-side after the round.
 [[nodiscard]] bool fold_inbox(const std::vector<Word>& inbox,
                               std::vector<Word>& storage,
                               std::size_t width) {
@@ -131,7 +132,7 @@ std::vector<std::int64_t> converge_cast_sum(
         const MachineId parent =
             static_cast<MachineId>(m - m % parent_stride);
         sent_words[m] += storage.size();
-        ob.send(parent, std::vector<Word>(storage.begin(), storage.end()));
+        ob.send(parent, storage);  // copies into the outbox arena
       }
     });
   }

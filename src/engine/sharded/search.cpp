@@ -4,6 +4,8 @@
 
 #include "pdc/engine/search.hpp"
 
+#include <algorithm>
+
 #include "pdc/engine/sharded/sharded_search.hpp"
 #include "pdc/obs/obs.hpp"
 #include "pdc/util/check.hpp"
@@ -34,9 +36,16 @@ SearchBackend resolve_backend(const ExecutionPolicy& policy,
   }
   if (policy.cluster == nullptr) return SearchBackend::kSharedMemory;
   const std::size_t p = policy.cluster->num_machines();
-  return item_count >= policy.auto_items_per_machine * p
-             ? SearchBackend::kSharded
-             : SearchBackend::kSharedMemory;
+  // A parallel substrate divides the sharded backend's per-round
+  // machine-step wall across its workers, so the cutover floor drops
+  // proportionally: kSharded starts paying at item counts concurrency
+  // times smaller than on the sequential simulator.
+  const std::size_t conc =
+      std::max<unsigned>(1, policy.cluster->substrate_concurrency());
+  const std::size_t floor =
+      std::max<std::size_t>(1, policy.auto_items_per_machine / conc);
+  return item_count >= floor * p ? SearchBackend::kSharded
+                                 : SearchBackend::kSharedMemory;
 }
 
 namespace {

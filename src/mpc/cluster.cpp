@@ -1,11 +1,32 @@
 #include "pdc/mpc/cluster.hpp"
 
-#include <algorithm>
 #include <sstream>
 
-#include "pdc/util/parallel.hpp"
+#include "pdc/mpc/substrate.hpp"
+#include "pdc/obs/obs.hpp"
+#include "pdc/util/timer.hpp"
 
 namespace pdc::mpc {
+
+Cluster::Cluster(Config cfg, bool strict)
+    : cfg_(cfg), strict_(strict), storage_(cfg.num_machines),
+      inbox_(cfg.num_machines), outbox_(cfg.num_machines),
+      in_payload_(cfg.num_machines), in_msgs_(cfg.num_machines) {}
+
+Cluster::~Cluster() = default;
+
+Substrate& Cluster::substrate() {
+  if (!substrate_) substrate_ = make_substrate(cfg_);
+  return *substrate_;
+}
+
+const char* Cluster::substrate_name() const {
+  return to_string(cfg_.substrate);
+}
+
+unsigned Cluster::substrate_concurrency() const {
+  return planned_concurrency(cfg_);
+}
 
 void Cluster::check_space(MachineId m, std::uint64_t words, const char* what) {
   ledger_.observe_local_space(words);
@@ -20,42 +41,82 @@ void Cluster::check_space(MachineId m, std::uint64_t words, const char* what) {
 
 void Cluster::round(const StepFn& step) {
   const MachineId p = num_machines();
-  std::vector<Outbox> outboxes(p);
+  Substrate& sub = substrate();
+  obs::Span span("substrate.round");
 
-  parallel_for(p, [&](std::size_t m) {
-    step(static_cast<MachineId>(m), inbox_[m], storage_[m], outboxes[m]);
-  });
+  RoundBuffers buffers;
+  buffers.step = &step;
+  buffers.inbox = &inbox_;
+  buffers.storage = &storage_;
+  buffers.outbox = &outbox_;
+  buffers.inbox_frame_words = &in_msgs_;  // repurposed below: frame words
 
-  // Validate per-machine storage and outgoing volume.
+  // Capacity-preserving reset of the per-machine outbox arenas; with
+  // warm capacities the whole round performs no allocations (pinned by
+  // tests/test_substrate.cpp).
+  for (Outbox& ob : outbox_) ob.clear();
+
+  const std::uint64_t t0 = Timer::now_us();
+  sub.run_steps(buffers);
+  const std::uint64_t t1 = Timer::now_us();
+
+  // Host-side validation, identical on every substrate (machine order,
+  // ledger mutations, strict-mode exceptions all on this thread).
   std::uint64_t global = 0;
   for (MachineId m = 0; m < p; ++m) {
     check_space(m, storage_[m].size(), "local storage");
-    check_space(m, outboxes[m].words_sent(), "outgoing messages");
+    check_space(m, outbox_[m].words_sent(), "outgoing messages");
     global += storage_[m].size();
   }
   ledger_.observe_global_space(global);
 
-  // Exchange: deliver messages, each with {sender, length} header.
-  std::vector<std::uint64_t> incoming_words(p, 0);
+  // Per-destination incoming volume: payload words for the capacity
+  // check (headers ride free, as in the original simulator), payload +
+  // 2-word headers for the exchange's exact inbox reservation.
+  in_payload_.assign(p, 0);
+  in_msgs_.assign(p, 0);
   for (MachineId m = 0; m < p; ++m) {
-    for (auto& [to, payload] : outboxes[m].msgs_) {
-      PDC_CHECK_MSG(to < p, "message to nonexistent machine " << to);
-      incoming_words[to] += payload.size();
+    for (const Outbox::Msg& msg : outbox_[m].messages()) {
+      PDC_CHECK_MSG(msg.to < p, "message to nonexistent machine " << msg.to);
+      in_payload_[msg.to] += msg.len;
+      in_msgs_[msg.to] += 2 + msg.len;
     }
   }
   for (MachineId m = 0; m < p; ++m)
-    check_space(m, incoming_words[m], "incoming messages");
+    check_space(m, in_payload_[m], "incoming messages");
 
-  for (auto& ib : inbox_) ib.clear();
-  for (MachineId m = 0; m < p; ++m) {
-    for (auto& [to, payload] : outboxes[m].msgs_) {
-      auto& ib = inbox_[to];
-      ib.push_back(m);
-      ib.push_back(payload.size());
-      ib.insert(ib.end(), payload.begin(), payload.end());
-    }
-  }
+  const std::uint64_t t2 = Timer::now_us();
+  sub.exchange(buffers);
+  const std::uint64_t t3 = Timer::now_us();
   ledger_.add_rounds(1);
+
+  const double step_ms = static_cast<double>(t1 - t0) / 1000.0;
+  const double exchange_ms = static_cast<double>(t3 - t2) / 1000.0;
+  const std::uint64_t barrier_total = sub.barrier_wait_us();
+  const double barrier_ms =
+      static_cast<double>(barrier_total - barrier_wait_seen_us_) / 1000.0;
+  barrier_wait_seen_us_ = barrier_total;
+  substrate_stats_.rounds += 1;
+  substrate_stats_.step_ms += step_ms;
+  substrate_stats_.exchange_ms += exchange_ms;
+  substrate_stats_.barrier_wait_ms += barrier_ms;
+
+  if (span.active()) {
+    span.tag("substrate", sub.name());
+    span.tag_u64("machines", p);
+    span.tag_u64("step_us", t1 - t0);
+    span.tag_u64("exchange_us", t3 - t2);
+    span.tag_u64("barrier_wait_us",
+                 static_cast<std::uint64_t>(barrier_ms * 1000.0));
+  }
+  if (obs::metrics_enabled()) {
+    obs::Metrics& metrics = obs::Metrics::global();
+    const obs::Labels key{obs::current_phase(), "", "", sub.name()};
+    metrics.add("mpc.substrate.rounds", key, 1);
+    metrics.add_real("mpc.substrate.step_ms", key, step_ms);
+    metrics.add_real("mpc.substrate.exchange_ms", key, exchange_ms);
+    metrics.add_real("mpc.substrate.barrier_wait_ms", key, barrier_ms);
+  }
 }
 
 }  // namespace pdc::mpc

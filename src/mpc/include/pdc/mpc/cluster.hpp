@@ -1,12 +1,50 @@
 #pragma once
 // Executable MPC cluster: machines, synchronous rounds, capacity-checked
-// message exchange.
+// message exchange, pluggable execution substrate.
 //
 // Semantics follow Section 2.1: in each round every machine performs
 // arbitrary local computation on its resident words, then sends messages
 // to named machines; all words sent by a machine and all words received
-// by a machine in one round must fit in its local space s. Machine steps
-// run OpenMP-parallel (they are independent by the model's definition).
+// by a machine in one round must fit in its local space s.
+//
+// ## The Substrate contract (pdc/mpc/substrate.hpp)
+//
+// Cluster::round dispatches the two data-parallel halves of a round —
+// the machine steps and the message exchange — through a pluggable
+// mpc::Substrate selected by Config::substrate:
+//
+//   kSequential  the reference simulator: serial machine-step loop,
+//                serial sender-order exchange. The semantics oracle
+//                every other substrate is differentially tested
+//                against (ctest -L substrate).
+//   kThreadPool  persistent workers (machine m belongs to worker
+//                m % threads), pinned to cores best-effort, with the
+//                round phases separated by sense-reversing barriers
+//                and the exchange run as a parallel sender-sorted
+//                scatter (worker w builds the inboxes of destinations
+//                d with d % threads == w).
+//
+// Every substrate must preserve, bit for bit:
+//   - inbox framing: machine d's inbox is the concatenation, over
+//     senders m = 0..p-1 in ascending order, of m's messages to d in
+//     send order, each preceded by the 2-word {sender, length} header
+//     (for_each_message is the one reader of this format);
+//   - storage: step(m) is invoked exactly once per machine per round
+//     with that machine's previous-round inbox and its storage;
+//   - ledger charging: all space checks and round charges run
+//     host-side between the phases, in machine order, identically on
+//     every substrate (the capacity-violation exception therefore
+//     always throws on the host thread, never inside a worker).
+// Selections, SearchStats and Ledger round counts of any protocol
+// composed on Cluster::round are consequently substrate-invariant —
+// the differential suite in tests/test_substrate.cpp pins this for
+// the four engine search routes at machine counts 1..17.
+//
+// Steps run concurrently for distinct machines on parallel substrates
+// (they are independent by the model's definition) and must not throw —
+// an exception escaping a worker terminates the process; report
+// failures through captured state and check host-side, as the
+// converge-cast's fold_ok flags do.
 //
 // This substrate is exercised directly by the E7 experiment and the unit
 // tests for sorting/prefix primitives. The coloring pipeline charges its
@@ -16,6 +54,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,25 +68,80 @@ using Word = std::uint64_t;
 using MachineId = std::uint32_t;
 
 /// Per-step outbox handed to each machine; collects (dest, payload).
+/// Payload words live in one flat arena per machine, so steady-state
+/// rounds allocate nothing once capacities have warmed up (the
+/// capacity-preserving clear() runs at the top of every round) — the
+/// per-message std::vector of the original simulator was the round
+/// loop's allocation hot spot.
 class Outbox {
  public:
-  void send(MachineId to, std::vector<Word> payload) {
-    out_words_ += payload.size();
-    msgs_.emplace_back(to, std::move(payload));
+  void send(MachineId to, std::span<const Word> payload) {
+    msgs_.push_back({to, words_.size(), payload.size()});
+    words_.insert(words_.end(), payload.begin(), payload.end());
   }
-  std::uint64_t words_sent() const { return out_words_; }
+  void send(MachineId to, std::initializer_list<Word> payload) {
+    send(to, std::span<const Word>(payload.begin(), payload.size()));
+  }
+  void send(MachineId to, const std::vector<Word>& payload) {
+    send(to, std::span<const Word>(payload.data(), payload.size()));
+  }
+  std::uint64_t words_sent() const { return words_.size(); }
+
+  /// One queued message: destination plus its [offset, offset + len)
+  /// window of the arena. Read by the substrates' exchange scatter.
+  struct Msg {
+    MachineId to;
+    std::size_t offset;
+    std::size_t len;
+  };
+  std::span<const Msg> messages() const { return msgs_; }
+  std::span<const Word> payload(const Msg& m) const {
+    return std::span<const Word>(words_.data() + m.offset, m.len);
+  }
+
+  /// Capacity-preserving reset, run by Cluster::round before the steps.
+  void clear() {
+    msgs_.clear();
+    words_.clear();
+  }
 
  private:
-  friend class Cluster;
-  std::vector<std::pair<MachineId, std::vector<Word>>> msgs_;
-  std::uint64_t out_words_ = 0;
+  std::vector<Msg> msgs_;
+  std::vector<Word> words_;  // arena: every payload, concatenated
+};
+
+/// A machine step: read the previous round's inbox, mutate the
+/// machine's persistent storage, queue outgoing messages. May run
+/// concurrently for distinct machines (see the Substrate contract
+/// above); must not throw.
+using StepFn = std::function<void(MachineId, const std::vector<Word>& inbox,
+                                  std::vector<Word>& storage, Outbox&)>;
+
+class Substrate;  // pluggable round executor — pdc/mpc/substrate.hpp
+
+/// Host-side accounting of where round wall time goes, accumulated by
+/// Cluster::round across the cluster's lifetime. Mirrored into
+/// mpc.substrate.* metrics (per round, keyed by the open obs phase and
+/// the substrate name as the backend label) when metrics collection is
+/// on, and tagged onto the per-round substrate.round trace spans.
+struct SubstrateStats {
+  std::uint64_t rounds = 0;
+  /// Wall time in the machine-step phase, milliseconds.
+  double step_ms = 0.0;
+  /// Wall time in the message-exchange phase, milliseconds.
+  double exchange_ms = 0.0;
+  /// Time workers spent blocked at the round barriers, summed across
+  /// workers (zero on the sequential reference). High barrier wait with
+  /// low step time means the round is too fine-grained to parallelize.
+  double barrier_wait_ms = 0.0;
 };
 
 class Cluster {
  public:
-  explicit Cluster(Config cfg, bool strict = true)
-      : cfg_(cfg), strict_(strict), storage_(cfg.num_machines),
-        inbox_(cfg.num_machines) {}
+  explicit Cluster(Config cfg, bool strict = true);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   const Config& config() const { return cfg_; }
   Ledger& ledger() { return ledger_; }
@@ -69,9 +164,9 @@ class Cluster {
 
   /// Run one synchronous round: every machine executes `step`, then the
   /// produced messages are exchanged. Charges 1 round to the ledger and
-  /// verifies space/communication limits.
-  using StepFn = std::function<void(MachineId, const std::vector<Word>& inbox,
-                                    std::vector<Word>& storage, Outbox&)>;
+  /// verifies space/communication limits. Step execution and exchange
+  /// run on the configured substrate; all checks run host-side.
+  using StepFn = mpc::StepFn;
   void round(const StepFn& step);
 
   /// Convenience: run `k` rounds of the same step.
@@ -79,7 +174,20 @@ class Cluster {
     for (int i = 0; i < k; ++i) round(step);
   }
 
+  /// Cumulative substrate timing (all rounds so far).
+  const SubstrateStats& substrate_stats() const { return substrate_stats_; }
+  /// The configured substrate's stable name ("sequential" /
+  /// "thread-pool"); available without instantiating it.
+  const char* substrate_name() const;
+  /// Workers the configured substrate executes machine steps with
+  /// (1 for the sequential reference). The engine's kAuto backend
+  /// cutover divides its item floor by this — a parallel substrate
+  /// amortizes the sharded backend's per-round overhead, so kSharded
+  /// starts paying at proportionally smaller searches.
+  unsigned substrate_concurrency() const;
+
  private:
+  Substrate& substrate();
   void check_space(MachineId m, std::uint64_t words, const char* what);
 
   Config cfg_;
@@ -87,6 +195,14 @@ class Cluster {
   Ledger ledger_;
   std::vector<std::vector<Word>> storage_;
   std::vector<std::vector<Word>> inbox_;
+  std::vector<Outbox> outbox_;
+  // Per-destination scratch reused across rounds (payload words for the
+  // capacity check; message counts for exact inbox reservation).
+  std::vector<std::uint64_t> in_payload_;
+  std::vector<std::uint64_t> in_msgs_;
+  std::unique_ptr<Substrate> substrate_;  // created on first round
+  SubstrateStats substrate_stats_;
+  std::uint64_t barrier_wait_seen_us_ = 0;
 };
 
 /// Walks an inbox's {sender, length, payload...} frames, calling

@@ -12,11 +12,39 @@
 
 namespace pdc::mpc {
 
+/// Which execution substrate runs Cluster rounds (pdc/mpc/substrate.hpp).
+/// Determinism contract: every substrate produces bit-identical inboxes,
+/// storages and ledger accounting, so the choice is purely a performance
+/// decision — exactly like the engine's SearchBackend.
+enum class SubstrateKind : std::uint8_t {
+  /// The reference simulator: machine steps and the message exchange
+  /// run serially on the host thread.
+  kSequential,
+  /// Persistent pinned workers, rounds separated by sense-reversing
+  /// barriers, message exchange as a parallel sender-sorted scatter.
+  kThreadPool,
+};
+
+/// Stable names for trace tags and metric labels
+/// ("sequential" / "thread-pool").
+const char* to_string(SubstrateKind kind);
+
 struct Config {
   std::uint64_t n = 0;                 // number of graph nodes
   double phi = 0.5;                    // local-space exponent
   std::uint64_t local_space_words = 0; // s
   std::uint32_t num_machines = 0;
+
+  /// Execution substrate for Cluster::round.
+  SubstrateKind substrate = SubstrateKind::kSequential;
+  /// Thread-pool worker count; 0 derives it from the hardware
+  /// concurrency. Always clamped to [1, num_machines] — more workers
+  /// than machines would only wait at the barriers.
+  std::uint32_t substrate_threads = 0;
+  /// Best-effort worker-to-core pinning (Linux affinity; ignored where
+  /// unsupported). Off for oversubscribed test pools if contention on
+  /// one core matters more than locality.
+  bool pin_substrate_threads = true;
 
   /// Standard sublinear configuration: s = headroom * ceil(n^phi),
   /// machines = ceil(total_input_words / s) + n/s slack so each node can

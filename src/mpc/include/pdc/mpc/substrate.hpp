@@ -1,0 +1,143 @@
+#pragma once
+// Pluggable execution substrates for mpc::Cluster — the two
+// data-parallel halves of a synchronous round (machine steps, message
+// exchange) behind one interface, so the simulator and the real
+// parallel runtime are interchangeable without touching protocol code.
+//
+// The contract (documented in full on cluster.hpp): a substrate runs
+// step(m) exactly once per machine against that machine's buffers, and
+// delivers outboxes into inboxes with sender-sorted framing identical
+// to the sequential reference — bit for bit, so Selections and Ledger
+// accounting of anything composed on Cluster::round are
+// substrate-invariant. All capacity checks and ledger charges stay on
+// the host, between the phases; substrates only move data.
+//
+//   SequentialSubstrate  serial loops on the host thread — the
+//                        reference implementation and the semantics
+//                        oracle for the differential suite.
+//   ThreadPoolSubstrate  persistent workers created once and reused
+//                        every round (machine m and inbox-destination
+//                        d belong to worker index m % threads), pinned
+//                        to cores best-effort, with host and workers
+//                        meeting at sense-reversing barriers
+//                        (pdc/util/sense_barrier.hpp) twice per phase.
+//                        The exchange is a parallel sender-sorted
+//                        scatter: each worker walks every machine's
+//                        outbox in sender order and copies out only
+//                        the messages addressed to its destinations,
+//                        reproducing the reference framing with no
+//                        write contention.
+//
+// Worker-count resolution lives in planned_concurrency so the engine's
+// kAuto cutover can ask "how parallel would this cluster's rounds be"
+// without spinning the pool up.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pdc/mpc/cluster.hpp"
+#include "pdc/util/sense_barrier.hpp"
+
+namespace pdc::mpc {
+
+/// One round's buffers, lent to the substrate by Cluster::round.
+/// Indexed per machine; the substrate must not resize the outer
+/// vectors. `step` is only valid during run_steps.
+struct RoundBuffers {
+  const StepFn* step = nullptr;
+  std::vector<std::vector<Word>>* inbox = nullptr;
+  std::vector<std::vector<Word>>* storage = nullptr;
+  std::vector<Outbox>* outbox = nullptr;
+  /// Per-destination frame sizes computed by the host validation pass
+  /// (payload words + 2 header words per message), so exchange can
+  /// reserve each inbox exactly instead of growing it.
+  const std::vector<std::uint64_t>* inbox_frame_words = nullptr;
+};
+
+class Substrate {
+ public:
+  virtual ~Substrate() = default;
+
+  /// Stable name for trace tags / metric labels, matching
+  /// to_string(SubstrateKind).
+  virtual const char* name() const = 0;
+  /// Workers executing machine steps (1 for the sequential reference).
+  virtual unsigned concurrency() const = 0;
+
+  /// Phase 1: run step(m) once for every machine m, against inbox[m] /
+  /// storage[m] / outbox[m]. Outboxes arrive cleared.
+  virtual void run_steps(const RoundBuffers& r) = 0;
+  /// Phase 2: deliver every outbox message into the destination
+  /// inboxes with the reference sender-sorted framing. Called only
+  /// after the host validated destinations and capacities.
+  virtual void exchange(const RoundBuffers& r) = 0;
+
+  /// Cumulative microseconds workers have spent blocked at round
+  /// barriers (0 for substrates without barriers). Cluster::round
+  /// diffs successive readings into SubstrateStats::barrier_wait_ms.
+  virtual std::uint64_t barrier_wait_us() const { return 0; }
+};
+
+/// The worker count Config would resolve to: 1 for kSequential;
+/// for kThreadPool, substrate_threads (0 -> hardware concurrency)
+/// clamped to [1, num_machines].
+unsigned planned_concurrency(const Config& cfg);
+
+/// Builds the configured substrate. The thread-pool variant spawns its
+/// workers here — construct once per cluster, not per round (Cluster
+/// does this lazily on the first round).
+std::unique_ptr<Substrate> make_substrate(const Config& cfg);
+
+/// Reference implementation: both phases as serial host-side loops.
+class SequentialSubstrate final : public Substrate {
+ public:
+  const char* name() const override;
+  unsigned concurrency() const override { return 1; }
+  void run_steps(const RoundBuffers& r) override;
+  void exchange(const RoundBuffers& r) override;
+};
+
+/// Persistent worker pool; see the header comment for the round
+/// protocol. Thread-safe only in the Cluster::round sense: one host
+/// thread drives run_steps / exchange, never concurrently.
+class ThreadPoolSubstrate final : public Substrate {
+ public:
+  ThreadPoolSubstrate(MachineId machines, unsigned threads, bool pin);
+  ~ThreadPoolSubstrate() override;
+
+  const char* name() const override;
+  unsigned concurrency() const override { return threads_; }
+  void run_steps(const RoundBuffers& r) override;
+  void exchange(const RoundBuffers& r) override;
+  std::uint64_t barrier_wait_us() const override {
+    return barrier_wait_us_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kStep, kExchange, kStop };
+
+  void worker_main(unsigned w);
+  void run_phase(Phase phase, const RoundBuffers* r);
+
+  const MachineId machines_;
+  const unsigned threads_;
+  const bool pin_;
+  // Handshake: the host publishes phase_/round_, then host and workers
+  // meet at start_; workers run their machine slice and everyone meets
+  // at finish_. Plain (non-atomic) members are safe: they are written
+  // strictly before the start_ arrival and read strictly after it, and
+  // the barrier's release/acquire pair orders the accesses.
+  Phase phase_ = Phase::kStep;
+  const RoundBuffers* round_ = nullptr;
+  SenseBarrier start_;
+  SenseBarrier finish_;
+  bool host_start_sense_ = false;
+  bool host_finish_sense_ = false;
+  std::atomic<std::uint64_t> barrier_wait_us_{0};
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace pdc::mpc

@@ -69,7 +69,7 @@ int broadcast(Cluster& c, MachineId root, std::span<const Word> payload,
     if (m != root) return;
     for (MachineId leader = 0; leader < p; leader += f) {
       if (leader == 0) continue;  // root is leader of group 0
-      out.send(unrot(leader), std::vector<Word>(payload.begin(), payload.end()));
+      out.send(unrot(leader), payload);
     }
   });
   ++rounds;
@@ -236,7 +236,7 @@ void sample_sort(Cluster& c) {
     }
     st.clear();  // records leave this machine
     for (MachineId d = 0; d < p; ++d)
-      if (!buckets[d].empty()) out.send(d, std::move(buckets[d]));
+      if (!buckets[d].empty()) out.send(d, buckets[d]);
   });
 
   // Phase 5 (local): merge received runs into storage.

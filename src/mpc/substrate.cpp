@@ -1,0 +1,184 @@
+#include "pdc/mpc/substrate.hpp"
+
+#include <algorithm>
+
+#include "pdc/util/check.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pdc::mpc {
+
+namespace {
+
+/// Builds destination d's inbox from every machine's outbox — the one
+/// implementation of the exchange, shared by both substrates so the
+/// framing cannot drift. Senders are walked in ascending machine order
+/// and each sender's messages in send order, reproducing exactly what
+/// the original serial delivery loop produced; the write target is
+/// d's inbox alone, so concurrent calls for distinct destinations are
+/// race-free. The clear/reserve pair keeps steady-state rounds
+/// allocation-free: capacity persists across rounds and the reserve is
+/// exact (precomputed by the host validation pass).
+void deliver_inbox(const RoundBuffers& r, MachineId d) {
+  std::vector<Word>& ib = (*r.inbox)[d];
+  ib.clear();
+  ib.reserve((*r.inbox_frame_words)[d]);
+  const MachineId p = static_cast<MachineId>(r.outbox->size());
+  for (MachineId m = 0; m < p; ++m) {
+    const Outbox& ob = (*r.outbox)[m];
+    for (const Outbox::Msg& msg : ob.messages()) {
+      if (msg.to != d) continue;
+      ib.push_back(m);
+      ib.push_back(msg.len);
+      const std::span<const Word> pl = ob.payload(msg);
+      ib.insert(ib.end(), pl.begin(), pl.end());
+    }
+  }
+}
+
+void pin_to_core(unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::max(1u, std::thread::hardware_concurrency()), &set);
+  // Best effort: affinity may be restricted (cgroups, taskset); the
+  // substrate is correct unpinned, just less cache-stable.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(SubstrateKind kind) {
+  switch (kind) {
+    case SubstrateKind::kSequential: return "sequential";
+    case SubstrateKind::kThreadPool: return "thread-pool";
+  }
+  return "";
+}
+
+unsigned planned_concurrency(const Config& cfg) {
+  if (cfg.substrate == SubstrateKind::kSequential) return 1;
+  unsigned t = cfg.substrate_threads != 0
+                   ? cfg.substrate_threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp(t, 1u, std::max(1u, cfg.num_machines));
+}
+
+std::unique_ptr<Substrate> make_substrate(const Config& cfg) {
+  switch (cfg.substrate) {
+    case SubstrateKind::kSequential:
+      return std::make_unique<SequentialSubstrate>();
+    case SubstrateKind::kThreadPool:
+      return std::make_unique<ThreadPoolSubstrate>(
+          cfg.num_machines, planned_concurrency(cfg),
+          cfg.pin_substrate_threads);
+  }
+  PDC_CHECK_MSG(false, "unknown SubstrateKind");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// SequentialSubstrate
+// ---------------------------------------------------------------------
+
+const char* SequentialSubstrate::name() const {
+  return to_string(SubstrateKind::kSequential);
+}
+
+void SequentialSubstrate::run_steps(const RoundBuffers& r) {
+  const MachineId p = static_cast<MachineId>(r.storage->size());
+  for (MachineId m = 0; m < p; ++m)
+    (*r.step)(m, (*r.inbox)[m], (*r.storage)[m], (*r.outbox)[m]);
+}
+
+void SequentialSubstrate::exchange(const RoundBuffers& r) {
+  const MachineId p = static_cast<MachineId>(r.inbox->size());
+  for (MachineId d = 0; d < p; ++d) deliver_inbox(r, d);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPoolSubstrate
+// ---------------------------------------------------------------------
+
+ThreadPoolSubstrate::ThreadPoolSubstrate(MachineId machines, unsigned threads,
+                                         bool pin)
+    : machines_(machines),
+      threads_(std::clamp(threads, 1u, std::max<unsigned>(1, machines))),
+      pin_(pin),
+      start_(threads_ + 1),
+      finish_(threads_ + 1) {
+  pool_.reserve(threads_);
+  for (unsigned w = 0; w < threads_; ++w)
+    pool_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPoolSubstrate::~ThreadPoolSubstrate() {
+  run_phase(Phase::kStop, nullptr);
+  for (std::thread& t : pool_) t.join();
+}
+
+const char* ThreadPoolSubstrate::name() const {
+  return to_string(SubstrateKind::kThreadPool);
+}
+
+void ThreadPoolSubstrate::run_phase(Phase phase, const RoundBuffers* r) {
+  phase_ = phase;
+  round_ = r;
+  // The start barrier publishes phase_/round_ (release on arrival,
+  // acquire on the workers' exit); the finish barrier publishes the
+  // workers' writes back to the host. On kStop the workers exit before
+  // reaching finish_, so the host skips it too.
+  start_.arrive_and_wait(host_start_sense_);
+  if (phase != Phase::kStop) finish_.arrive_and_wait(host_finish_sense_);
+}
+
+void ThreadPoolSubstrate::worker_main(unsigned w) {
+  if (pin_) pin_to_core(w);
+  bool start_sense = false;
+  bool finish_sense = false;
+  std::uint64_t waited_us = 0;
+  for (;;) {
+    // The start wait is idle time between phases (host validation,
+    // cluster idle between rounds) — not a parallelism signal, so it
+    // is deliberately not measured. barrier_wait_us tracks only the
+    // finish barrier: workers done early waiting for stragglers.
+    start_.arrive_and_wait(start_sense);
+    const Phase phase = phase_;
+    if (phase == Phase::kStop) break;
+    const RoundBuffers& r = *round_;
+    // Strided ownership: machine (and destination) m belongs to worker
+    // m % threads — deterministic, and it spreads the traditionally
+    // heavier low-numbered machines (roots of the aggregation trees)
+    // across workers.
+    if (phase == Phase::kStep) {
+      for (MachineId m = w; m < machines_; m += threads_)
+        (*r.step)(m, (*r.inbox)[m], (*r.storage)[m], (*r.outbox)[m]);
+    } else {
+      for (MachineId d = w; d < machines_; d += threads_)
+        deliver_inbox(r, d);
+    }
+    finish_.arrive_and_wait(finish_sense, &waited_us);
+    // One relaxed add per phase, not per-arrival atomics in the hot
+    // wait loop.
+    if (waited_us != 0) {
+      barrier_wait_us_.fetch_add(waited_us, std::memory_order_relaxed);
+      waited_us = 0;
+    }
+  }
+}
+
+void ThreadPoolSubstrate::run_steps(const RoundBuffers& r) {
+  run_phase(Phase::kStep, &r);
+}
+
+void ThreadPoolSubstrate::exchange(const RoundBuffers& r) {
+  run_phase(Phase::kExchange, &r);
+}
+
+}  // namespace pdc::mpc

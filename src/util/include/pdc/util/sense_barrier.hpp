@@ -1,0 +1,87 @@
+#pragma once
+// Sense-reversing centralized barrier for persistent worker pools.
+//
+// The thread-pool substrate under mpc::Cluster separates synchronous
+// rounds with barriers: every worker (plus the host) arrives, and no
+// one proceeds until all have. A sense-reversing barrier makes the
+// episode counter implicit — each participant keeps a local sense bit
+// that flips per episode, the last arriver flips the shared sense and
+// resets the arrival count, and everyone else waits for the shared
+// sense to match their flipped local one. No episode can overtake the
+// previous: latecomers only reach the next arrive after observing the
+// flip that ends the current one.
+//
+// Waiting is two-stage: a short spin (the common case — all workers
+// reach the barrier within a round's tail) falling back to a futex
+// wait (std::atomic::wait), so oversubscribed pools — more machines
+// than cores, the p-workers-on-one-host shape — do not burn cores
+// spinning.
+
+#include <atomic>
+#include <cstdint>
+
+#include "pdc/util/timer.hpp"
+
+namespace pdc {
+
+class SenseBarrier {
+ public:
+  /// A barrier over `parties` participants (workers + host).
+  explicit SenseBarrier(std::uint32_t parties)
+      : parties_(parties), remaining_(parties) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Arrive and block until all parties have arrived this episode.
+  /// `local_sense` is the caller's per-participant sense bit: start it
+  /// at false and pass the same flag to every arrival on this barrier.
+  /// When `wait_us` is non-null, the microseconds this caller spent
+  /// blocked (arrival to release) are accumulated into it — the
+  /// barrier-wait observability the substrate's round spans report.
+  void arrive_and_wait(bool& local_sense,
+                       std::uint64_t* wait_us = nullptr) {
+    const bool episode = !local_sense;
+    local_sense = episode;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset for the next episode, then release everyone.
+      // The reset is ordered before the release store, so a participant
+      // that observes the flip (and only then can re-arrive) also
+      // observes the reset count.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(episode, std::memory_order_release);
+      sense_.notify_all();
+      return;
+    }
+    const std::uint64_t t0 = wait_us ? Timer::now_us() : 0;
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (sense_.load(std::memory_order_acquire) == episode) {
+        if (wait_us) *wait_us += Timer::now_us() - t0;
+        return;
+      }
+      cpu_relax();
+    }
+    while (sense_.load(std::memory_order_acquire) != episode)
+      sense_.wait(!episode, std::memory_order_acquire);
+    if (wait_us) *wait_us += Timer::now_us() - t0;
+  }
+
+  std::uint32_t parties() const { return parties_; }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  static constexpr int kSpins = 128;
+
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace pdc
