@@ -1,0 +1,175 @@
+// Service bench: what does coloring-as-a-service buy over re-running
+// the one-shot pipeline per delta?
+//
+//   leg 1  query throughput      — 1M query_color round trips
+//   leg 2  incremental recolor   — single-edge conflict deltas served
+//                                  by the damaged-region path (cache
+//                                  stats reported from the same leg)
+//   leg 3  full re-solve         — the same delta shape with
+//                                  full_resolve_fraction=0, i.e. the
+//                                  cost of NOT being incremental
+//
+// Claim gate (ISSUE 9 acceptance): incremental single-edge deltas at
+// n=50k must be >= 5x faster than the full-re-solve path. Exits 1 when
+// the gate fails; --no-gate reports without enforcing (for small --n
+// sweeps where both paths are milliseconds).
+//
+//   bench_service [--n N] [--p P] [--queries Q] [--deltas K]
+//                 [--json out.json] [--no-gate]
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/obs/cli.hpp"
+#include "pdc/service/service.hpp"
+#include "pdc/util/bench_json.hpp"
+#include "pdc/util/cli.hpp"
+#include "pdc/util/table.hpp"
+#include "pdc/util/timer.hpp"
+
+using namespace pdc;
+using service::ColoringService;
+using service::Mutation;
+
+namespace {
+
+/// The next conflict-delta candidate: two same-colored non-adjacent
+/// live nodes (smallest color class first, deterministic). Inserting
+/// that edge forces a 1-node damaged region.
+std::pair<NodeId, NodeId> find_conflict_pair(const ColoringService& svc) {
+  std::map<Color, std::vector<NodeId>> groups;
+  const auto& g = svc.graph();
+  for (NodeId v = 0; v < g.capacity(); ++v)
+    if (g.alive(v)) groups[svc.color_of(v)].push_back(v);
+  for (const auto& [c, nodes] : groups)
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      for (std::size_t j = i + 1; j < nodes.size() && j < i + 16; ++j)
+        if (!g.has_edge(nodes[i], nodes[j])) return {nodes[i], nodes[j]};
+  return {kInvalidNode, kInvalidNode};
+}
+
+/// Mean wall ms per single-edge conflict delta on `svc`.
+double time_conflict_deltas(ColoringService& svc, int deltas,
+                            std::uint64_t& damaged_total) {
+  double total_ms = 0.0;
+  for (int k = 0; k < deltas; ++k) {
+    auto [u, v] = find_conflict_pair(svc);
+    PDC_CHECK_MSG(u != kInvalidNode, "no conflict pair left at delta " << k);
+    const std::uint64_t t0 = Timer::now_us();
+    service::MutationResult r = svc.apply(Mutation::insert_edge(u, v));
+    total_ms += static_cast<double>(Timer::now_us() - t0) / 1000.0;
+    PDC_CHECK_MSG(r.valid, "delta " << k << " left an invalid coloring");
+    damaged_total += r.damaged;
+  }
+  return total_ms / deltas;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  obs::CliSession obs_session(args);
+  const NodeId n = static_cast<NodeId>(args.get_int("n", 50000));
+  const double p = args.get_double("p", 0.0004);
+  const std::uint64_t queries = args.get_int("queries", 1'000'000);
+  const int deltas = static_cast<int>(args.get_int("deltas", 32));
+  const int full_deltas = static_cast<int>(args.get_int("full-deltas", 3));
+
+  Graph g = gen::gnp(n, p, 1);
+  D1lcInstance inst = make_degree_plus_one(g);
+  std::cout << "instance: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree() << "\n";
+
+  // Same laptop-scale calibration as pdc_solve's CLI defaults (the
+  // library default of 10 seed bits costs 16x the sweep work).
+  d1lc::SolverOptions opt;
+  opt.l10.seed_bits = static_cast<int>(args.get_int("seed-bits", 6));
+
+  // One pipeline solve warm-starts BOTH services, so the bench times
+  // deltas, not two initial solves.
+  const std::uint64_t t0 = Timer::now_us();
+  d1lc::SolveResult base = d1lc::solve_d1lc(inst, opt);
+  const double solve_ms = static_cast<double>(Timer::now_us() - t0) / 1000.0;
+  PDC_CHECK(base.valid);
+
+  service::ServiceConfig incr_cfg;
+  incr_cfg.solver = opt;
+  ColoringService incr(inst, base.coloring, incr_cfg);
+  service::ServiceConfig full_cfg;
+  full_cfg.solver = opt;
+  full_cfg.full_resolve_fraction = 0.0;  // every delta pays a re-solve
+  ColoringService full(inst, base.coloring, full_cfg);
+
+  // --- Leg 1: query throughput. ---
+  const std::uint64_t q0 = Timer::now_us();
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < queries; ++i)
+    checksum += incr.query_color(static_cast<NodeId>(i % n));
+  const double query_ms = static_cast<double>(Timer::now_us() - q0) / 1000.0;
+  const double qps = queries / (query_ms / 1000.0);
+
+  // --- Leg 2: incremental single-edge conflict deltas (+ cache). ---
+  std::uint64_t incr_damaged = 0;
+  const double incr_mean_ms = time_conflict_deltas(incr, deltas, incr_damaged);
+  const auto& cache = incr.stats().cache;
+
+  // --- Leg 3: the same delta shape, forced through full re-solves. ---
+  std::uint64_t full_damaged = 0;
+  const double full_mean_ms =
+      time_conflict_deltas(full, full_deltas, full_damaged);
+
+  const double speedup = incr_mean_ms > 0.0 ? full_mean_ms / incr_mean_ms : 0.0;
+
+  Table t("Service: incremental recolor vs full re-solve per delta",
+          {"leg", "ops", "mean_ms", "note"});
+  t.row({"initial-solve", "1", Table::num(solve_ms, 1), "pipeline, one-shot"});
+  t.row({"query", std::to_string(queries),
+         Table::num(query_ms / static_cast<double>(queries), 6),
+         Table::num(qps / 1e6, 2) + "M q/s"});
+  t.row({"incremental", std::to_string(deltas), Table::num(incr_mean_ms, 3),
+         "cache " + std::to_string(cache.hits) + "h/" +
+             std::to_string(cache.misses) + "m"});
+  t.row({"full-resolve", std::to_string(full_deltas),
+         Table::num(full_mean_ms, 1), "fraction=0"});
+  t.row({"speedup", "", Table::num(speedup, 1), "full / incremental"});
+  t.print();
+
+  if (args.has("json")) {
+    util::BenchJson json;
+    json.obj()
+        .field("bench", "service")
+        .field("n", static_cast<std::uint64_t>(n))
+        .field("m", g.num_edges())
+        .field("initial_solve_ms", solve_ms)
+        .field("queries", queries)
+        .field("queries_per_sec", qps)
+        .field("query_checksum", checksum)
+        .field("deltas", static_cast<std::uint64_t>(deltas))
+        .field("incremental_mean_ms", incr_mean_ms)
+        .field("incremental_damaged", incr_damaged)
+        .field("cache_hits", cache.hits)
+        .field("cache_misses", cache.misses)
+        .field("full_deltas", static_cast<std::uint64_t>(full_deltas))
+        .field("full_mean_ms", full_mean_ms)
+        .field("speedup", speedup);
+    json.write(args.get("json", ""));
+  }
+  obs_session.flush();
+
+  if (!incr.query_validate() || !full.query_validate()) {
+    std::cout << "REGRESSION: a service left an invalid coloring\n";
+    return 1;
+  }
+  if (!args.has("no-gate") && speedup < 5.0) {
+    std::cout << "REGRESSION: incremental recolor is only " << speedup
+              << "x faster than a full re-solve per single-edge delta "
+                 "(gate: >= 5x)\n";
+    return 1;
+  }
+  std::cout << "Claim check: single-edge deltas served " << speedup
+            << "x faster than per-delta full re-solves at n=" << n << ".\n";
+  return !args.has("no-gate") && speedup < 5.0 ? 1 : 0;
+}

@@ -7,13 +7,19 @@
 #include <iostream>
 
 #include "pdc/apps/edge_coloring.hpp"
-#include "pdc/graph/generators.hpp"
+#include "pdc/graph/instance_cli.hpp"
 
 using namespace pdc;
 
-int main() {
-  // A mesh-ish topology: small-world over 600 radios.
-  Graph g = gen::small_world(600, 3, 0.1, 7);
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: edge_coloring [input flags]\n" << io::cli_graph_help();
+    return 0;
+  }
+  // Default: a mesh-ish topology, small-world over 600 radios.
+  Graph g = io::make_cli_graph(
+      args, {.kind = "smallworld", .n = 600, .d = 3, .seed = 7});
   std::cout << "mesh: radios=" << g.num_nodes() << " links=" << g.num_edges()
             << " max-contention(Delta)=" << g.max_degree() << "\n";
 

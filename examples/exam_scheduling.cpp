@@ -15,7 +15,9 @@
 
 #include "pdc/baseline/greedy.hpp"
 #include "pdc/d1lc/solver.hpp"
+#include "pdc/graph/coloring.hpp"
 #include "pdc/graph/graph.hpp"
+#include "pdc/graph/instance_cli.hpp"
 #include "pdc/util/rng.hpp"
 
 using namespace pdc;
@@ -56,10 +58,9 @@ int main() {
     for (Color slot = 0; slot < kRegularSlots; ++slot)
       if ((mix64(hash_combine(e, static_cast<std::uint64_t>(slot))) % 3) != 0)
         lists[e].push_back(slot);
-    Color overflow = kRegularSlots;
-    while (lists[e].size() < g.degree(e) + 1) lists[e].push_back(overflow++);
   }
-  D1lcInstance inst{g, PaletteSet::from_lists(std::move(lists))};
+  D1lcInstance inst{
+      g, io::pad_lists_to_degree_plus_one(g, std::move(lists), kRegularSlots)};
 
   // --- Schedule with the deterministic pipeline and compare to greedy.
   d1lc::SolverOptions opt;
@@ -71,7 +72,7 @@ int main() {
     std::uint64_t overflow_exams = 0;
     for (Color slot : c) overflow_exams += (slot >= kRegularSlots);
     std::cout << name << ": valid="
-              << (check_coloring(inst, c).complete_proper() ? "yes" : "NO")
+              << (is_proper_coloring(inst, c) ? "yes" : "NO")
               << " slots_used=" << count_colors_used(c)
               << " overflow_exams=" << overflow_exams << "\n";
   };

@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "pdc/graph/generators.hpp"
+#include "pdc/graph/instance_cli.hpp"
 #include "pdc/graph/io.hpp"
 #include "pdc/util/cli.hpp"
 
@@ -26,39 +26,21 @@ int main(int argc, char** argv) {
            "       hypercube core\n";
     return args.has("help") ? 0 : 1;
   }
-  const std::string kind = args.get("kind", "gnp");
-  const NodeId n = static_cast<NodeId>(args.get_int("n", 1000));
-  const std::uint64_t seed = args.get_int("seed", 1);
-  const double p = args.get_double("p", 0.01);
-  const std::uint32_t d = static_cast<std::uint32_t>(args.get_int("d", 4));
+  // This tool's historical flags (--kind/--seed) map onto the shared
+  // dispatch's defaults; the shared --gen/--gen-seed spellings win when
+  // both are given.
+  io::CliGraphDefaults dflt;
+  dflt.kind = args.get("kind", dflt.kind);
+  dflt.n = static_cast<NodeId>(
+      args.get_int("n", static_cast<std::int64_t>(1000)));
+  dflt.seed = args.get_int("seed", 1);
+  const std::uint64_t seed = dflt.seed;
 
   Graph g;
-  if (kind == "gnp") {
-    g = gen::gnp(n, p, seed);
-  } else if (kind == "regular") {
-    g = gen::near_regular(n, d, seed);
-  } else if (kind == "cliques") {
-    g = gen::planted_cliques(std::max<NodeId>(2, n / 20), 20, 0.3, seed).graph;
-  } else if (kind == "powerlaw") {
-    g = gen::power_law(n, 2.5, 8.0, seed);
-  } else if (kind == "smallworld") {
-    g = gen::small_world(n, d, 0.1, seed);
-  } else if (kind == "ba") {
-    g = gen::preferential_attachment(n, d, seed);
-  } else if (kind == "tree") {
-    g = gen::random_tree(n, seed);
-  } else if (kind == "grid") {
-    NodeId side = 1;
-    while ((side + 1) * (side + 1) <= n) ++side;
-    g = gen::grid(side, side);
-  } else if (kind == "hypercube") {
-    int dims = 1;
-    while ((NodeId{1} << (dims + 1)) <= n) ++dims;
-    g = gen::hypercube(dims);
-  } else if (kind == "core") {
-    g = gen::core_periphery(n, n / 10, p, 0.3, seed);
-  } else {
-    std::cerr << "unknown --kind " << kind << "\n";
+  try {
+    g = io::make_cli_graph(args, dflt);
+  } catch (const check_error& e) {
+    std::cerr << e.what() << "\n";
     return 1;
   }
 

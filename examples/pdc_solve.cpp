@@ -1,79 +1,43 @@
-// pdc_solve — command-line D1LC solver.
+// pdc_solve — command-line D1LC solver and coloring server.
 //
 //   pdc_solve --graph path.col            # DIMACS or edge list
 //   pdc_solve --instance path.d1lc        # edge list + palette lines
 //   pdc_solve --gen gnp --n 2000 --p 0.01 # built-in generators
+//   pdc_solve --gen gnp --n 50000 --serve # coloring-as-a-service REPL
 //
 // Flags: --mode det|rand, --seed-bits K, --phi X, --delta X,
 //        --passes K, --out coloring.txt, --detail
+// Serve: --full-fraction X, --cache N, --max-pending N
 //
-// Prints the solve summary (validity, colors, rounds, space,
-// attribution); --detail adds the per-procedure derandomization tables.
+// One-shot mode prints the solve summary (validity, colors, rounds,
+// space, attribution); --detail adds the per-procedure derandomization
+// tables. --serve solves once, then reads one command per stdin line:
+//
+//   query V | neighbors V | colors-used | validate | stats
+//   insert U V | delete U V | add-vertex | del-vertex V   (batched)
+//   flush | quit
+//
+// Mutations coalesce in a service::Batcher and apply as one batch on
+// flush / max-pending / any query; the exit code reflects a final
+// validate.
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "pdc/d1lc/report.hpp"
 #include "pdc/d1lc/solver.hpp"
-#include "pdc/graph/generators.hpp"
-#include "pdc/graph/io.hpp"
+#include "pdc/graph/instance_cli.hpp"
 #include "pdc/obs/cli.hpp"
+#include "pdc/service/batcher.hpp"
+#include "pdc/service/service.hpp"
 #include "pdc/util/cli.hpp"
 
 using namespace pdc;
 
 namespace {
 
-D1lcInstance make_instance(const CliArgs& args) {
-  if (args.has("instance")) return io::load_instance(args.get("instance", ""));
-  if (args.has("graph")) {
-    Graph g = io::load_graph(args.get("graph", ""));
-    return make_degree_plus_one(g);
-  }
-  const std::string kind = args.get("gen", "gnp");
-  const NodeId n = static_cast<NodeId>(args.get_int("n", 2000));
-  const std::uint64_t seed = args.get_int("gen-seed", 1);
-  Graph g;
-  if (kind == "gnp") {
-    g = gen::gnp(n, args.get_double("p", 0.01), seed);
-  } else if (kind == "cliques") {
-    g = gen::planted_cliques(n / 20, 20, 0.3, seed).graph;
-  } else if (kind == "powerlaw") {
-    g = gen::power_law(n, 2.5, 8.0, seed);
-  } else if (kind == "smallworld") {
-    g = gen::small_world(n, 4, 0.1, seed);
-  } else if (kind == "ba") {
-    g = gen::preferential_attachment(n, 4, seed);
-  } else {
-    PDC_CHECK_MSG(false, "unknown --gen " << kind
-                         << " (gnp|cliques|powerlaw|smallworld|ba)");
-  }
-  std::uint32_t extra = static_cast<std::uint32_t>(args.get_int("extra", 0));
-  if (extra > 0) {
-    return make_random_lists(g, static_cast<Color>(g.max_degree()) + 2 * extra,
-                             extra, seed + 1);
-  }
-  return make_degree_plus_one(g);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
-  if (args.has("help")) {
-    std::cout << "usage: pdc_solve [--graph F | --instance F | --gen KIND]\n"
-                 "  --n N --p P --extra K --gen-seed S   generator knobs\n"
-                 "  --mode det|rand   (default det)\n"
-                 "  --seed-bits K     PRG seed length (default 6)\n"
-                 "  --phi X --delta X --passes K\n"
-                 "  --out FILE        write 'node color' lines\n"
-                 "  --detail          per-procedure tables\n"
-              << obs::CliSession::help();
-    return 0;
-  }
-  obs::CliSession obs_session(args);
-  D1lcInstance inst = make_instance(args);
-
+d1lc::SolverOptions make_solver_options(const CliArgs& args) {
   d1lc::SolverOptions opt;
   opt.mode = args.get("mode", "det") == "rand" ? d1lc::Mode::kRandomized
                                                : d1lc::Mode::kDeterministic;
@@ -82,7 +46,144 @@ int main(int argc, char** argv) {
   opt.delta = args.get_double("delta", opt.delta);
   opt.middle_passes = static_cast<int>(args.get_int("passes", 2));
   opt.seed = args.get_int("seed", 1);
+  return opt;
+}
 
+void print_mutation_result(const service::MutationResult& r) {
+  std::cout << "applied request=" << r.request_id << " changed=" << r.applied
+            << " damaged=" << r.damaged << " full=" << (r.full_resolve ? 1 : 0)
+            << " cache=" << (r.cache_hit ? 1 : 0)
+            << " valid=" << (r.valid ? 1 : 0);
+  if (!r.new_vertices.empty()) {
+    std::cout << " new-vertices=";
+    for (std::size_t i = 0; i < r.new_vertices.size(); ++i)
+      std::cout << (i ? "," : "") << r.new_vertices[i];
+  }
+  std::cout << "\n";
+}
+
+void print_stats(const service::ColoringService& svc) {
+  const service::ServiceStats& s = svc.stats();
+  std::cout << "stat requests " << s.requests << "\n"
+            << "stat queries " << s.queries << "\n"
+            << "stat batches " << s.batches << "\n"
+            << "stat mutations " << s.mutations << "\n"
+            << "stat incremental_recolors " << s.incremental_recolors << "\n"
+            << "stat full_resolves " << s.full_resolves << "\n"
+            << "stat damaged_nodes " << s.damaged_nodes << "\n"
+            << "stat recolored_nodes " << s.recolored_nodes << "\n"
+            << "stat cache_hits " << s.cache.hits << "\n"
+            << "stat cache_misses " << s.cache.misses << "\n"
+            << "stat cache_rejected_hits " << s.cache.rejected_hits << "\n"
+            << "stat live_vertices " << svc.graph().num_alive() << "\n"
+            << "stat live_edges " << svc.graph().num_edges() << "\n";
+}
+
+int run_serve(const CliArgs& args, const D1lcInstance& inst) {
+  service::ServiceConfig cfg;
+  cfg.solver = make_solver_options(args);
+  cfg.full_resolve_fraction = args.get_double("full-fraction", 0.25);
+  cfg.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 1024));
+  service::ColoringService svc(inst, cfg);
+  service::Batcher front(
+      svc, static_cast<std::size_t>(args.get_int("max-pending", 256)));
+  std::cout << "serving n=" << svc.graph().num_alive()
+            << " m=" << svc.graph().num_edges() << "\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    try {
+      if (cmd == "query") {
+        NodeId v = 0;
+        is >> v;
+        std::cout << "color " << v << " " << front.query_color(v) << "\n";
+      } else if (cmd == "neighbors") {
+        NodeId v = 0;
+        is >> v;
+        std::cout << "neighborhood";
+        for (auto [u, c] : front.query_neighborhood(v))
+          std::cout << " " << u << ":" << c;
+        std::cout << "\n";
+      } else if (cmd == "colors-used") {
+        std::cout << "colors-used " << front.query_colors_used() << "\n";
+      } else if (cmd == "validate") {
+        std::cout << "valid " << (front.query_validate() ? 1 : 0) << "\n";
+      } else if (cmd == "stats") {
+        front.flush();
+        print_stats(svc);
+      } else if (cmd == "insert" || cmd == "delete") {
+        NodeId u = 0, v = 0;
+        is >> u >> v;
+        auto r = front.enqueue(cmd == "insert"
+                                   ? service::Mutation::insert_edge(u, v)
+                                   : service::Mutation::delete_edge(u, v));
+        if (r) print_mutation_result(*r);
+        else std::cout << "queued " << front.pending() << "\n";
+      } else if (cmd == "add-vertex") {
+        auto r = front.enqueue(service::Mutation::insert_vertex());
+        if (r) print_mutation_result(*r);
+        else std::cout << "queued " << front.pending() << "\n";
+      } else if (cmd == "del-vertex") {
+        NodeId v = 0;
+        is >> v;
+        auto r = front.enqueue(service::Mutation::delete_vertex(v));
+        if (r) print_mutation_result(*r);
+        else std::cout << "queued " << front.pending() << "\n";
+      } else if (cmd == "flush") {
+        auto r = front.flush();
+        if (r) print_mutation_result(*r);
+        else std::cout << "empty\n";
+      } else {
+        std::cout << "error: unknown command '" << cmd << "'\n";
+      }
+    } catch (const check_error& e) {
+      // A bad request (dead id, self-loop, ...) fails THAT command; the
+      // service and the session keep going.
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+
+  const bool ok = front.query_validate();
+  std::cout << "final valid " << (ok ? 1 : 0) << "\n";
+  print_stats(svc);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: pdc_solve [input flags] [--serve]\n"
+              << io::cli_graph_help()
+              << "  --mode det|rand   (default det)\n"
+                 "  --seed-bits K     PRG seed length (default 6)\n"
+                 "  --phi X --delta X --passes K\n"
+                 "  --out FILE        write 'node color' lines\n"
+                 "  --detail          per-procedure tables\n"
+                 "  --serve           REPL server on stdin (query/insert/\n"
+                 "                    delete/add-vertex/del-vertex/flush/\n"
+                 "                    stats/validate/quit)\n"
+                 "  --full-fraction X --cache N --max-pending N   serve knobs\n"
+              << obs::CliSession::help();
+    return 0;
+  }
+  obs::CliSession obs_session(args);
+  D1lcInstance inst = io::make_cli_instance(args);
+
+  if (args.has("serve")) {
+    const int rc = run_serve(args, inst);
+    obs_session.flush();
+    return rc;
+  }
+
+  d1lc::SolverOptions opt = make_solver_options(args);
   d1lc::SolveResult result = d1lc::solve_d1lc(inst, opt);
   if (obs_session.metrics()) result.ledger.publish(obs::Metrics::global());
   d1lc::print_summary(std::cout, inst, result);

@@ -15,6 +15,7 @@
 
 #include "pdc/d1lc/solver.hpp"
 #include "pdc/graph/graph.hpp"
+#include "pdc/graph/instance_cli.hpp"
 #include "pdc/util/rng.hpp"
 
 using namespace pdc;
@@ -69,10 +70,9 @@ int main() {
     // Callee-saved-clobbering ranges may not use r8..r15.
     Color top = ranges[v].clobbers_callee_saved ? 8 : kPhysRegs;
     for (Color c = 0; c < top; ++c) lists[v].push_back(c);
-    Color spill = kPhysRegs;
-    while (lists[v].size() < g.degree(v) + 1) lists[v].push_back(spill++);
   }
-  D1lcInstance inst{g, PaletteSet::from_lists(std::move(lists))};
+  D1lcInstance inst{
+      g, io::pad_lists_to_degree_plus_one(g, std::move(lists), kPhysRegs)};
 
   // --- Allocate deterministically (same binary, same allocation —
   //     exactly what a reproducible-build toolchain wants). ---

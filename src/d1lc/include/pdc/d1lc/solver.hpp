@@ -17,8 +17,10 @@
 // Randomized mode runs the same structure with true randomness and no
 // deferral (failures simply retry / fall through), reproducing Lemma 4.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pdc/d1lc/low_degree.hpp"
@@ -92,5 +94,88 @@ SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt);
 void mid_degree_color(const D1lcInstance& inst, const SolverOptions& opt,
                       mpc::CostModel& cost, Coloring& out,
                       SolveResult& agg);
+
+// ---------------------------------------------------------------------
+// Region-constrained solving — the incremental-recoloring entry point
+// (pdc::service's damaged-region recolor rides this).
+// ---------------------------------------------------------------------
+
+/// The residual instance induced by `region` inside a larger partially
+/// colored graph: the region's induced subgraph, with each region
+/// node's palette minus the colors held by its colored neighbors
+/// OUTSIDE the region (the fixed exterior). Self-reducibility keeps
+/// this a valid D1LC instance: a node loses at most one palette color
+/// per colored exterior neighbor, so |Ψ'(v)| >= deg_region(v) + 1
+/// survives from |Ψ(v)| >= deg(v) + 1.
+struct RegionInstance {
+  D1lcInstance instance;          // local ids = positions in to_parent
+  std::vector<NodeId> to_parent;  // sorted ascending parent ids
+};
+
+/// Builds the region instance from any adjacency source exposing
+/// `neighbors(v)` as a sorted span — pdc::Graph or the service layer's
+/// DynamicGraph — and a palette callback `palette_of(v)` returning a
+/// sorted span of colors. Colors of region nodes in `coloring` are
+/// ignored (the region is being recolored); only colored exterior
+/// neighbors constrain. `region` may arrive unsorted; duplicates are
+/// rejected.
+template <class GraphLike, class PaletteFn>
+RegionInstance build_region_instance(const GraphLike& g,
+                                     PaletteFn&& palette_of,
+                                     std::span<const Color> coloring,
+                                     std::span<const NodeId> region) {
+  RegionInstance out;
+  out.to_parent.assign(region.begin(), region.end());
+  std::sort(out.to_parent.begin(), out.to_parent.end());
+  PDC_CHECK_MSG(std::adjacent_find(out.to_parent.begin(),
+                                   out.to_parent.end()) == out.to_parent.end(),
+                "duplicate node in region");
+  const NodeId n_local = static_cast<NodeId>(out.to_parent.size());
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(out.to_parent.size());
+  for (NodeId i = 0; i < n_local; ++i) local.emplace(out.to_parent[i], i);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::vector<Color>> lists(n_local);
+  std::vector<Color> blocked;
+  for (NodeId i = 0; i < n_local; ++i) {
+    const NodeId v = out.to_parent[i];
+    blocked.clear();
+    for (NodeId u : g.neighbors(v)) {
+      auto it = local.find(u);
+      if (it != local.end()) {
+        if (v < u) edges.emplace_back(i, it->second);
+      } else if (coloring[u] != kNoColor) {
+        blocked.push_back(coloring[u]);
+      }
+    }
+    std::sort(blocked.begin(), blocked.end());
+    auto pal = palette_of(v);
+    std::vector<Color>& keep = lists[i];
+    keep.reserve(pal.size());
+    for (Color c : pal)
+      if (!std::binary_search(blocked.begin(), blocked.end(), c))
+        keep.push_back(c);
+  }
+  out.instance.graph = Graph::from_edges(n_local, std::move(edges));
+  out.instance.palettes = PaletteSet::from_lists(std::move(lists));
+  return out;
+}
+
+struct RegionSolveResult {
+  /// The solve over the region instance (local ids; `coloring` already
+  /// holds the lifted colors on return).
+  SolveResult solve;
+  std::vector<NodeId> region;  // sorted parent ids
+};
+
+/// Recolors exactly `region` in place: the exterior coloring is fixed,
+/// region nodes are re-solved from their exterior-restricted palettes
+/// with the full deterministic pipeline (same SolverOptions —
+/// ExecutionPolicy, Lemma-10 strategy, backend resolution — as a
+/// whole-graph solve), and the result is lifted back into `coloring`.
+RegionSolveResult solve_region(const Graph& g, const PaletteSet& palettes,
+                               std::span<const NodeId> region,
+                               Coloring& coloring, const SolverOptions& opt);
 
 }  // namespace pdc::d1lc

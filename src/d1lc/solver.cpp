@@ -231,4 +231,21 @@ SolveResult solve_d1lc(const D1lcInstance& inst, const SolverOptions& opt) {
   return result;
 }
 
+RegionSolveResult solve_region(const Graph& g, const PaletteSet& palettes,
+                               std::span<const NodeId> region,
+                               Coloring& coloring, const SolverOptions& opt) {
+  obs::Span span("d1lc.solve_region", obs::SpanKind::kPhase);
+  if (span.active()) {
+    span.tag_u64("region", region.size());
+    span.tag_u64("nodes", g.num_nodes());
+  }
+  RegionSolveResult out;
+  RegionInstance ri = build_region_instance(
+      g, [&](NodeId v) { return palettes.palette(v); }, coloring, region);
+  out.solve = solve_d1lc(ri.instance, opt);
+  lift_coloring(ri.to_parent, out.solve.coloring, coloring);
+  out.region = std::move(ri.to_parent);
+  return out;
+}
+
 }  // namespace pdc::d1lc

@@ -43,6 +43,26 @@ ColoringCheck check_coloring(const Graph& g, std::span<const Color> coloring,
   return out;
 }
 
+bool is_proper_coloring(const Graph& g, std::span<const Color> coloring,
+                        const PaletteSet* palettes) {
+  return check_coloring(g, coloring, palettes).complete_proper();
+}
+
+bool validate_partial(const Graph& g, std::span<const Color> coloring,
+                      std::span<const NodeId> region,
+                      const PaletteSet* palettes) {
+  PDC_CHECK(coloring.size() == g.num_nodes());
+  for (NodeId v : region) {
+    PDC_CHECK(v < g.num_nodes());
+    if (coloring[v] == kNoColor) return false;
+    if (palettes != nullptr && !palettes->contains(v, coloring[v]))
+      return false;
+    for (NodeId u : g.neighbors(v))
+      if (coloring[u] == coloring[v]) return false;
+  }
+  return true;
+}
+
 std::uint64_t count_colors_used(std::span<const Color> coloring) {
   std::vector<Color> used(coloring.begin(), coloring.end());
   std::sort(used.begin(), used.end());

@@ -33,6 +33,29 @@ inline ColoringCheck check_coloring(const D1lcInstance& inst,
   return check_coloring(inst.graph, coloring, &inst.palettes);
 }
 
+/// True iff every node is colored, no edge is monochromatic, and (when
+/// `palettes` is given) every color is drawn from its node's palette —
+/// the pipeline's end-to-end guarantee as a single predicate. Prefer
+/// this over hand-rolled neighbor loops in tests and smoke paths;
+/// check_coloring() returns the per-violation counts when they matter.
+bool is_proper_coloring(const Graph& g, std::span<const Color> coloring,
+                        const PaletteSet* palettes = nullptr);
+
+inline bool is_proper_coloring(const D1lcInstance& inst,
+                               std::span<const Color> coloring) {
+  return is_proper_coloring(inst.graph, coloring, &inst.palettes);
+}
+
+/// Validates only the constraints incident to `region`: every region
+/// node must be colored, within its palette (when `palettes` is given),
+/// and conflict-free against ALL of its neighbors — colored exterior
+/// neighbors included. Nodes outside the region are never required to
+/// be colored, so this is the partial-coloring invariant an incremental
+/// recolor must restore after touching exactly `region`.
+bool validate_partial(const Graph& g, std::span<const Color> coloring,
+                      std::span<const NodeId> region,
+                      const PaletteSet* palettes = nullptr);
+
 /// Number of distinct colors used (ignores uncolored nodes).
 std::uint64_t count_colors_used(std::span<const Color> coloring);
 

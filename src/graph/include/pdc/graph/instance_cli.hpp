@@ -1,0 +1,58 @@
+#pragma once
+// Shared graph-loading / generation dispatch for the command-line
+// tools and examples (pdc_solve, pdc_gen, edge_coloring, ...). Every
+// CLI used to carry its own copy of the generator switch and the
+// degree+1 padding loop; this is the single home for both.
+//
+//   Graph g = io::make_cli_graph(args, {.kind = "smallworld", .n = 600});
+//   D1lcInstance inst = io::make_cli_instance(args);
+//
+// Flags understood (all optional, defaults from CliGraphDefaults):
+//   --graph F      load a graph file (.col => DIMACS)
+//   --instance F   load a full D1LC instance (make_cli_instance only)
+//   --gen KIND     generator: gnp regular cliques powerlaw smallworld
+//                  ba tree grid hypercube core
+//   --n N --p P --d D --gen-seed S    generator knobs
+//   --extra K      make_cli_instance: random lists with K extra colors
+
+#include <string>
+#include <vector>
+
+#include "pdc/graph/palette.hpp"
+#include "pdc/util/cli.hpp"
+
+namespace pdc::io {
+
+/// Per-tool defaults for the generator knobs; flags override.
+struct CliGraphDefaults {
+  std::string kind = "gnp";
+  NodeId n = 2000;
+  double p = 0.01;
+  std::uint32_t d = 4;
+  std::uint64_t seed = 1;
+};
+
+/// The generator switch shared by every CLI: --graph loads a file,
+/// otherwise --gen picks a family from pdc::gen. Throws check_error on
+/// an unknown kind.
+Graph make_cli_graph(const CliArgs& args, const CliGraphDefaults& dflt = {});
+
+/// Full instance dispatch: --instance loads one, --graph wraps the
+/// graph in degree+1 palettes, otherwise generate via make_cli_graph
+/// (with --extra K: random lists with K extra colors per node).
+D1lcInstance make_cli_instance(const CliArgs& args,
+                               const CliGraphDefaults& dflt = {});
+
+/// Help lines describing the shared flags, for the tools' --help.
+const char* cli_graph_help();
+
+/// Pads per-node feasible lists up to degree+1 with fresh overflow
+/// colors starting at `first_overflow` — the exam-scheduling /
+/// register-allocation move that turns "preferred colors" into a valid
+/// D1LC instance (you can always schedule if you allow enough
+/// overflow). Lists are consumed; the padded PaletteSet is returned.
+PaletteSet pad_lists_to_degree_plus_one(const Graph& g,
+                                        std::vector<std::vector<Color>> lists,
+                                        Color first_overflow);
+
+}  // namespace pdc::io

@@ -1,0 +1,86 @@
+#include "pdc/graph/instance_cli.hpp"
+
+#include <algorithm>
+
+#include "pdc/graph/generators.hpp"
+#include "pdc/graph/io.hpp"
+
+namespace pdc::io {
+
+Graph make_cli_graph(const CliArgs& args, const CliGraphDefaults& dflt) {
+  if (args.has("graph")) return load_graph(args.get("graph", ""));
+  const std::string kind = args.get("gen", dflt.kind);
+  const NodeId n = static_cast<NodeId>(
+      args.get_int("n", static_cast<std::int64_t>(dflt.n)));
+  const double p = args.get_double("p", dflt.p);
+  const std::uint32_t d =
+      static_cast<std::uint32_t>(args.get_int("d", dflt.d));
+  const std::uint64_t seed =
+      args.get_int("gen-seed", static_cast<std::int64_t>(dflt.seed));
+
+  if (kind == "gnp") return gen::gnp(n, p, seed);
+  if (kind == "regular") return gen::near_regular(n, d, seed);
+  if (kind == "cliques")
+    return gen::planted_cliques(std::max<NodeId>(2, n / 20), 20, 0.3, seed)
+        .graph;
+  if (kind == "powerlaw") return gen::power_law(n, 2.5, 8.0, seed);
+  if (kind == "smallworld") return gen::small_world(n, d, 0.1, seed);
+  if (kind == "ba") return gen::preferential_attachment(n, d, seed);
+  if (kind == "tree") return gen::random_tree(n, seed);
+  if (kind == "grid") {
+    NodeId side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return gen::grid(side, side);
+  }
+  if (kind == "hypercube") {
+    int dims = 1;
+    while ((NodeId{1} << (dims + 1)) <= n) ++dims;
+    return gen::hypercube(dims);
+  }
+  if (kind == "core") return gen::core_periphery(n, n / 10, p, 0.3, seed);
+  PDC_CHECK_MSG(false, "unknown --gen " << kind
+                       << " (gnp|regular|cliques|powerlaw|smallworld|ba|"
+                          "tree|grid|hypercube|core)");
+}
+
+D1lcInstance make_cli_instance(const CliArgs& args,
+                               const CliGraphDefaults& dflt) {
+  if (args.has("instance")) return load_instance(args.get("instance", ""));
+  Graph g = make_cli_graph(args, dflt);
+  const std::uint32_t extra =
+      static_cast<std::uint32_t>(args.get_int("extra", 0));
+  const std::uint64_t seed =
+      args.get_int("gen-seed", static_cast<std::int64_t>(dflt.seed));
+  if (extra > 0) {
+    return make_random_lists(g, static_cast<Color>(g.max_degree()) + 2 * extra,
+                             extra, seed + 1);
+  }
+  return make_degree_plus_one(g);
+}
+
+const char* cli_graph_help() {
+  return "  --graph F | --instance F | --gen KIND   input selection\n"
+         "  --n N --p P --d D --gen-seed S --extra K generator knobs\n"
+         "  kinds: gnp regular cliques powerlaw smallworld ba tree grid\n"
+         "         hypercube core\n";
+}
+
+PaletteSet pad_lists_to_degree_plus_one(const Graph& g,
+                                        std::vector<std::vector<Color>> lists,
+                                        Color first_overflow) {
+  PDC_CHECK(lists.size() == g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Color overflow = first_overflow;
+    while (lists[v].size() < g.degree(v) + 1) {
+      // Overflow colors must be fresh per node, or dedup inside
+      // from_lists would leave the list short of degree+1.
+      if (std::find(lists[v].begin(), lists[v].end(), overflow) ==
+          lists[v].end())
+        lists[v].push_back(overflow);
+      ++overflow;
+    }
+  }
+  return PaletteSet::from_lists(std::move(lists));
+}
+
+}  // namespace pdc::io

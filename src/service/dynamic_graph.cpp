@@ -1,0 +1,74 @@
+#include "pdc/service/dynamic_graph.hpp"
+
+#include <algorithm>
+
+namespace pdc::service {
+
+DynamicGraph::DynamicGraph(const Graph& g) {
+  adj_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    adj_[v].assign(nb.begin(), nb.end());
+  }
+  alive_.assign(g.num_nodes(), 1);
+  alive_count_ = g.num_nodes();
+  m_ = g.num_edges();
+}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
+  if (u >= capacity() || v >= capacity()) return false;
+  const auto& small = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId other = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(small.begin(), small.end(), other);
+}
+
+NodeId DynamicGraph::add_vertex() {
+  adj_.emplace_back();
+  alive_.push_back(1);
+  ++alive_count_;
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void DynamicGraph::remove_vertex(NodeId v) {
+  PDC_CHECK_MSG(alive(v), "remove_vertex: dead or unknown id " << v);
+  for (NodeId u : adj_[v]) {
+    auto& nb = adj_[u];
+    nb.erase(std::lower_bound(nb.begin(), nb.end(), v));
+  }
+  m_ -= adj_[v].size();
+  adj_[v].clear();
+  adj_[v].shrink_to_fit();
+  alive_[v] = 0;
+  --alive_count_;
+}
+
+bool DynamicGraph::add_edge(NodeId u, NodeId v) {
+  if (u == v || !alive(u) || !alive(v) || has_edge(u, v)) return false;
+  adj_[u].insert(std::lower_bound(adj_[u].begin(), adj_[u].end(), v), v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++m_;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(NodeId u, NodeId v) {
+  if (!has_edge(u, v)) return false;
+  auto& nu = adj_[u];
+  auto& nv = adj_[v];
+  nu.erase(std::lower_bound(nu.begin(), nu.end(), v));
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --m_;
+  return true;
+}
+
+Graph DynamicGraph::to_graph() const {
+  std::vector<std::uint64_t> offsets(capacity() + 1, 0);
+  for (NodeId v = 0; v < capacity(); ++v)
+    offsets[v + 1] = offsets[v] + adj_[v].size();
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(offsets.back());
+  for (NodeId v = 0; v < capacity(); ++v)
+    adjacency.insert(adjacency.end(), adj_[v].begin(), adj_[v].end());
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace pdc::service

@@ -1,0 +1,93 @@
+#pragma once
+// Batching front door for a ColoringService. Mutations from concurrent
+// producers enqueue into a pending buffer instead of hitting the
+// service one at a time; a flush drains the buffer into a single
+// apply_batch() call, so N coalesced deltas pay for ONE damaged-region
+// sweep. Because apply_batch canonicalizes its input into a set, the
+// result is independent of the order producers happened to enqueue in —
+// coalescing never changes the answer, only the cost.
+//
+// Consistency contract: queries routed through the batcher
+// (query_color etc.) flush pending mutations first, so every read
+// observes all writes enqueued before it. Direct reads on the
+// underlying service may lag by at most the pending buffer.
+//
+// Flush triggers: explicitly (flush()), on any batcher query, or
+// automatically once `max_pending` mutations are buffered. The batcher
+// serializes access to the service: enqueue/flush/query are safe to
+// call from multiple threads.
+
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pdc/service/service.hpp"
+
+namespace pdc::service {
+
+class Batcher {
+ public:
+  /// Borrows the service; `max_pending` bounds the buffer (a further
+  /// enqueue flushes first). 0 means flush on every enqueue.
+  explicit Batcher(ColoringService& service, std::size_t max_pending = 256)
+      : service_(service), max_pending_(max_pending) {}
+
+  /// Buffer a mutation. Returns the flush result if this enqueue
+  /// tripped max_pending, otherwise nothing happened yet.
+  std::optional<MutationResult> enqueue(const Mutation& m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(m);
+    if (pending_.size() > max_pending_) return flush_locked();
+    return std::nullopt;
+  }
+
+  /// Apply everything pending as one batch. No-op (nullopt) when empty.
+  std::optional<MutationResult> flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flush_locked();
+  }
+
+  // --- Read-your-writes queries: flush, then forward. ---
+  Color query_color(NodeId v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+    return service_.query_color(v);
+  }
+  std::vector<std::pair<NodeId, Color>> query_neighborhood(NodeId v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+    return service_.query_neighborhood(v);
+  }
+  bool query_validate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+    return service_.query_validate();
+  }
+  std::uint64_t query_colors_used() {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked();
+    return service_.query_colors_used();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+  ColoringService& service() { return service_; }
+
+ private:
+  std::optional<MutationResult> flush_locked() {
+    if (pending_.empty()) return std::nullopt;
+    std::vector<Mutation> batch = std::move(pending_);
+    pending_.clear();
+    return service_.apply_batch(batch);
+  }
+
+  ColoringService& service_;
+  std::size_t max_pending_;
+  mutable std::mutex mu_;
+  std::vector<Mutation> pending_;
+};
+
+}  // namespace pdc::service

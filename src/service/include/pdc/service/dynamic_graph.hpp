@@ -1,0 +1,62 @@
+#pragma once
+// Mutable simple undirected graph backing the coloring service. The
+// library's Graph is an immutable CSR (the right substrate for the
+// solver's sweeps); a long-lived service needs cheap edge/vertex
+// deltas, so DynamicGraph keeps one sorted neighbor vector per node and
+// materializes CSR views only for the (rare) full re-solves.
+//
+// Node ids are append-only: add_vertex() returns capacity() and deleted
+// ids are never reused, so ids handed to clients stay stable for the
+// service's lifetime. Dead nodes keep their slot (degree 0, alive() ==
+// false).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdc/graph/graph.hpp"
+
+namespace pdc::service {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  /// Adopts an existing CSR graph; every node starts alive.
+  explicit DynamicGraph(const Graph& g);
+
+  /// Total id space ever allocated (alive + dead).
+  NodeId capacity() const { return static_cast<NodeId>(adj_.size()); }
+  NodeId num_alive() const { return alive_count_; }
+  std::uint64_t num_edges() const { return m_; }
+
+  bool alive(NodeId v) const { return v < capacity() && alive_[v]; }
+  std::uint32_t degree(NodeId v) const {
+    PDC_ASSERT(v < capacity());
+    return static_cast<std::uint32_t>(adj_[v].size());
+  }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    PDC_ASSERT(v < capacity());
+    return adj_[v];
+  }
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// New isolated vertex; returns its id (== previous capacity()).
+  NodeId add_vertex();
+  /// Removes v and all incident edges. Id is retired, never reused.
+  void remove_vertex(NodeId v);
+  /// False (no-op) if the edge exists, u == v, or an endpoint is dead.
+  bool add_edge(NodeId u, NodeId v);
+  /// False (no-op) if the edge does not exist.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// CSR snapshot over the full id space; dead nodes are isolated.
+  Graph to_graph() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;  // sorted per node
+  std::vector<char> alive_;
+  NodeId alive_count_ = 0;
+  std::uint64_t m_ = 0;
+};
+
+}  // namespace pdc::service

@@ -1,0 +1,76 @@
+#pragma once
+// Seed/palette cache for incremental recoloring. The deterministic
+// pipeline makes a region solve a pure function of its inputs: the
+// region's induced subgraph plus each node's exterior-restricted
+// palette fully determine every seed search and therefore the final
+// region coloring. The cache keys on a signature of exactly those
+// inputs (local-id structure, not parent ids — so isomorphic damage at
+// different graph locations hits the same entry) and stores the solved
+// region coloring, letting repeated delta shapes skip their seed
+// searches entirely.
+//
+// Signatures are 64-bit hashes; collisions are survivable because the
+// service validates every cache hit against the live graph with
+// validate_partial() before committing (a mismatch counts as a miss).
+// Entries are evicted LRU once `capacity` is reached.
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdc/graph/palette.hpp"
+
+namespace pdc::service {
+
+struct RegionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_hits = 0;  // signature matched, validation failed
+};
+
+class RegionCache {
+ public:
+  explicit RegionCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Signature over a region instance: size, local CSR structure, and
+  /// per-node restricted palettes. `phase` salts the key so distinct
+  /// solve configurations (e.g. recolor vs full) never share entries.
+  static std::uint64_t signature(const D1lcInstance& instance,
+                                 std::string_view phase);
+
+  /// The cached region coloring (local ids), or nullptr. Accounting is
+  /// the caller's: report the outcome via record_hit()/record_miss()
+  /// once the hit has been validated (or rejected).
+  const std::vector<Color>* lookup(std::uint64_t signature);
+
+  void insert(std::uint64_t signature, std::vector<Color> colors);
+
+  void record_hit() { ++stats_.hits; }
+  void record_miss() { ++stats_.misses; }
+  /// A signature hit whose colors failed live validation (collision or
+  /// stale entry): counted separately AND as a miss.
+  void record_rejected_hit() {
+    ++stats_.rejected_hits;
+    ++stats_.misses;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const RegionCacheStats& stats() const { return stats_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t sig;
+    std::vector<Color> colors;
+  };
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
+  RegionCacheStats stats_;
+};
+
+}  // namespace pdc::service

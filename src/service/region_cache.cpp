@@ -1,0 +1,52 @@
+#include "pdc/service/region_cache.hpp"
+
+#include "pdc/util/rng.hpp"
+
+namespace pdc::service {
+
+std::uint64_t RegionCache::signature(const D1lcInstance& instance,
+                                     std::string_view phase) {
+  std::uint64_t h = 0x5EEDFACADEULL;
+  for (char c : phase)
+    h = hash_combine(h, static_cast<std::uint64_t>(
+                            static_cast<unsigned char>(c)));
+  const Graph& g = instance.graph;
+  h = hash_combine(h, g.num_nodes());
+  for (std::uint64_t off : g.offsets()) h = hash_combine(h, off);
+  for (NodeId u : g.adjacency()) h = hash_combine(h, u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Color c : instance.palettes.palette(v))
+      h = hash_combine(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+const std::vector<Color>* RegionCache::lookup(std::uint64_t signature) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->colors;
+}
+
+void RegionCache::insert(std::uint64_t signature, std::vector<Color> colors) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    it->second->colors = std::move(colors);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back().sig);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{signature, std::move(colors)});
+  entries_.emplace(signature, lru_.begin());
+}
+
+void RegionCache::clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace pdc::service

@@ -1,0 +1,435 @@
+#include "pdc/service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/obs/obs.hpp"
+#include "pdc/util/timer.hpp"
+
+namespace pdc::service {
+
+namespace {
+
+obs::Labels service_labels() {
+  return obs::Labels{.phase = "service", .route = {}, .plane = {},
+                     .backend = {}};
+}
+
+/// Per-request metrics, assembled locally and absorbed into the global
+/// registry in one shot — the server-side publication discipline.
+void publish_query_metrics(double wall_ms) {
+  if (!obs::metrics_enabled()) return;
+  obs::Metrics m;
+  const obs::Labels l = service_labels();
+  m.add("service.requests", l, 1);
+  m.add("service.queries", l, 1);
+  m.add_real("service.request_ms", l, wall_ms);
+  obs::Metrics::global().absorb(m);
+}
+
+void publish_mutation_metrics(const MutationResult& r, std::uint64_t batch,
+                              double wall_ms) {
+  if (!obs::metrics_enabled()) return;
+  obs::Metrics m;
+  const obs::Labels l = service_labels();
+  m.add("service.requests", l, 1);
+  m.add("service.batches", l, 1);
+  m.add("service.mutations", l, batch);
+  m.add("service.mutations_applied", l, r.applied);
+  m.add("service.damaged_nodes", l, r.damaged);
+  if (r.damaged > 0) {
+    m.add(r.full_resolve ? "service.full_resolves"
+                         : "service.incremental_recolors",
+          l, 1);
+    m.add(r.cache_hit ? "service.cache_hits" : "service.cache_misses", l, 1);
+  }
+  m.add_real("service.request_ms", l, wall_ms);
+  obs::Metrics::global().absorb(m);
+}
+
+}  // namespace
+
+ColoringService::ColoringService(const D1lcInstance& base, ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity) {
+  adopt_instance(base);
+  full_resolve(nullptr);
+}
+
+ColoringService::ColoringService(const Graph& g, ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity) {
+  graph_ = DynamicGraph(g);
+  colors_.assign(graph_.capacity(), kNoColor);
+  init_palettes_degree_plus_one();
+  full_resolve(nullptr);
+}
+
+ColoringService::ColoringService(const D1lcInstance& base, Coloring initial,
+                                 ServiceConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity) {
+  adopt_instance(base);
+  PDC_CHECK_MSG(is_proper_coloring(base, initial),
+                "warm-start coloring is not complete and proper");
+  colors_ = std::move(initial);
+}
+
+void ColoringService::adopt_instance(const D1lcInstance& base) {
+  PDC_CHECK_MSG(base.valid(), "service input is not a valid D1LC instance");
+  graph_ = DynamicGraph(base.graph);
+  colors_.assign(graph_.capacity(), kNoColor);
+  palettes_.resize(graph_.capacity());
+  for (NodeId v = 0; v < graph_.capacity(); ++v) {
+    auto pal = base.palettes.palette(v);
+    palettes_[v].assign(pal.begin(), pal.end());
+  }
+}
+
+void ColoringService::init_palettes_degree_plus_one() {
+  palettes_.assign(graph_.capacity(), {});
+  for (NodeId v = 0; v < graph_.capacity(); ++v) grow_palette(v);
+}
+
+void ColoringService::grow_palette(NodeId v) {
+  std::vector<Color>& pal = palettes_[v];
+  const std::size_t need = static_cast<std::size_t>(graph_.degree(v)) + 1;
+  // Insert the smallest absent colors, keeping the list sorted. One
+  // merge-style walk: candidate c climbs past present colors.
+  std::size_t i = 0;
+  Color c = 0;
+  while (pal.size() < need) {
+    if (i < pal.size() && pal[i] <= c) {
+      if (pal[i] == c) ++c;
+      ++i;
+      continue;
+    }
+    pal.insert(pal.begin() + static_cast<std::ptrdiff_t>(i), c);
+    ++i;
+    ++c;
+  }
+}
+
+const ServiceStats& ColoringService::stats() const {
+  stats_.cache = cache_.stats();
+  return stats_;
+}
+
+d1lc::RegionInstance ColoringService::snapshot_instance() const {
+  std::vector<NodeId> live;
+  live.reserve(graph_.num_alive());
+  for (NodeId v = 0; v < graph_.capacity(); ++v)
+    if (graph_.alive(v)) live.push_back(v);
+  const Coloring none(graph_.capacity(), kNoColor);
+  return d1lc::build_region_instance(
+      graph_, [&](NodeId v) { return std::span<const Color>(palettes_[v]); },
+      none, live);
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+namespace {
+struct QueryScope {
+  obs::Span span;
+  std::uint64_t start_us;
+  explicit QueryScope(std::uint64_t request_id, const char* kind)
+      : span("service.request", obs::SpanKind::kPhase),
+        start_us(Timer::now_us()) {
+    if (span.active()) {
+      span.tag_u64("request_id", request_id);
+      span.tag("kind", kind);
+    }
+  }
+  ~QueryScope() {
+    publish_query_metrics(
+        static_cast<double>(Timer::now_us() - start_us) / 1000.0);
+  }
+};
+}  // namespace
+
+Color ColoringService::query_color(NodeId v) {
+  QueryScope scope(next_request_++, "color");
+  ++stats_.requests;
+  ++stats_.queries;
+  return color_of(v);
+}
+
+std::vector<Color> ColoringService::query_colors(
+    std::span<const NodeId> nodes) {
+  QueryScope scope(next_request_++, "colors");
+  ++stats_.requests;
+  ++stats_.queries;
+  std::vector<Color> out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) out.push_back(color_of(v));
+  return out;
+}
+
+std::vector<std::pair<NodeId, Color>> ColoringService::query_neighborhood(
+    NodeId v) {
+  QueryScope scope(next_request_++, "neighborhood");
+  ++stats_.requests;
+  ++stats_.queries;
+  PDC_CHECK_MSG(graph_.alive(v), "query for dead or unknown id " << v);
+  std::vector<std::pair<NodeId, Color>> out;
+  out.reserve(graph_.degree(v) + 1u);
+  out.emplace_back(v, colors_[v]);
+  for (NodeId u : graph_.neighbors(v)) out.emplace_back(u, colors_[u]);
+  return out;
+}
+
+bool ColoringService::query_validate() {
+  QueryScope scope(next_request_++, "validate");
+  ++stats_.requests;
+  ++stats_.queries;
+  for (NodeId v = 0; v < graph_.capacity(); ++v) {
+    if (!graph_.alive(v)) continue;
+    if (colors_[v] == kNoColor) return false;
+    if (!std::binary_search(palettes_[v].begin(), palettes_[v].end(),
+                            colors_[v]))
+      return false;
+    for (NodeId u : graph_.neighbors(v))
+      if (colors_[u] == colors_[v]) return false;
+  }
+  return true;
+}
+
+std::uint64_t ColoringService::query_colors_used() {
+  QueryScope scope(next_request_++, "colors-used");
+  ++stats_.requests;
+  ++stats_.queries;
+  std::vector<Color> live;
+  live.reserve(graph_.num_alive());
+  for (NodeId v = 0; v < graph_.capacity(); ++v)
+    if (graph_.alive(v)) live.push_back(colors_[v]);
+  return count_colors_used(live);
+}
+
+// ---------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------
+
+MutationResult ColoringService::apply_batch(std::span<const Mutation> batch) {
+  const std::uint64_t rid = next_request_++;
+  const std::uint64_t start_us = Timer::now_us();
+  obs::Span req("service.request", obs::SpanKind::kPhase);
+  if (req.active()) {
+    req.tag_u64("request_id", rid);
+    req.tag("kind", "mutation-batch");
+  }
+  obs::Span bspan("service.batch");
+  if (bspan.active()) {
+    bspan.tag_u64("request_id", rid);
+    bspan.tag_u64("mutations", batch.size());
+  }
+
+  MutationResult out;
+  out.request_id = rid;
+  ++stats_.requests;
+  ++stats_.batches;
+  stats_.mutations += batch.size();
+
+  // Canonicalize: a batch is a set. Vertex inserts land first (ids
+  // capacity()..capacity()+k-1), then edge inserts, edge deletes, and
+  // vertex deletes — each class deduplicated — so any arrival order of
+  // the same multiset produces the same state and the same coloring.
+  std::size_t vertex_inserts = 0;
+  std::vector<std::pair<NodeId, NodeId>> edge_inserts, edge_deletes;
+  std::vector<NodeId> vertex_deletes;
+  for (const Mutation& mu : batch) {
+    switch (mu.kind) {
+      case MutationKind::kInsertVertex:
+        ++vertex_inserts;
+        break;
+      case MutationKind::kDeleteVertex:
+        vertex_deletes.push_back(mu.u);
+        break;
+      case MutationKind::kInsertEdge:
+        edge_inserts.emplace_back(std::min(mu.u, mu.v), std::max(mu.u, mu.v));
+        break;
+      case MutationKind::kDeleteEdge:
+        edge_deletes.emplace_back(std::min(mu.u, mu.v), std::max(mu.u, mu.v));
+        break;
+    }
+  }
+  auto canon = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  canon(edge_inserts);
+  canon(edge_deletes);
+  canon(vertex_deletes);
+
+  // Validate every reference BEFORE mutating anything, so a bad batch
+  // is rejected atomically (throws with the graph and coloring
+  // untouched). Ids in [capacity, capacity + vertex_inserts) refer to
+  // this batch's own vertex inserts.
+  const NodeId cap0 = graph_.capacity();
+  auto will_exist = [&](NodeId v) {
+    return v < cap0 ? graph_.alive(v) : v < cap0 + vertex_inserts;
+  };
+  for (auto [u, v] : edge_inserts) {
+    PDC_CHECK_MSG(u != v, "self-loop edge insert on " << u);
+    PDC_CHECK_MSG(will_exist(u) && will_exist(v),
+                  "edge insert references dead or unknown id (" << u << ", "
+                                                                << v << ")");
+  }
+  for (auto [u, v] : edge_deletes)
+    PDC_CHECK_MSG(will_exist(u) && will_exist(v),
+                  "edge delete references dead or unknown id (" << u << ", "
+                                                                << v << ")");
+  for (NodeId v : vertex_deletes)
+    PDC_CHECK_MSG(will_exist(v),
+                  "vertex delete references dead or unknown id " << v);
+
+  for (std::size_t k = 0; k < vertex_inserts; ++k) {
+    const NodeId id = graph_.add_vertex();
+    colors_.push_back(kNoColor);
+    palettes_.emplace_back();
+    out.new_vertices.push_back(id);
+    ++out.applied;
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  for (auto [u, v] : edge_inserts)
+    if (graph_.add_edge(u, v)) inserted.emplace_back(u, v);
+  out.applied += inserted.size();
+  for (auto [u, v] : edge_deletes) out.applied += graph_.remove_edge(u, v);
+  for (NodeId v : vertex_deletes) {
+    graph_.remove_vertex(v);
+    colors_[v] = kNoColor;
+    palettes_[v].clear();
+    ++out.applied;
+  }
+
+  // Degree+1 palette maintenance after the structure settles (final
+  // degrees => deterministic palettes).
+  std::vector<NodeId> touched(out.new_vertices.begin(),
+                              out.new_vertices.end());
+  for (auto [u, v] : inserted) {
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  canon(touched);
+  for (NodeId v : touched)
+    if (graph_.alive(v)) grow_palette(v);
+
+  // Damaged region: new vertices (uncolored) plus, per surviving
+  // inserted edge whose endpoints collide, the higher endpoint — a
+  // deterministic choice, so the region is a function of the batch set.
+  std::vector<NodeId> damaged;
+  for (NodeId v : out.new_vertices)
+    if (graph_.alive(v)) damaged.push_back(v);
+  for (auto [u, v] : inserted) {
+    if (!graph_.alive(u) || !graph_.alive(v) || !graph_.has_edge(u, v))
+      continue;
+    if (colors_[u] != kNoColor && colors_[u] == colors_[v])
+      damaged.push_back(std::max(u, v));
+  }
+  canon(damaged);
+  out.damaged = damaged.size();
+  stats_.damaged_nodes += damaged.size();
+  if (bspan.active()) bspan.tag_u64("damaged", out.damaged);
+  if (req.active()) req.tag_u64("damaged", out.damaged);
+
+  if (damaged.empty()) {
+    out.valid = true;
+  } else if (static_cast<double>(damaged.size()) >
+             cfg_.full_resolve_fraction *
+                 static_cast<double>(graph_.num_alive())) {
+    full_resolve(&out);
+  } else {
+    recolor_region(std::move(damaged), out);
+  }
+
+  publish_mutation_metrics(
+      out, batch.size(),
+      static_cast<double>(Timer::now_us() - start_us) / 1000.0);
+  return out;
+}
+
+void ColoringService::recolor_region(std::vector<NodeId> region,
+                                     MutationResult& out) {
+  const std::uint64_t start_us = Timer::now_us();
+  obs::Span span("service.recolor");
+  if (span.active()) {
+    span.tag_u64("request_id", out.request_id);
+    span.tag_u64("region", region.size());
+    span.tag("mode", "incremental");
+  }
+  for (NodeId v : region) colors_[v] = kNoColor;
+  d1lc::RegionInstance ri = d1lc::build_region_instance(
+      graph_, [&](NodeId v) { return std::span<const Color>(palettes_[v]); },
+      colors_, region);
+
+  const std::uint64_t sig =
+      cache_.capacity() > 0 ? RegionCache::signature(ri.instance, "recolor")
+                            : 0;
+  bool served = false;
+  if (cache_.capacity() > 0) {
+    if (const std::vector<Color>* hit = cache_.lookup(sig)) {
+      // The restricted palettes already encode the exterior, so a
+      // proper in-palette coloring of the region instance is safe to
+      // commit as-is. Collisions/stale entries fail this check and
+      // fall through to a real solve.
+      if (hit->size() == ri.to_parent.size() &&
+          is_proper_coloring(ri.instance.graph, *hit,
+                             &ri.instance.palettes)) {
+        lift_coloring(ri.to_parent, *hit, colors_);
+        cache_.record_hit();
+        out.cache_hit = true;
+        out.valid = true;
+        served = true;
+      } else {
+        cache_.record_rejected_hit();
+      }
+    } else {
+      cache_.record_miss();
+    }
+  }
+
+  if (!served) {
+    d1lc::SolveResult r = d1lc::solve_d1lc(ri.instance, cfg_.solver);
+    stats_.seed_search.absorb(r.seed_search);
+    out.valid = r.valid;
+    lift_coloring(ri.to_parent, r.coloring, colors_);
+    if (cfg_.cache_capacity > 0 && r.valid)
+      cache_.insert(sig, std::move(r.coloring));
+  }
+
+  ++stats_.incremental_recolors;
+  stats_.recolored_nodes += region.size();
+  stats_.recolor_ms +=
+      static_cast<double>(Timer::now_us() - start_us) / 1000.0;
+  if (span.active()) span.tag("cache", out.cache_hit ? "hit" : "miss");
+}
+
+void ColoringService::full_resolve(MutationResult* out) {
+  const std::uint64_t start_us = Timer::now_us();
+  obs::Span span("service.recolor");
+  std::vector<NodeId> live;
+  live.reserve(graph_.num_alive());
+  for (NodeId v = 0; v < graph_.capacity(); ++v)
+    if (graph_.alive(v)) live.push_back(v);
+  if (span.active()) {
+    if (out != nullptr) span.tag_u64("request_id", out->request_id);
+    span.tag_u64("region", live.size());
+    span.tag("mode", "full");
+  }
+  for (NodeId v : live) colors_[v] = kNoColor;
+  d1lc::RegionInstance ri = d1lc::build_region_instance(
+      graph_, [&](NodeId v) { return std::span<const Color>(palettes_[v]); },
+      colors_, live);
+  d1lc::SolveResult r = d1lc::solve_d1lc(ri.instance, cfg_.solver);
+  stats_.seed_search.absorb(r.seed_search);
+  lift_coloring(ri.to_parent, r.coloring, colors_);
+  if (out != nullptr) {
+    out->full_resolve = true;
+    out->valid = r.valid;
+  }
+  ++stats_.full_resolves;
+  stats_.recolored_nodes += live.size();
+  stats_.full_ms += static_cast<double>(Timer::now_us() - start_us) / 1000.0;
+}
+
+}  // namespace pdc::service

@@ -1,0 +1,439 @@
+// Tests for pdc::service (ctest -L service): the DynamicGraph delta
+// structure, the shared coloring checkers, incremental-vs-full
+// equivalence (after ANY mutation sequence the coloring is complete,
+// proper, and in-palette — the same guarantee the one-shot pipeline
+// gives — and a full re-solve from the same state agrees), region-cache
+// accounting, batch-coalescing determinism, and the full-re-solve
+// fallback.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/graph/generators.hpp"
+#include "pdc/service/batcher.hpp"
+#include "pdc/service/service.hpp"
+
+namespace pdc {
+namespace {
+
+using service::ColoringService;
+using service::Mutation;
+using service::MutationResult;
+using service::ServiceConfig;
+
+// The full service invariant: every live node colored, in its palette,
+// and conflict-free. Checked through the public surface.
+void expect_invariant(ColoringService& svc, const char* where) {
+  EXPECT_TRUE(svc.query_validate()) << where;
+  const auto& g = svc.graph();
+  for (NodeId v = 0; v < g.capacity(); ++v) {
+    if (!g.alive(v)) continue;
+    auto pal = svc.palette_of(v);
+    EXPECT_GE(pal.size(), static_cast<std::size_t>(g.degree(v)) + 1)
+        << where << ": degree+1 palette discipline broken at " << v;
+  }
+}
+
+// ---- DynamicGraph. ----
+
+TEST(DynamicGraph, MirrorsSeedGraph) {
+  Graph g = gen::gnp(200, 0.05, 3);
+  service::DynamicGraph dg(g);
+  EXPECT_EQ(dg.capacity(), g.num_nodes());
+  EXPECT_EQ(dg.num_alive(), g.num_nodes());
+  EXPECT_EQ(dg.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto a = g.neighbors(v);
+    auto b = dg.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(DynamicGraph, EdgeInsertDeleteRoundTrip) {
+  service::DynamicGraph dg(gen::grid(3, 3));
+  const std::uint64_t m0 = dg.num_edges();
+  EXPECT_FALSE(dg.has_edge(0, 8));
+  EXPECT_TRUE(dg.add_edge(0, 8));
+  EXPECT_FALSE(dg.add_edge(8, 0));  // already present
+  EXPECT_FALSE(dg.add_edge(4, 4));  // self-loop
+  EXPECT_TRUE(dg.has_edge(8, 0));
+  EXPECT_EQ(dg.num_edges(), m0 + 1);
+  EXPECT_TRUE(dg.remove_edge(0, 8));
+  EXPECT_FALSE(dg.remove_edge(0, 8));  // already gone
+  EXPECT_EQ(dg.num_edges(), m0);
+}
+
+TEST(DynamicGraph, VertexRemovalDetachesAndIdsAreNeverReused) {
+  service::DynamicGraph dg(gen::complete(5));
+  dg.remove_vertex(2);
+  EXPECT_FALSE(dg.alive(2));
+  EXPECT_EQ(dg.num_alive(), 4u);
+  EXPECT_EQ(dg.num_edges(), 6u);  // K5 minus a vertex = K4
+  for (NodeId v : {0u, 1u, 3u, 4u}) EXPECT_FALSE(dg.has_edge(v, 2));
+  const NodeId id = dg.add_vertex();
+  EXPECT_EQ(id, 5u);  // fresh id, not the dead 2
+  EXPECT_EQ(dg.degree(id), 0u);
+  Graph snap = dg.to_graph();
+  EXPECT_EQ(snap.num_nodes(), 6u);
+  EXPECT_EQ(snap.degree(2), 0u);
+}
+
+// ---- Coloring checkers. ----
+
+TEST(Checkers, IsProperColoringAgreesWithCheckColoring) {
+  Graph g = gen::gnp(150, 0.06, 11);
+  D1lcInstance inst = make_degree_plus_one(g);
+  d1lc::SolveResult r = d1lc::solve_d1lc(inst, {});
+  ASSERT_TRUE(r.valid);
+  EXPECT_TRUE(is_proper_coloring(inst, r.coloring));
+  EXPECT_TRUE(is_proper_coloring(g, r.coloring));
+
+  Coloring bad = r.coloring;
+  // Force a conflict on the first edge.
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.degree(v) > 0) {
+      bad[g.neighbors(v)[0]] = bad[v];
+      break;
+    }
+  EXPECT_FALSE(is_proper_coloring(g, bad));
+
+  Coloring incomplete = r.coloring;
+  incomplete[0] = kNoColor;
+  EXPECT_FALSE(is_proper_coloring(g, incomplete));
+}
+
+TEST(Checkers, ValidatePartialChecksOnlyTheRegion) {
+  Graph g = gen::grid(1, 4);  // path 0-1-2-3
+  Coloring c = {0, 1, kNoColor, kNoColor};
+  std::vector<NodeId> left = {0, 1};
+  std::vector<NodeId> right = {2, 3};
+  EXPECT_TRUE(validate_partial(g, c, left));
+  EXPECT_FALSE(validate_partial(g, c, right));  // uncolored
+  c = {0, 0, 1, 2};
+  // Both endpoints of the conflicting edge are outside {2, 3}.
+  EXPECT_TRUE(validate_partial(g, c, right));
+  EXPECT_FALSE(validate_partial(g, c, left));
+}
+
+// ---- Incremental recoloring. ----
+
+TEST(Service, InitialSolveIsProper) {
+  Graph g = gen::gnp(300, 0.03, 5);
+  ColoringService svc(g);
+  expect_invariant(svc, "initial");
+  EXPECT_EQ(svc.stats().full_resolves, 1u);
+}
+
+TEST(Service, EdgeInsertConflictRecolorsDamageOnly) {
+  Graph g = gen::gnp(400, 0.02, 9);
+  ColoringService svc(g);
+  // Find two non-adjacent equal-colored nodes: inserting that edge
+  // must damage exactly one endpoint.
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId u = 0; u < g.num_nodes() && a == kInvalidNode; ++u)
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v)
+      if (svc.color_of(u) == svc.color_of(v) && !svc.graph().has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+  ASSERT_NE(a, kInvalidNode);
+  MutationResult r = svc.apply(Mutation::insert_edge(a, b));
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.damaged, 1u);
+  EXPECT_FALSE(r.full_resolve);
+  EXPECT_EQ(svc.stats().incremental_recolors, 1u);
+  expect_invariant(svc, "after conflict insert");
+}
+
+TEST(Service, NonConflictingMutationsDamageNothing) {
+  Graph g = gen::gnp(300, 0.02, 17);
+  ColoringService svc(g);
+  // Deletions never damage (grow-only palettes keep held colors valid).
+  auto nb = g.neighbors(0);
+  ASSERT_FALSE(nb.empty());
+  MutationResult r = svc.apply(Mutation::delete_edge(0, nb[0]));
+  EXPECT_EQ(r.damaged, 0u);
+  EXPECT_TRUE(r.valid);
+  // Inserting an edge between differently colored nodes: no damage.
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId u = 0; u < g.num_nodes() && a == kInvalidNode; ++u)
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v)
+      if (svc.color_of(u) != svc.color_of(v) && !svc.graph().has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+  ASSERT_NE(a, kInvalidNode);
+  r = svc.apply(Mutation::insert_edge(a, b));
+  EXPECT_EQ(r.damaged, 0u);
+  EXPECT_EQ(svc.stats().incremental_recolors, 0u);
+  expect_invariant(svc, "after non-conflicting mutations");
+}
+
+// Property test: randomized delta sequences at several scales. After
+// EVERY batch the invariant must hold (the pipeline guarantee carries
+// over to the incremental path), and at the end a full re-solve from
+// the same final state must also be proper.
+class ServiceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceProperty, RandomDeltaSequencesKeepTheColoringProper) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = gen::gnp(200, 0.04, 21); break;
+    case 1: g = gen::power_law(500, 2.5, 8.0, 22); break;
+    default: g = gen::small_world(1000, 4, 0.1, 23); break;
+  }
+  ColoringService svc(g);
+  std::mt19937_64 rng(1234 + GetParam());
+  auto pick_alive = [&]() {
+    const auto& dg = svc.graph();
+    for (;;) {
+      NodeId v = static_cast<NodeId>(rng() % dg.capacity());
+      if (dg.alive(v)) return v;
+    }
+  };
+  for (int step = 0; step < 30; ++step) {
+    std::vector<Mutation> batch;
+    const std::size_t k = 1 + rng() % 4;
+    for (std::size_t i = 0; i < k; ++i) {
+      switch (rng() % 8) {
+        case 0:
+          batch.push_back(Mutation::insert_vertex());
+          break;
+        case 1: {
+          NodeId v = pick_alive();
+          // Keep the graph from emptying out.
+          if (svc.graph().num_alive() > 50)
+            batch.push_back(Mutation::delete_vertex(v));
+          break;
+        }
+        case 2:
+        case 3: {
+          NodeId u = pick_alive(), v = pick_alive();
+          if (u != v) batch.push_back(Mutation::delete_edge(u, v));
+          break;
+        }
+        default: {
+          NodeId u = pick_alive(), v = pick_alive();
+          if (u != v) batch.push_back(Mutation::insert_edge(u, v));
+          break;
+        }
+      }
+    }
+    if (batch.empty()) continue;
+    MutationResult r = svc.apply_batch(batch);
+    EXPECT_TRUE(r.valid) << "step " << step;
+    ASSERT_TRUE(svc.query_validate()) << "step " << step;
+  }
+  expect_invariant(svc, "after delta sequence");
+
+  // A full re-solve of the final state (same graph, same palettes)
+  // must also be proper — the incremental path did not paint the
+  // service into a corner the one-shot pipeline could not handle.
+  d1lc::RegionInstance snap = svc.snapshot_instance();
+  ASSERT_TRUE(snap.instance.valid());
+  d1lc::SolveResult full = d1lc::solve_d1lc(snap.instance, {});
+  EXPECT_TRUE(full.valid);
+  EXPECT_TRUE(is_proper_coloring(snap.instance, full.coloring));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ServiceProperty, ::testing::Values(0, 1, 2));
+
+// ---- Cache accounting. ----
+
+TEST(Service, CacheAccountingCoversEveryIncrementalRecolor) {
+  Graph g = gen::gnp(300, 0.03, 31);
+  ColoringService svc(g);
+  std::mt19937_64 rng(77);
+  for (int i = 0; i < 40; ++i) {
+    NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+    if (u == v) continue;
+    svc.apply(Mutation::insert_edge(u, v));
+  }
+  const auto& s = svc.stats();
+  // Every incremental recolor consulted the cache exactly once.
+  EXPECT_EQ(s.cache.hits + s.cache.misses, s.incremental_recolors);
+  EXPECT_GT(s.incremental_recolors, 0u);
+}
+
+TEST(Service, IsomorphicDamageHitsTheCache) {
+  // Two identical disjoint components colored identically (warm
+  // start), so the same local delta in each produces the SAME region
+  // instance — the second recolor must be served from the cache.
+  Graph comp = gen::grid(4, 4);  // 16 nodes, bipartite
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < comp.num_nodes(); ++v)
+    for (NodeId u : comp.neighbors(v))
+      if (v < u) {
+        edges.emplace_back(v, u);
+        edges.emplace_back(v + 16, u + 16);
+      }
+  Graph g = Graph::from_edges(32, std::move(edges));
+  D1lcInstance inst = make_degree_plus_one(g);
+  d1lc::SolveResult base = d1lc::solve_d1lc(inst, {});
+  ASSERT_TRUE(base.valid);
+  Coloring mirrored = base.coloring;
+  for (NodeId v = 0; v < 16; ++v) mirrored[v + 16] = mirrored[v];
+  ASSERT_TRUE(is_proper_coloring(inst, mirrored));
+
+  ColoringService svc(inst, mirrored);
+  // Find a same-colored non-adjacent pair inside component one.
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId u = 0; u < 16 && a == kInvalidNode; ++u)
+    for (NodeId v = u + 1; v < 16; ++v)
+      if (svc.color_of(u) == svc.color_of(v) && !svc.graph().has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+  ASSERT_NE(a, kInvalidNode);
+  MutationResult r1 = svc.apply(Mutation::insert_edge(a, b));
+  MutationResult r2 = svc.apply(Mutation::insert_edge(a + 16, b + 16));
+  EXPECT_TRUE(r1.valid);
+  EXPECT_TRUE(r2.valid);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(svc.stats().cache.hits, 1u);
+  // The mirrored delta got the mirrored color.
+  EXPECT_EQ(svc.color_of(std::max(a, b)),
+            svc.color_of(std::max(a, b) + 16));
+  expect_invariant(svc, "after mirrored deltas");
+}
+
+TEST(Service, CacheCanBeDisabled) {
+  Graph g = gen::gnp(200, 0.04, 41);
+  ServiceConfig cfg;
+  cfg.cache_capacity = 0;
+  ColoringService svc(g, cfg);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20; ++i) {
+    NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+    if (u != v) svc.apply(Mutation::insert_edge(u, v));
+  }
+  EXPECT_EQ(svc.stats().cache.hits, 0u);
+  EXPECT_EQ(svc.stats().cache.misses, 0u);
+  expect_invariant(svc, "cache disabled");
+}
+
+// ---- Batch coalescing. ----
+
+TEST(Service, BatchResultIsIndependentOfArrivalOrder) {
+  Graph g = gen::gnp(250, 0.03, 51);
+  std::vector<Mutation> batch = {
+      Mutation::insert_vertex(),
+      Mutation::insert_edge(1, 2),
+      Mutation::insert_edge(250, 3),  // references the new vertex
+      Mutation::delete_edge(0, g.neighbors(0).empty() ? 1 : g.neighbors(0)[0]),
+      Mutation::insert_edge(5, 9),
+      Mutation::delete_vertex(17),
+      Mutation::insert_edge(20, 30),
+  };
+  std::mt19937_64 rng(99);
+  std::vector<Coloring> outcomes;
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Mutation> shuffled = batch;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    ColoringService svc(g);
+    MutationResult r = svc.apply_batch(shuffled);
+    EXPECT_TRUE(r.valid);
+    ASSERT_EQ(r.new_vertices.size(), 1u);
+    EXPECT_EQ(r.new_vertices[0], 250u);
+    outcomes.emplace_back(svc.colors().begin(), svc.colors().end());
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i)
+    EXPECT_EQ(outcomes[0], outcomes[i]) << "arrival order changed the result";
+}
+
+TEST(Service, BatchCoalescesDamageIntoOneSweep) {
+  Graph g = gen::gnp(300, 0.03, 61);
+  ColoringService one_by_one(g);
+  ColoringService batched(g);
+  std::vector<Mutation> ms;
+  std::mt19937_64 rng(5);
+  while (ms.size() < 10) {
+    NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+    if (u != v) ms.push_back(Mutation::insert_edge(u, v));
+  }
+  for (const Mutation& m : ms) one_by_one.apply(m);
+  batched.apply_batch(ms);
+  // One sweep for the whole batch vs up to one per mutation.
+  EXPECT_EQ(batched.stats().batches, 1u);
+  EXPECT_LE(batched.stats().incremental_recolors +
+                batched.stats().full_resolves,
+            2u);  // initial solve + at most one sweep
+  expect_invariant(one_by_one, "one-by-one");
+  expect_invariant(batched, "batched");
+}
+
+TEST(Service, BatcherFlushesOnQueryAndMaxPending) {
+  Graph g = gen::gnp(200, 0.03, 71);
+  ColoringService svc(g);
+  service::Batcher front(svc, 3);
+  EXPECT_FALSE(front.enqueue(Mutation::insert_edge(0, 50)).has_value());
+  EXPECT_FALSE(front.enqueue(Mutation::insert_edge(1, 60)).has_value());
+  EXPECT_EQ(front.pending(), 2u);
+  // Read-your-writes: the query flushes first.
+  front.query_validate();
+  EXPECT_EQ(front.pending(), 0u);
+  EXPECT_EQ(svc.stats().batches, 1u);
+  // Auto-flush at max_pending.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(
+        front.enqueue(Mutation::insert_edge(2, static_cast<NodeId>(80 + i)))
+            .has_value());
+  auto r = front.enqueue(Mutation::insert_edge(3, 90));
+  EXPECT_TRUE(r.has_value());
+  EXPECT_EQ(front.pending(), 0u);
+}
+
+// ---- Atomic batch rejection & fallback. ----
+
+TEST(Service, BadBatchIsRejectedAtomically) {
+  Graph g = gen::gnp(100, 0.05, 81);
+  ColoringService svc(g);
+  Coloring before(svc.colors().begin(), svc.colors().end());
+  const std::uint64_t m0 = svc.graph().num_edges();
+  std::vector<Mutation> batch = {
+      Mutation::insert_vertex(),
+      Mutation::insert_edge(0, 1),
+      Mutation::insert_edge(5, 99999),  // bad reference
+  };
+  EXPECT_THROW(svc.apply_batch(batch), check_error);
+  EXPECT_EQ(svc.graph().num_edges(), m0);
+  EXPECT_EQ(svc.graph().capacity(), g.num_nodes());  // no vertex added
+  EXPECT_EQ(before, Coloring(svc.colors().begin(), svc.colors().end()));
+  expect_invariant(svc, "after rejected batch");
+}
+
+TEST(Service, ZeroFractionForcesFullResolve) {
+  Graph g = gen::gnp(150, 0.05, 91);
+  ServiceConfig cfg;
+  cfg.full_resolve_fraction = 0.0;
+  ColoringService svc(g, cfg);
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId u = 0; u < g.num_nodes() && a == kInvalidNode; ++u)
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v)
+      if (svc.color_of(u) == svc.color_of(v) && !svc.graph().has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+  ASSERT_NE(a, kInvalidNode);
+  MutationResult r = svc.apply(Mutation::insert_edge(a, b));
+  EXPECT_TRUE(r.full_resolve);
+  EXPECT_TRUE(r.valid);
+  // Initial solve + the forced fallback.
+  EXPECT_EQ(svc.stats().full_resolves, 2u);
+  EXPECT_EQ(svc.stats().incremental_recolors, 0u);
+  expect_invariant(svc, "after forced full re-solve");
+}
+
+}  // namespace
+}  // namespace pdc
