@@ -15,15 +15,22 @@
 //
 //   query V | neighbors V | colors-used | validate | stats
 //   insert U V | delete U V | add-vertex | del-vertex V   (batched)
+//   stress [readers [reads-per-reader [mutations]]]
 //   flush | quit
 //
 // Mutations coalesce in a service::Batcher and apply as one batch on
 // flush / max-pending / any query; the exit code reflects a final
-// validate.
+// validate. `stress` spins up reader threads that hammer the lock-free
+// snapshot path (each with its own Batcher session) while the main
+// thread applies delta batches, then reports whether every concurrent
+// read observed a proper coloring.
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "pdc/d1lc/report.hpp"
 #include "pdc/d1lc/solver.hpp"
@@ -75,8 +82,83 @@ void print_stats(const service::ColoringService& svc) {
             << "stat cache_hits " << s.cache.hits << "\n"
             << "stat cache_misses " << s.cache.misses << "\n"
             << "stat cache_rejected_hits " << s.cache.rejected_hits << "\n"
+            << "stat snapshot_publishes " << s.snapshot_publishes << "\n"
+            << "stat snapshot_chunks_rebuilt " << s.snapshot_chunks_rebuilt
+            << "\n"
+            << "stat snapshot_chunks_reused " << s.snapshot_chunks_reused
+            << "\n"
+            << "stat snapshot_epoch " << svc.snapshot()->epoch << "\n"
+            << "stat compactions " << s.compactions << "\n"
             << "stat live_vertices " << svc.graph().num_alive() << "\n"
             << "stat live_edges " << svc.graph().num_edges() << "\n";
+}
+
+/// Multi-client stress: `readers` threads read snapshots through their
+/// own sessions (ReadMode::kSnapshot — no forced flushes) and check
+/// properness on every sampled neighborhood, while the caller's thread
+/// applies `mutations` random edge inserts through the default session.
+/// Prints one greppable summary line; ok=1 means no reader ever saw a
+/// torn or improper coloring.
+void run_stress(service::Batcher& front, int readers,
+                std::uint64_t reads_per_reader, int mutations) {
+  using service::ReadMode;
+  std::atomic<std::uint64_t> reads{0}, improper{0}, errors{0};
+  std::atomic<std::uint64_t> epoch_lo{~std::uint64_t{0}}, epoch_hi{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(readers));
+  for (int t = 0; t < readers; ++t) {
+    pool.emplace_back([&front, &reads, &improper, &errors, &epoch_lo,
+                       &epoch_hi, reads_per_reader, t]() {
+      auto session = front.open_session();
+      std::mt19937_64 rng(0x5eed + static_cast<std::uint64_t>(t));
+      for (std::uint64_t i = 0; i < reads_per_reader; ++i) {
+        auto snap = session.read_snapshot(ReadMode::kSnapshot);
+        for (auto lo = epoch_lo.load();
+             snap->epoch < lo && !epoch_lo.compare_exchange_weak(lo, snap->epoch);) {
+        }
+        for (auto hi = epoch_hi.load();
+             snap->epoch > hi && !epoch_hi.compare_exchange_weak(hi, snap->epoch);) {
+        }
+        const NodeId v = static_cast<NodeId>(rng() % snap->capacity);
+        if (snap->alive(v)) {
+          const Color c = snap->color(v);
+          bool bad = c == kNoColor;
+          for (NodeId u : snap->neighbors(v)) bad |= snap->color(u) == c;
+          if (bad) ++improper;
+          if ((i & 63u) == 0) {
+            // Every 64th read goes through the metered query path so
+            // the stress also exercises spans/metrics publication.
+            try {
+              (void)session.query_color(v, ReadMode::kSnapshot);
+            } catch (const check_error&) {
+              ++errors;  // raced a deletion between snapshots — benign
+            }
+          }
+        }
+        ++reads;
+      }
+    });
+  }
+
+  service::ColoringService& svc = front.service();
+  const NodeId cap = svc.graph().capacity();
+  std::mt19937_64 rng(0xc0105);
+  for (int k = 0; k < mutations; ++k) {
+    const NodeId u = static_cast<NodeId>(rng() % cap);
+    const NodeId v = static_cast<NodeId>(rng() % cap);
+    if (u == v || !svc.alive(u) || !svc.alive(v)) continue;
+    front.enqueue(service::Mutation::insert_edge(u, v));
+    if ((k & 3) == 0) front.flush();
+  }
+  front.flush();
+  for (auto& th : pool) th.join();
+
+  std::cout << "stress readers=" << readers << " reads=" << reads.load()
+            << " improper=" << improper.load() << " errors=" << errors.load()
+            << " epoch_lo=" << epoch_lo.load()
+            << " epoch_hi=" << epoch_hi.load()
+            << " ok=" << (improper.load() == 0 ? 1 : 0) << "\n";
 }
 
 int run_serve(const CliArgs& args, const D1lcInstance& inst) {
@@ -135,6 +217,12 @@ int run_serve(const CliArgs& args, const D1lcInstance& inst) {
         auto r = front.enqueue(service::Mutation::delete_vertex(v));
         if (r) print_mutation_result(*r);
         else std::cout << "queued " << front.pending() << "\n";
+      } else if (cmd == "stress") {
+        int readers = 4;
+        std::uint64_t per = 10000;
+        int muts = 32;
+        is >> readers >> per >> muts;
+        run_stress(front, readers, per, muts);
       } else if (cmd == "flush") {
         auto r = front.flush();
         if (r) print_mutation_result(*r);
@@ -169,7 +257,7 @@ int main(int argc, char** argv) {
                  "  --detail          per-procedure tables\n"
                  "  --serve           REPL server on stdin (query/insert/\n"
                  "                    delete/add-vertex/del-vertex/flush/\n"
-                 "                    stats/validate/quit)\n"
+                 "                    stats/validate/stress/quit)\n"
                  "  --full-fraction X --cache N --max-pending N   serve knobs\n"
               << obs::CliSession::help();
     return 0;

@@ -1,24 +1,42 @@
 #pragma once
 // Batching front door for a ColoringService. Mutations from concurrent
-// producers enqueue into a pending buffer instead of hitting the
-// service one at a time; a flush drains the buffer into a single
-// apply_batch() call, so N coalesced deltas pay for ONE damaged-region
-// sweep. Because apply_batch canonicalizes its input into a set, the
-// result is independent of the order producers happened to enqueue in —
-// coalescing never changes the answer, only the cost.
+// producers enqueue into per-session pending buffers instead of hitting
+// the service one at a time; a flush drains ONE session's buffer into a
+// single apply_batch() call, so N coalesced deltas pay for ONE
+// damaged-region sweep. Because apply_batch canonicalizes its input
+// into a set, the result is independent of the order producers happened
+// to enqueue in — coalescing never changes the answer, only the cost.
 //
-// Consistency contract: queries routed through the batcher
-// (query_color etc.) flush pending mutations first, so every read
-// observes all writes enqueued before it. Direct reads on the
-// underlying service may lag by at most the pending buffer.
+// Sessions and read modes: each producer opens a Session (the
+// sessionless Batcher methods are sugar for a shared default session).
+// Reads never serialize through the batcher — they forward to the
+// service's lock-free snapshot path — and the ReadMode knob decides
+// what they observe:
 //
-// Flush triggers: explicitly (flush()), on any batcher query, or
-// automatically once `max_pending` mutations are buffered. The batcher
-// serializes access to the service: enqueue/flush/query are safe to
-// call from multiple threads.
+//   * ReadMode::kFresh (default): flush THIS session's pending
+//     mutations first, then read. Combined with the service's
+//     monotone, sequence-numbered publishes this gives per-session
+//     read-your-writes: the snapshot the read binds to carries
+//     batch_seq >= the session's last flush. Other sessions' pending
+//     buffers are left alone — a read no longer drains writes their
+//     owners haven't committed.
+//   * ReadMode::kSnapshot: no flush at all; serve from the latest
+//     published snapshot as-is (the session's own unflushed mutations
+//     are not yet visible). The cheapest read, and the right one for
+//     monitoring traffic that must never force a commit.
+//
+// Flush triggers per session: explicitly (flush()), on a kFresh read,
+// or automatically once `max_pending` mutations are buffered. The
+// batcher's lock only guards the buffers and sequence bookkeeping —
+// it is never held across a service call, so readers on other threads
+// are never blocked by a session's in-flight batch; the service's own
+// writer mutex serializes concurrent flushes.
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -26,68 +44,181 @@
 
 namespace pdc::service {
 
+enum class ReadMode : std::uint8_t {
+  kFresh,     // flush the calling session's pending mutations first
+  kSnapshot,  // read the latest published snapshot as-is
+};
+
 class Batcher {
  public:
-  /// Borrows the service; `max_pending` bounds the buffer (a further
-  /// enqueue flushes first). 0 means flush on every enqueue.
+  /// Borrows the service; `max_pending` bounds each session's buffer (a
+  /// further enqueue flushes first). 0 means flush on every enqueue.
   explicit Batcher(ColoringService& service, std::size_t max_pending = 256)
-      : service_(service), max_pending_(max_pending) {}
+      : service_(service), max_pending_(max_pending) {
+    sessions_.emplace(kDefaultSession, SessionState{});
+  }
 
-  /// Buffer a mutation. Returns the flush result if this enqueue
-  /// tripped max_pending, otherwise nothing happened yet.
+  /// A handle onto one producer's pending buffer + flush sequence.
+  /// Cheap to copy; valid as long as the Batcher outlives it.
+  class Session {
+   public:
+    std::optional<MutationResult> enqueue(const Mutation& m) {
+      return batcher_->enqueue_in(id_, m);
+    }
+    std::optional<MutationResult> flush() { return batcher_->flush_in(id_); }
+
+    Color query_color(NodeId v, ReadMode mode = ReadMode::kFresh) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.query_color(v);
+    }
+    std::vector<Color> query_colors(std::span<const NodeId> nodes,
+                                    ReadMode mode = ReadMode::kFresh) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.query_colors(nodes);
+    }
+    std::vector<std::pair<NodeId, Color>> query_neighborhood(
+        NodeId v, ReadMode mode = ReadMode::kFresh) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.query_neighborhood(v);
+    }
+    bool query_validate(ReadMode mode = ReadMode::kFresh) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.query_validate();
+    }
+    std::uint64_t query_colors_used(ReadMode mode = ReadMode::kFresh) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.query_colors_used();
+    }
+
+    /// The snapshot this session's reads would bind to: after a kFresh
+    /// prepare it satisfies snapshot->batch_seq >= last_flushed_seq().
+    std::shared_ptr<const ColoringSnapshot> read_snapshot(
+        ReadMode mode = ReadMode::kSnapshot) {
+      batcher_->prepare_read(id_, mode);
+      return batcher_->service_.snapshot();
+    }
+
+    std::size_t pending() const { return batcher_->pending_in(id_); }
+    /// Commit sequence of this session's newest flushed batch (0 if
+    /// none yet).
+    std::uint64_t last_flushed_seq() const {
+      return batcher_->last_flushed_seq_in(id_);
+    }
+
+   private:
+    friend class Batcher;
+    Session(Batcher* batcher, std::uint64_t id)
+        : batcher_(batcher), id_(id) {}
+    Batcher* batcher_;
+    std::uint64_t id_;
+  };
+
+  /// Opens an isolated session. Session state lives for the batcher's
+  /// lifetime (handles are cheap; open once per producer, not per op).
+  Session open_session() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_session_++;
+    sessions_.emplace(id, SessionState{});
+    return Session(this, id);
+  }
+
+  // --- Sessionless front door: the shared default session. ---
   std::optional<MutationResult> enqueue(const Mutation& m) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.push_back(m);
-    if (pending_.size() > max_pending_) return flush_locked();
-    return std::nullopt;
+    return enqueue_in(kDefaultSession, m);
   }
-
-  /// Apply everything pending as one batch. No-op (nullopt) when empty.
-  std::optional<MutationResult> flush() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return flush_locked();
-  }
-
-  // --- Read-your-writes queries: flush, then forward. ---
-  Color query_color(NodeId v) {
-    std::lock_guard<std::mutex> lock(mu_);
-    flush_locked();
+  std::optional<MutationResult> flush() { return flush_in(kDefaultSession); }
+  Color query_color(NodeId v, ReadMode mode = ReadMode::kFresh) {
+    prepare_read(kDefaultSession, mode);
     return service_.query_color(v);
   }
-  std::vector<std::pair<NodeId, Color>> query_neighborhood(NodeId v) {
-    std::lock_guard<std::mutex> lock(mu_);
-    flush_locked();
+  std::vector<std::pair<NodeId, Color>> query_neighborhood(
+      NodeId v, ReadMode mode = ReadMode::kFresh) {
+    prepare_read(kDefaultSession, mode);
     return service_.query_neighborhood(v);
   }
-  bool query_validate() {
-    std::lock_guard<std::mutex> lock(mu_);
-    flush_locked();
+  bool query_validate(ReadMode mode = ReadMode::kFresh) {
+    prepare_read(kDefaultSession, mode);
     return service_.query_validate();
   }
-  std::uint64_t query_colors_used() {
-    std::lock_guard<std::mutex> lock(mu_);
-    flush_locked();
+  std::uint64_t query_colors_used(ReadMode mode = ReadMode::kFresh) {
+    prepare_read(kDefaultSession, mode);
     return service_.query_colors_used();
   }
 
-  std::size_t pending() const {
+  /// Pending mutations in the default session.
+  std::size_t pending() const { return pending_in(kDefaultSession); }
+  /// Pending mutations across every session.
+  std::size_t pending_total() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return pending_.size();
+    std::size_t total = 0;
+    for (const auto& [id, s] : sessions_) total += s.pending.size();
+    return total;
   }
   ColoringService& service() { return service_; }
 
  private:
-  std::optional<MutationResult> flush_locked() {
-    if (pending_.empty()) return std::nullopt;
-    std::vector<Mutation> batch = std::move(pending_);
-    pending_.clear();
-    return service_.apply_batch(batch);
+  static constexpr std::uint64_t kDefaultSession = 0;
+
+  struct SessionState {
+    std::vector<Mutation> pending;
+    std::uint64_t last_flushed_seq = 0;
+  };
+
+  std::optional<MutationResult> enqueue_in(std::uint64_t id,
+                                           const Mutation& m) {
+    std::vector<Mutation> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SessionState& s = sessions_.at(id);
+      s.pending.push_back(m);
+      if (s.pending.size() <= max_pending_) return std::nullopt;
+      batch = std::move(s.pending);
+      s.pending.clear();
+    }
+    return apply(id, batch);
+  }
+
+  std::optional<MutationResult> flush_in(std::uint64_t id) {
+    std::vector<Mutation> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SessionState& s = sessions_.at(id);
+      if (s.pending.empty()) return std::nullopt;
+      batch = std::move(s.pending);
+      s.pending.clear();
+    }
+    return apply(id, batch);
+  }
+
+  MutationResult apply(std::uint64_t id, std::span<const Mutation> batch) {
+    // Outside mu_: the service's writer mutex serializes flushes from
+    // different sessions without ever blocking readers here.
+    MutationResult r = service_.apply_batch(batch);
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionState& s = sessions_.at(id);
+    s.last_flushed_seq = std::max(s.last_flushed_seq, r.batch_seq);
+    return r;
+  }
+
+  void prepare_read(std::uint64_t id, ReadMode mode) {
+    if (mode == ReadMode::kFresh) flush_in(id);
+  }
+
+  std::size_t pending_in(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.at(id).pending.size();
+  }
+
+  std::uint64_t last_flushed_seq_in(std::uint64_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.at(id).last_flushed_seq;
   }
 
   ColoringService& service_;
   std::size_t max_pending_;
   mutable std::mutex mu_;
-  std::vector<Mutation> pending_;
+  std::unordered_map<std::uint64_t, SessionState> sessions_;
+  std::uint64_t next_session_ = 1;
 };
 
 }  // namespace pdc::service

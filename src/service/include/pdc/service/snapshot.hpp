@@ -1,0 +1,181 @@
+#pragma once
+// Immutable, atomically published view of a ColoringService's state —
+// the lock-free read path. The writer builds a ColoringSnapshot after
+// every committed batch (and after every palette compaction) and
+// publishes it through a SnapshotCell (an atomic shared_ptr slot — see
+// below for why not std::atomic<std::shared_ptr>); readers load the
+// latest pointer and answer every query from the frozen arrays without
+// ever taking the writer's batch lock. A held snapshot stays internally
+// consistent forever: colors, adjacency, palettes and the colors_used
+// census all describe the same committed state, so a reader that
+// grabbed epoch E mid-recolor sees the complete proper coloring of
+// epoch E, never a torn mix.
+//
+// Snapshots are chunked so publishes are incremental: the id space is
+// split into kSnapshotChunkNodes-sized chunks, each an independently
+// immutable CSR slice (adjacency + colors + alive flags + flat
+// palettes + a per-chunk distinct-color census and max live degree).
+// A publish rebuilds only the chunks containing nodes the batch
+// touched and shares every other chunk with the previous snapshot by
+// shared_ptr — a single-edge delta republishes one or two chunks, not
+// a full DynamicGraph::to_graph() copy. The snapshot-level colors_used
+// and max_degree roll up from the per-chunk censuses, so the palette
+// compaction trigger is O(#chunks) per publish.
+//
+// Sequencing: `epoch` increments on every publish; `batch_seq` is the
+// commit sequence number of the last batch the snapshot contains.
+// Publishes are monotone in both, which is what gives sessions
+// read-your-writes: any snapshot loaded after a flush returned carries
+// batch_seq >= that flush's sequence number.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pdc/graph/coloring.hpp"
+#include "pdc/service/dynamic_graph.hpp"
+
+namespace pdc::service {
+
+/// Nodes per snapshot chunk (power of two; chunk index = v >> shift).
+inline constexpr unsigned kSnapshotChunkShift = 10;
+inline constexpr NodeId kSnapshotChunkNodes = NodeId{1} << kSnapshotChunkShift;
+
+/// One immutable slice of the id space [base, base + count). Never
+/// mutated after construction; shared between consecutive snapshots
+/// whenever no node inside it changed.
+struct SnapshotChunk {
+  NodeId base = 0;
+  std::vector<std::uint32_t> offsets;  // count + 1, into adjacency
+  std::vector<NodeId> adjacency;
+  std::vector<Color> colors;  // kNoColor for dead nodes
+  std::vector<char> alive;
+  std::vector<std::uint32_t> pal_offsets;  // count + 1, into pal_colors
+  std::vector<Color> pal_colors;           // sorted per node
+  std::vector<Color> used;  // sorted distinct colors of live nodes
+  std::uint32_t max_degree = 0;  // over live nodes
+  NodeId alive_count = 0;
+};
+
+/// Per-publish accounting (mirrored into ServiceStats and the
+/// service.snapshot.* metrics).
+struct SnapshotBuildStats {
+  std::uint64_t chunks_rebuilt = 0;
+  std::uint64_t chunks_reused = 0;
+};
+
+struct ColoringSnapshot {
+  std::uint64_t epoch = 0;      // publish sequence (1 = initial solve)
+  std::uint64_t batch_seq = 0;  // last committed batch (0 = none yet)
+  NodeId capacity = 0;          // full id space, alive + dead
+  NodeId num_alive = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t colors_used = 0;   // distinct colors over live nodes
+  std::uint32_t max_degree = 0;    // over live nodes
+  std::vector<std::shared_ptr<const SnapshotChunk>> chunks;
+
+  bool alive(NodeId v) const {
+    if (v >= capacity) return false;
+    const SnapshotChunk& c = chunk_of(v);
+    return c.alive[v - c.base] != 0;
+  }
+  Color color(NodeId v) const {
+    PDC_ASSERT(v < capacity);
+    const SnapshotChunk& c = chunk_of(v);
+    return c.colors[v - c.base];
+  }
+  std::uint32_t degree(NodeId v) const {
+    PDC_ASSERT(v < capacity);
+    const SnapshotChunk& c = chunk_of(v);
+    const NodeId i = v - c.base;
+    return c.offsets[i + 1] - c.offsets[i];
+  }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    PDC_ASSERT(v < capacity);
+    const SnapshotChunk& c = chunk_of(v);
+    const NodeId i = v - c.base;
+    return {c.adjacency.data() + c.offsets[i], c.offsets[i + 1] - c.offsets[i]};
+  }
+  std::span<const Color> palette(NodeId v) const {
+    PDC_ASSERT(v < capacity);
+    const SnapshotChunk& c = chunk_of(v);
+    const NodeId i = v - c.base;
+    return {c.pal_colors.data() + c.pal_offsets[i],
+            c.pal_offsets[i + 1] - c.pal_offsets[i]};
+  }
+
+  /// Full invariant over the snapshot: every live node colored, within
+  /// its palette, and conflict-free against its live neighbors. A
+  /// published snapshot always passes — this is what "readers observe
+  /// some complete proper coloring" means operationally.
+  bool validate() const;
+
+ private:
+  const SnapshotChunk& chunk_of(NodeId v) const {
+    return *chunks[v >> kSnapshotChunkShift];
+  }
+};
+
+/// The publication point: one shared_ptr slot with atomic load/store.
+///
+/// This is deliberately NOT std::atomic<std::shared_ptr<T>>. libstdc++'s
+/// _Sp_atomic releases its internal lock bit with a *relaxed* fetch_sub
+/// on the load path (shared_ptr_atomic.h, load() -> unlock(relaxed)), so
+/// formally there is no happens-before edge from a reader's _M_ptr read
+/// to the writer's next locked _M_ptr write — a data race under the C++
+/// memory model that ThreadSanitizer reports on the concurrency suite.
+/// This cell implements the same protocol (the control word doubles as a
+/// spin guard, held only for a pointer copy or swap) with release
+/// ordering on BOTH unlock paths, which makes it TSan-clean and keeps
+/// the guarantee the service documents: readers never wait on the
+/// writer's batch lock or on an in-flight recolor, only (rarely) on
+/// another pointer handoff a few instructions long. The displaced
+/// snapshot's refcount drop happens outside the guard, so a reader can
+/// never pay for a chunk teardown.
+class SnapshotCell {
+ public:
+  SnapshotCell() = default;
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  std::shared_ptr<const ColoringSnapshot> load() const {
+    lock();
+    std::shared_ptr<const ColoringSnapshot> out = ptr_;
+    unlock();
+    return out;
+  }
+
+  void store(std::shared_ptr<const ColoringSnapshot> next) {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` now holds the displaced snapshot; it dies here, after the
+    // guard is released.
+  }
+
+ private:
+  void lock() const {
+    while (guard_.exchange(true, std::memory_order_acquire)) {
+      while (guard_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() const { guard_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> guard_{false};
+  std::shared_ptr<const ColoringSnapshot> ptr_;
+};
+
+/// Builds the snapshot for the writer's current state. When `prev` is
+/// non-null, chunks containing no node in `dirty` (sorted, deduped) are
+/// shared from it; pass prev == nullptr to force a full rebuild (first
+/// publish, full re-solve, palette compaction).
+std::shared_ptr<const ColoringSnapshot> build_snapshot(
+    const DynamicGraph& g, const std::vector<std::vector<Color>>& palettes,
+    std::span<const Color> colors, std::uint64_t epoch,
+    std::uint64_t batch_seq, const ColoringSnapshot* prev,
+    std::span<const NodeId> dirty, SnapshotBuildStats* stats);
+
+}  // namespace pdc::service

@@ -18,12 +18,14 @@ obs::Labels service_labels() {
 
 /// Per-request metrics, assembled locally and absorbed into the global
 /// registry in one shot — the server-side publication discipline.
-void publish_query_metrics(double wall_ms) {
-  if (!obs::metrics_enabled()) return;
+/// Queries run from arbitrary reader threads; absorb() is thread-safe.
+void publish_query_metrics(std::uint64_t epoch, double wall_ms) {
   obs::Metrics m;
   const obs::Labels l = service_labels();
   m.add("service.requests", l, 1);
   m.add("service.queries", l, 1);
+  m.add("service.snapshot.reads", l, 1);
+  m.gauge_max("service.snapshot.read_epoch", l, epoch);
   m.add_real("service.request_ms", l, wall_ms);
   obs::Metrics::global().absorb(m);
 }
@@ -44,7 +46,20 @@ void publish_mutation_metrics(const MutationResult& r, std::uint64_t batch,
           l, 1);
     m.add(r.cache_hit ? "service.cache_hits" : "service.cache_misses", l, 1);
   }
+  if (r.compacted) m.add("service.compactions", l, 1);
   m.add_real("service.request_ms", l, wall_ms);
+  obs::Metrics::global().absorb(m);
+}
+
+void publish_snapshot_metrics(std::uint64_t epoch,
+                              const SnapshotBuildStats& bs) {
+  if (!obs::metrics_enabled()) return;
+  obs::Metrics m;
+  const obs::Labels l = service_labels();
+  m.add("service.snapshot.publishes", l, 1);
+  m.add("service.snapshot.chunks_rebuilt", l, bs.chunks_rebuilt);
+  m.add("service.snapshot.chunks_reused", l, bs.chunks_reused);
+  m.gauge_max("service.snapshot.epoch", l, epoch);
   obs::Metrics::global().absorb(m);
 }
 
@@ -54,6 +69,7 @@ ColoringService::ColoringService(const D1lcInstance& base, ServiceConfig cfg)
     : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity) {
   adopt_instance(base);
   full_resolve(nullptr);
+  publish_snapshot("initial", 0, nullptr);
 }
 
 ColoringService::ColoringService(const Graph& g, ServiceConfig cfg)
@@ -62,6 +78,7 @@ ColoringService::ColoringService(const Graph& g, ServiceConfig cfg)
   colors_.assign(graph_.capacity(), kNoColor);
   init_palettes_degree_plus_one();
   full_resolve(nullptr);
+  publish_snapshot("initial", 0, nullptr);
 }
 
 ColoringService::ColoringService(const D1lcInstance& base, Coloring initial,
@@ -71,6 +88,8 @@ ColoringService::ColoringService(const D1lcInstance& base, Coloring initial,
   PDC_CHECK_MSG(is_proper_coloring(base, initial),
                 "warm-start coloring is not complete and proper");
   colors_ = std::move(initial);
+  dirty_full_ = true;
+  publish_snapshot("initial", 0, nullptr);
 }
 
 void ColoringService::adopt_instance(const D1lcInstance& base) {
@@ -109,7 +128,10 @@ void ColoringService::grow_palette(NodeId v) {
 }
 
 const ServiceStats& ColoringService::stats() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
   stats_.cache = cache_.stats();
+  stats_.queries = read_queries_.load(std::memory_order_relaxed);
+  stats_.requests = stats_.queries + stats_.batches;
   return stats_;
 }
 
@@ -125,84 +147,188 @@ d1lc::RegionInstance ColoringService::snapshot_instance() const {
 }
 
 // ---------------------------------------------------------------------
-// Queries
+// Queries — lock-free against the published snapshot
 // ---------------------------------------------------------------------
 
 namespace {
 struct QueryScope {
   obs::Span span;
-  std::uint64_t start_us;
+  std::uint64_t start_us = 0;
+  std::uint64_t epoch = 0;
   explicit QueryScope(std::uint64_t request_id, const char* kind)
-      : span("service.request", obs::SpanKind::kPhase),
-        start_us(Timer::now_us()) {
+      : span("service.request", obs::SpanKind::kPhase) {
+    if (obs::metrics_enabled()) start_us = Timer::now_us();
     if (span.active()) {
       span.tag_u64("request_id", request_id);
       span.tag("kind", kind);
     }
   }
+  void observe(const ColoringSnapshot& s) {
+    epoch = s.epoch;
+    if (span.active()) span.tag_u64("epoch", s.epoch);
+  }
   ~QueryScope() {
+    if (!obs::metrics_enabled()) return;
     publish_query_metrics(
-        static_cast<double>(Timer::now_us() - start_us) / 1000.0);
+        epoch, static_cast<double>(Timer::now_us() - start_us) / 1000.0);
   }
 };
 }  // namespace
 
 Color ColoringService::query_color(NodeId v) {
-  QueryScope scope(next_request_++, "color");
-  ++stats_.requests;
-  ++stats_.queries;
-  return color_of(v);
+  QueryScope scope(next_request_.fetch_add(1, std::memory_order_relaxed),
+                   "color");
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = snapshot();
+  scope.observe(*snap);
+  PDC_CHECK_MSG(snap->alive(v), "query for dead or unknown id " << v);
+  return snap->color(v);
 }
 
 std::vector<Color> ColoringService::query_colors(
     std::span<const NodeId> nodes) {
-  QueryScope scope(next_request_++, "colors");
-  ++stats_.requests;
-  ++stats_.queries;
+  QueryScope scope(next_request_.fetch_add(1, std::memory_order_relaxed),
+                   "colors");
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = snapshot();
+  scope.observe(*snap);
   std::vector<Color> out;
   out.reserve(nodes.size());
-  for (NodeId v : nodes) out.push_back(color_of(v));
+  for (NodeId v : nodes) {
+    PDC_CHECK_MSG(snap->alive(v), "query for dead or unknown id " << v);
+    out.push_back(snap->color(v));
+  }
   return out;
 }
 
 std::vector<std::pair<NodeId, Color>> ColoringService::query_neighborhood(
     NodeId v) {
-  QueryScope scope(next_request_++, "neighborhood");
-  ++stats_.requests;
-  ++stats_.queries;
-  PDC_CHECK_MSG(graph_.alive(v), "query for dead or unknown id " << v);
+  QueryScope scope(next_request_.fetch_add(1, std::memory_order_relaxed),
+                   "neighborhood");
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = snapshot();
+  scope.observe(*snap);
+  PDC_CHECK_MSG(snap->alive(v), "query for dead or unknown id " << v);
   std::vector<std::pair<NodeId, Color>> out;
-  out.reserve(graph_.degree(v) + 1u);
-  out.emplace_back(v, colors_[v]);
-  for (NodeId u : graph_.neighbors(v)) out.emplace_back(u, colors_[u]);
+  const auto nb = snap->neighbors(v);
+  out.reserve(nb.size() + 1u);
+  out.emplace_back(v, snap->color(v));
+  for (NodeId u : nb) out.emplace_back(u, snap->color(u));
   return out;
 }
 
 bool ColoringService::query_validate() {
-  QueryScope scope(next_request_++, "validate");
-  ++stats_.requests;
-  ++stats_.queries;
-  for (NodeId v = 0; v < graph_.capacity(); ++v) {
-    if (!graph_.alive(v)) continue;
-    if (colors_[v] == kNoColor) return false;
-    if (!std::binary_search(palettes_[v].begin(), palettes_[v].end(),
-                            colors_[v]))
-      return false;
-    for (NodeId u : graph_.neighbors(v))
-      if (colors_[u] == colors_[v]) return false;
-  }
-  return true;
+  QueryScope scope(next_request_.fetch_add(1, std::memory_order_relaxed),
+                   "validate");
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = snapshot();
+  scope.observe(*snap);
+  return snap->validate();
 }
 
 std::uint64_t ColoringService::query_colors_used() {
-  QueryScope scope(next_request_++, "colors-used");
-  ++stats_.requests;
-  ++stats_.queries;
-  std::vector<Color> live;
-  live.reserve(graph_.num_alive());
-  for (NodeId v = 0; v < graph_.capacity(); ++v)
-    if (graph_.alive(v)) live.push_back(colors_[v]);
-  return count_colors_used(live);
+  QueryScope scope(next_request_.fetch_add(1, std::memory_order_relaxed),
+                   "colors-used");
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = snapshot();
+  scope.observe(*snap);
+  return snap->colors_used;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot publication + palette compaction (writer side)
+// ---------------------------------------------------------------------
+
+void ColoringService::publish_snapshot(const char* mode,
+                                       std::uint64_t batch_seq,
+                                       MutationResult* out) {
+  obs::Span span("service.snapshot.publish");
+  const auto prev = published_.load();
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  SnapshotBuildStats bs;
+  auto snap = build_snapshot(graph_, palettes_, colors_,
+                             (prev ? prev->epoch : 0) + 1, batch_seq,
+                             dirty_full_ ? nullptr : prev.get(), dirty_, &bs);
+  published_.store(snap);
+  dirty_.clear();
+  dirty_full_ = false;
+  ++stats_.snapshot_publishes;
+  stats_.snapshot_chunks_rebuilt += bs.chunks_rebuilt;
+  stats_.snapshot_chunks_reused += bs.chunks_reused;
+  if (out != nullptr) out->epoch = snap->epoch;
+  if (span.active()) {
+    span.tag("mode", mode);
+    span.tag_u64("epoch", snap->epoch);
+    span.tag_u64("batch_seq", batch_seq);
+    span.tag_u64("rebuilt", bs.chunks_rebuilt);
+    span.tag_u64("reused", bs.chunks_reused);
+    span.tag_u64("colors_used", snap->colors_used);
+  }
+  publish_snapshot_metrics(snap->epoch, bs);
+}
+
+std::uint64_t ColoringService::compact_palettes() {
+  const NodeId cap = graph_.capacity();
+  std::uint32_t maxdeg = 0;
+  for (NodeId v = 0; v < cap; ++v)
+    if (graph_.alive(v)) maxdeg = std::max(maxdeg, graph_.degree(v));
+  const Color cutoff = static_cast<Color>(maxdeg) + 1;
+  // Greedy dense remap: every live node holding a stranded color
+  // (>= max degree + 1) moves to the smallest color in 0..deg(v) its
+  // current neighborhood leaves free — one always exists, and each
+  // step preserves properness against the colors as they stand, so
+  // the final coloring is proper with every color < cutoff.
+  std::uint64_t remapped = 0;
+  std::vector<char> used;
+  for (NodeId v = 0; v < cap; ++v) {
+    if (!graph_.alive(v) || colors_[v] < cutoff) continue;
+    const std::uint32_t deg = graph_.degree(v);
+    used.assign(static_cast<std::size_t>(deg) + 1, 0);
+    for (NodeId u : graph_.neighbors(v)) {
+      const Color cu = colors_[u];
+      if (cu >= 0 && cu <= static_cast<Color>(deg))
+        used[static_cast<std::size_t>(cu)] = 1;
+    }
+    Color c = 0;
+    while (used[static_cast<std::size_t>(c)] != 0) ++c;
+    colors_[v] = c;
+    ++remapped;
+  }
+  // Shrink every live palette back to exactly degree+1: the held color
+  // plus the smallest absent ones. Cached region solutions were keyed
+  // on the old palettes; drop them rather than let stale shapes churn
+  // the validation path.
+  for (NodeId v = 0; v < cap; ++v) {
+    if (!graph_.alive(v)) continue;
+    palettes_[v].assign(1, colors_[v]);
+    grow_palette(v);
+  }
+  cache_.clear();
+  dirty_full_ = true;
+  return remapped;
+}
+
+void ColoringService::maybe_compact(MutationResult& out) {
+  if (cfg_.compaction_slack == kCompactionDisabled) return;
+  const auto snap = published_.load();
+  const std::uint64_t budget = static_cast<std::uint64_t>(snap->max_degree) +
+                               1 + cfg_.compaction_slack;
+  if (snap->colors_used <= budget) return;
+  obs::Span span("service.compact");
+  if (span.active()) {
+    span.tag_u64("request_id", out.request_id);
+    span.tag_u64("colors_used_before", snap->colors_used);
+    span.tag_u64("max_degree", snap->max_degree);
+  }
+  const std::uint64_t remapped = compact_palettes();
+  ++stats_.compactions;
+  out.compacted = true;
+  publish_snapshot("compact", out.batch_seq, &out);
+  if (span.active()) {
+    span.tag_u64("remapped", remapped);
+    span.tag_u64("colors_used_after", published_.load()->colors_used);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -210,7 +336,9 @@ std::uint64_t ColoringService::query_colors_used() {
 // ---------------------------------------------------------------------
 
 MutationResult ColoringService::apply_batch(std::span<const Mutation> batch) {
-  const std::uint64_t rid = next_request_++;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::uint64_t rid =
+      next_request_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t start_us = Timer::now_us();
   obs::Span req("service.request", obs::SpanKind::kPhase);
   if (req.active()) {
@@ -225,7 +353,6 @@ MutationResult ColoringService::apply_batch(std::span<const Mutation> batch) {
 
   MutationResult out;
   out.request_id = rid;
-  ++stats_.requests;
   ++stats_.batches;
   stats_.mutations += batch.size();
 
@@ -287,18 +414,32 @@ MutationResult ColoringService::apply_batch(std::span<const Mutation> batch) {
     colors_.push_back(kNoColor);
     palettes_.emplace_back();
     out.new_vertices.push_back(id);
+    mark_dirty(id);
     ++out.applied;
   }
 
   std::vector<std::pair<NodeId, NodeId>> inserted;
   for (auto [u, v] : edge_inserts)
-    if (graph_.add_edge(u, v)) inserted.emplace_back(u, v);
+    if (graph_.add_edge(u, v)) {
+      inserted.emplace_back(u, v);
+      mark_dirty(u);
+      mark_dirty(v);
+    }
   out.applied += inserted.size();
-  for (auto [u, v] : edge_deletes) out.applied += graph_.remove_edge(u, v);
+  for (auto [u, v] : edge_deletes)
+    if (graph_.remove_edge(u, v)) {
+      mark_dirty(u);
+      mark_dirty(v);
+      ++out.applied;
+    }
   for (NodeId v : vertex_deletes) {
+    // Record the soon-detached neighbors before the removal clears the
+    // adjacency — their snapshot chunks change too.
+    for (NodeId u : graph_.neighbors(v)) mark_dirty(u);
     graph_.remove_vertex(v);
     colors_[v] = kNoColor;
     palettes_[v].clear();
+    mark_dirty(v);
     ++out.applied;
   }
 
@@ -342,6 +483,12 @@ MutationResult ColoringService::apply_batch(std::span<const Mutation> batch) {
     recolor_region(std::move(damaged), out);
   }
 
+  // Commit point: publish the post-batch snapshot before returning so
+  // any read that starts after this call observes batch_seq >= ours.
+  out.batch_seq = ++last_batch_seq_;
+  publish_snapshot("batch", out.batch_seq, &out);
+  maybe_compact(out);
+
   publish_mutation_metrics(
       out, batch.size(),
       static_cast<double>(Timer::now_us() - start_us) / 1000.0);
@@ -357,7 +504,10 @@ void ColoringService::recolor_region(std::vector<NodeId> region,
     span.tag_u64("region", region.size());
     span.tag("mode", "incremental");
   }
-  for (NodeId v : region) colors_[v] = kNoColor;
+  for (NodeId v : region) {
+    colors_[v] = kNoColor;
+    mark_dirty(v);
+  }
   d1lc::RegionInstance ri = d1lc::build_region_instance(
       graph_, [&](NodeId v) { return std::span<const Color>(palettes_[v]); },
       colors_, region);
@@ -427,6 +577,7 @@ void ColoringService::full_resolve(MutationResult* out) {
     out->full_resolve = true;
     out->valid = r.valid;
   }
+  dirty_full_ = true;
   ++stats_.full_resolves;
   stats_.recolored_nodes += live.size();
   stats_.full_ms += static_cast<double>(Timer::now_us() - start_us) / 1000.0;

@@ -1,0 +1,126 @@
+#include "pdc/service/snapshot.hpp"
+
+#include <algorithm>
+
+namespace pdc::service {
+
+namespace {
+
+std::shared_ptr<const SnapshotChunk> build_chunk(
+    const DynamicGraph& g, const std::vector<std::vector<Color>>& palettes,
+    std::span<const Color> colors, NodeId base, NodeId count) {
+  auto ch = std::make_shared<SnapshotChunk>();
+  ch->base = base;
+  ch->offsets.reserve(count + 1);
+  ch->pal_offsets.reserve(count + 1);
+  ch->colors.reserve(count);
+  ch->alive.reserve(count);
+  ch->offsets.push_back(0);
+  ch->pal_offsets.push_back(0);
+  for (NodeId i = 0; i < count; ++i) {
+    const NodeId v = base + i;
+    const bool live = g.alive(v);
+    ch->alive.push_back(live ? 1 : 0);
+    ch->colors.push_back(colors[v]);
+    const auto nb = g.neighbors(v);
+    ch->adjacency.insert(ch->adjacency.end(), nb.begin(), nb.end());
+    ch->offsets.push_back(static_cast<std::uint32_t>(ch->adjacency.size()));
+    const auto& pal = palettes[v];
+    ch->pal_colors.insert(ch->pal_colors.end(), pal.begin(), pal.end());
+    ch->pal_offsets.push_back(static_cast<std::uint32_t>(ch->pal_colors.size()));
+    if (live) {
+      ++ch->alive_count;
+      ch->max_degree =
+          std::max(ch->max_degree, static_cast<std::uint32_t>(nb.size()));
+      if (colors[v] != kNoColor) ch->used.push_back(colors[v]);
+    }
+  }
+  std::sort(ch->used.begin(), ch->used.end());
+  ch->used.erase(std::unique(ch->used.begin(), ch->used.end()),
+                 ch->used.end());
+  return ch;
+}
+
+}  // namespace
+
+bool ColoringSnapshot::validate() const {
+  for (const auto& ch : chunks) {
+    const NodeId count = static_cast<NodeId>(ch->colors.size());
+    for (NodeId i = 0; i < count; ++i) {
+      if (!ch->alive[i]) continue;
+      const NodeId v = ch->base + i;
+      const Color c = ch->colors[i];
+      if (c == kNoColor) return false;
+      const auto pal = palette(v);
+      if (!std::binary_search(pal.begin(), pal.end(), c)) return false;
+      for (const NodeId u : neighbors(v)) {
+        if (color(u) == c) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const ColoringSnapshot> build_snapshot(
+    const DynamicGraph& g, const std::vector<std::vector<Color>>& palettes,
+    std::span<const Color> colors, std::uint64_t epoch,
+    std::uint64_t batch_seq, const ColoringSnapshot* prev,
+    std::span<const NodeId> dirty, SnapshotBuildStats* stats) {
+  auto snap = std::make_shared<ColoringSnapshot>();
+  snap->epoch = epoch;
+  snap->batch_seq = batch_seq;
+  snap->capacity = g.capacity();
+  snap->num_edges = g.num_edges();
+
+  const std::size_t num_chunks =
+      (static_cast<std::size_t>(snap->capacity) + kSnapshotChunkNodes - 1) >>
+      kSnapshotChunkShift;
+  snap->chunks.reserve(num_chunks);
+
+  // A previous chunk is reusable only if it is full-width (capacity
+  // growth into a partial tail chunk changes its node count) and no
+  // dirty node falls inside it. New vertices are always dirty, so the
+  // partial-tail case is belt and braces.
+  std::vector<char> chunk_dirty(num_chunks, prev == nullptr ? 1 : 0);
+  if (prev != nullptr) {
+    for (const NodeId v : dirty) {
+      chunk_dirty[v >> kSnapshotChunkShift] = 1;
+    }
+    if (prev->capacity != snap->capacity) {
+      const std::size_t prev_full_chunks =
+          static_cast<std::size_t>(prev->capacity) >> kSnapshotChunkShift;
+      for (std::size_t c = prev_full_chunks; c < num_chunks; ++c) {
+        chunk_dirty[c] = 1;
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const NodeId base = static_cast<NodeId>(c << kSnapshotChunkShift);
+    const NodeId count =
+        std::min(kSnapshotChunkNodes, static_cast<NodeId>(snap->capacity - base));
+    if (!chunk_dirty[c]) {
+      snap->chunks.push_back(prev->chunks[c]);
+      if (stats != nullptr) ++stats->chunks_reused;
+    } else {
+      snap->chunks.push_back(build_chunk(g, palettes, colors, base, count));
+      if (stats != nullptr) ++stats->chunks_rebuilt;
+    }
+  }
+
+  // Roll up the census: distinct colors over all live nodes, max live
+  // degree, alive count.
+  std::vector<Color> all_used;
+  for (const auto& ch : snap->chunks) {
+    snap->num_alive += ch->alive_count;
+    snap->max_degree = std::max(snap->max_degree, ch->max_degree);
+    all_used.insert(all_used.end(), ch->used.begin(), ch->used.end());
+  }
+  std::sort(all_used.begin(), all_used.end());
+  all_used.erase(std::unique(all_used.begin(), all_used.end()),
+                 all_used.end());
+  snap->colors_used = all_used.size();
+  return snap;
+}
+
+}  // namespace pdc::service

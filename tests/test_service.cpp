@@ -3,13 +3,19 @@
 // equivalence (after ANY mutation sequence the coloring is complete,
 // proper, and in-palette — the same guarantee the one-shot pipeline
 // gives — and a full re-solve from the same state agrees), region-cache
-// accounting, batch-coalescing determinism, and the full-re-solve
-// fallback.
+// accounting, batch-coalescing determinism, the full-re-solve fallback,
+// and the concurrent read path: epoch-published snapshots (monotone
+// sequencing, chunk reuse, held-snapshot consistency), palette
+// compaction after delete churn, per-session Batcher read modes, and a
+// reader/writer property test that runs clean under ThreadSanitizer.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <random>
+#include <thread>
 
 #include "pdc/graph/coloring.hpp"
 #include "pdc/graph/generators.hpp"
@@ -20,8 +26,10 @@ namespace pdc {
 namespace {
 
 using service::ColoringService;
+using service::ColoringSnapshot;
 using service::Mutation;
 using service::MutationResult;
+using service::ReadMode;
 using service::ServiceConfig;
 
 // The full service invariant: every live node colored, in its palette,
@@ -433,6 +441,293 @@ TEST(Service, ZeroFractionForcesFullResolve) {
   EXPECT_EQ(svc.stats().full_resolves, 2u);
   EXPECT_EQ(svc.stats().incremental_recolors, 0u);
   expect_invariant(svc, "after forced full re-solve");
+}
+
+// ---- Snapshots: publication, sequencing, incremental construction. ----
+
+TEST(Snapshot, PublishesOnEveryBatchWithMonotoneSequencing) {
+  Graph g = gen::gnp(300, 0.03, 101);
+  ColoringService svc(g);
+  auto s0 = svc.snapshot();
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(s0->epoch, 1u);  // the initial solve publishes
+  EXPECT_EQ(s0->batch_seq, 0u);
+  EXPECT_TRUE(s0->validate());
+  EXPECT_EQ(s0->num_alive, g.num_nodes());
+
+  std::uint64_t prev_epoch = s0->epoch;
+  std::uint64_t prev_seq = 0;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 6; ++i) {
+    NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+    if (u == v) continue;
+    MutationResult r = svc.apply(Mutation::insert_edge(u, v));
+    auto s = svc.snapshot();
+    // Read-your-writes anchor: the snapshot visible after apply returns
+    // carries this batch's sequence number (or later).
+    EXPECT_EQ(r.batch_seq, prev_seq + 1);
+    EXPECT_GE(s->batch_seq, r.batch_seq);
+    EXPECT_GT(s->epoch, prev_epoch);
+    EXPECT_EQ(s->epoch, r.epoch);
+    EXPECT_TRUE(s->validate());
+    prev_epoch = s->epoch;
+    prev_seq = r.batch_seq;
+  }
+  EXPECT_GE(svc.stats().snapshot_publishes, 7u);
+}
+
+TEST(Snapshot, SnapshotAgreesWithDirectState) {
+  Graph g = gen::gnp(400, 0.02, 103);
+  ColoringService svc(g);
+  svc.apply(Mutation::insert_edge(0, 200));
+  auto s = svc.snapshot();
+  ASSERT_EQ(s->capacity, svc.graph().capacity());
+  for (NodeId v = 0; v < s->capacity; ++v) {
+    ASSERT_EQ(s->alive(v), svc.alive(v));
+    if (!svc.alive(v)) continue;
+    EXPECT_EQ(s->color(v), svc.color_of(v));
+    auto sp = s->palette(v);
+    auto dp = svc.palette_of(v);
+    ASSERT_TRUE(std::equal(sp.begin(), sp.end(), dp.begin(), dp.end()));
+    auto sn = s->neighbors(v);
+    auto dn = svc.graph().neighbors(v);
+    ASSERT_TRUE(std::equal(sn.begin(), sn.end(), dn.begin(), dn.end()));
+  }
+  EXPECT_EQ(s->colors_used, svc.query_colors_used());
+}
+
+TEST(Snapshot, IncrementalPublishReusesUntouchedChunks) {
+  // 3000 nodes = 3 chunks (1024 + 1024 + 952). A delta confined to
+  // chunk 0 must republish chunk 0 only and share the other two with
+  // the previous snapshot by pointer.
+  Graph g = gen::gnp(3000, 0.002, 107);
+  ColoringService svc(g);
+  auto before = svc.snapshot();
+  ASSERT_EQ(before->chunks.size(), 3u);
+
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId u = 0; u < 1024 && a == kInvalidNode; ++u)
+    for (NodeId v = u + 1; v < 1024; ++v)
+      if (svc.color_of(u) == svc.color_of(v) && !svc.graph().has_edge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+  ASSERT_NE(a, kInvalidNode);
+  const std::uint64_t rebuilt0 = svc.stats().snapshot_chunks_rebuilt;
+  MutationResult r = svc.apply(Mutation::insert_edge(a, b));
+  ASSERT_TRUE(r.valid);
+  auto after = svc.snapshot();
+  ASSERT_EQ(after->chunks.size(), 3u);
+  EXPECT_NE(after->chunks[0].get(), before->chunks[0].get());
+  EXPECT_EQ(after->chunks[1].get(), before->chunks[1].get());
+  EXPECT_EQ(after->chunks[2].get(), before->chunks[2].get());
+  EXPECT_EQ(svc.stats().snapshot_chunks_rebuilt, rebuilt0 + 1);
+  EXPECT_TRUE(after->validate());
+}
+
+TEST(Snapshot, HeldSnapshotStaysConsistentAcrossLaterBatches) {
+  Graph g = gen::gnp(300, 0.03, 109);
+  ColoringService svc(g);
+  auto held = svc.snapshot();
+  std::vector<Color> held_copy;
+  for (NodeId v = 0; v < held->capacity; ++v)
+    held_copy.push_back(held->color(v));
+
+  std::mt19937_64 rng(11);
+  std::vector<Mutation> batch;
+  for (int i = 0; i < 10; ++i) {
+    NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+    if (u != v) batch.push_back(Mutation::insert_edge(u, v));
+  }
+  batch.push_back(Mutation::delete_vertex(7));
+  batch.push_back(Mutation::insert_vertex());
+  ASSERT_TRUE(svc.apply_batch(batch).valid);
+
+  // The old epoch is frozen: same colors, same census, still proper.
+  EXPECT_TRUE(held->validate());
+  EXPECT_TRUE(held->alive(7));
+  EXPECT_EQ(held->capacity, g.num_nodes());
+  for (NodeId v = 0; v < held->capacity; ++v)
+    EXPECT_EQ(held->color(v), held_copy[v]);
+  // And the live snapshot moved on.
+  auto now = svc.snapshot();
+  EXPECT_GT(now->epoch, held->epoch);
+  EXPECT_FALSE(now->alive(7));
+  EXPECT_EQ(now->capacity, g.num_nodes() + 1);
+}
+
+// ---- Palette compaction after delete churn. ----
+
+TEST(Service, PaletteCompactionAfterDeleteChurn) {
+  // K40 needs 40 colors; stripping it down to a path leaves maxdeg 2
+  // but the census stuck at 40 — far past slack 4, so the batch that
+  // strips the edges must trigger a compaction pass.
+  Graph g = gen::complete(40);
+  ServiceConfig cfg;
+  cfg.compaction_slack = 4;
+  ColoringService svc(g, cfg);
+  auto held = svc.snapshot();
+  EXPECT_EQ(held->colors_used, 40u);
+
+  std::vector<Mutation> strip;
+  for (NodeId u = 0; u < 40; ++u)
+    for (NodeId v = u + 1; v < 40; ++v)
+      if (v != u + 1) strip.push_back(Mutation::delete_edge(u, v));
+  MutationResult r = svc.apply_batch(strip);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.compacted);
+  EXPECT_EQ(svc.stats().compactions, 1u);
+
+  auto now = svc.snapshot();
+  EXPECT_EQ(now->max_degree, 2u);
+  EXPECT_LE(now->colors_used, 3u);  // path: maxdeg+1 bound
+  EXPECT_TRUE(now->validate());
+  expect_invariant(svc, "after compaction");
+  // Palettes shrank back to exactly degree+1.
+  for (NodeId v = 0; v < 40; ++v)
+    EXPECT_EQ(svc.palette_of(v).size(),
+              static_cast<std::size_t>(svc.graph().degree(v)) + 1);
+  // The pre-compaction epoch a reader might still hold is untouched.
+  EXPECT_TRUE(held->validate());
+  EXPECT_EQ(held->colors_used, 40u);
+}
+
+TEST(Service, CompactionCanBeDisabled) {
+  Graph g = gen::complete(30);
+  ServiceConfig cfg;
+  cfg.compaction_slack = service::kCompactionDisabled;
+  ColoringService svc(g, cfg);
+  std::vector<Mutation> strip;
+  for (NodeId u = 0; u < 30; ++u)
+    for (NodeId v = u + 1; v < 30; ++v)
+      if (v != u + 1) strip.push_back(Mutation::delete_edge(u, v));
+  MutationResult r = svc.apply_batch(strip);
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.compacted);
+  EXPECT_EQ(svc.stats().compactions, 0u);
+  EXPECT_EQ(svc.query_colors_used(), 30u);  // census stays stranded
+  expect_invariant(svc, "compaction disabled");
+}
+
+// ---- Batcher sessions and read modes. ----
+
+TEST(Batcher, SessionsIsolatePendingBuffersAndReadModes) {
+  Graph g = gen::gnp(200, 0.03, 113);
+  ColoringService svc(g);
+  service::Batcher front(svc, 100);
+  auto s1 = front.open_session();
+  auto s2 = front.open_session();
+  const std::uint64_t batches0 = svc.stats().batches;
+
+  s1.enqueue(Mutation::insert_edge(0, 50));
+  s2.enqueue(Mutation::insert_edge(1, 60));
+  EXPECT_EQ(s1.pending(), 1u);
+  EXPECT_EQ(s2.pending(), 1u);
+  EXPECT_EQ(front.pending_total(), 2u);
+
+  // Snapshot-mode reads flush NOTHING — not even the caller's buffer.
+  s2.query_validate(ReadMode::kSnapshot);
+  s2.query_colors_used(ReadMode::kSnapshot);
+  EXPECT_EQ(s1.pending(), 1u);
+  EXPECT_EQ(s2.pending(), 1u);
+  EXPECT_EQ(svc.stats().batches, batches0);
+
+  // A fresh read flushes the calling session ONLY: s1's pending write
+  // stays buffered, unlike the old drain-the-world behavior.
+  s2.query_color(1, ReadMode::kFresh);
+  EXPECT_EQ(s2.pending(), 0u);
+  EXPECT_EQ(s1.pending(), 1u);
+  EXPECT_EQ(svc.stats().batches, batches0 + 1);
+  EXPECT_GT(s2.last_flushed_seq(), 0u);
+  EXPECT_EQ(s1.last_flushed_seq(), 0u);
+
+  // Read-your-writes: the session's read snapshot is at least as new
+  // as its last flush.
+  auto r1 = s1.flush();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(s1.last_flushed_seq(), r1->batch_seq);
+  auto snap = s1.read_snapshot(ReadMode::kFresh);
+  EXPECT_GE(snap->batch_seq, s1.last_flushed_seq());
+  EXPECT_EQ(front.pending_total(), 0u);
+  expect_invariant(svc, "after session flushes");
+}
+
+// ---- Concurrent readers vs writer (the TSan target). ----
+
+TEST(ServiceConcurrency, ReadersObserveProperColoringsUnderWriterChurn) {
+  Graph g = gen::gnp(300, 0.03, 127);
+  ColoringService svc(g);
+  service::Batcher front(svc, 100);
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 1500;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> stale_reads{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    pool.emplace_back([&, t]() {
+      auto session = front.open_session();
+      std::mt19937_64 rng(0x5eed + t);
+      for (int i = 0; i < kReadsPerReader && !stop.load(); ++i) {
+        auto snap = session.read_snapshot(ReadMode::kSnapshot);
+        if ((i & 127) == 0) {
+          // Periodic full check: the snapshot is a complete proper
+          // in-palette coloring, whatever the writer is mid-way
+          // through.
+          if (!snap->validate()) ++violations;
+        } else {
+          const NodeId v = static_cast<NodeId>(rng() % snap->capacity);
+          if (snap->alive(v)) {
+            const Color c = snap->color(v);
+            if (c == kNoColor) ++violations;
+            for (NodeId u : snap->neighbors(v))
+              if (snap->color(u) == c) ++violations;
+          }
+        }
+        if (snap->epoch < 1) ++stale_reads;
+        ++reads;
+      }
+    });
+  }
+
+  // Writer churn on the main thread: randomized batches through its
+  // own session, asserting read-your-writes after every flush.
+  auto writer = front.open_session();
+  std::mt19937_64 rng(2026);
+  for (int b = 0; b < 12; ++b) {
+    const std::size_t k = 1 + rng() % 4;
+    for (std::size_t i = 0; i < k; ++i) {
+      NodeId u = static_cast<NodeId>(rng() % g.num_nodes());
+      NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+      if (u == v) continue;
+      if (rng() % 4 == 0)
+        writer.enqueue(Mutation::delete_edge(u, v));
+      else
+        writer.enqueue(Mutation::insert_edge(u, v));
+    }
+    auto r = writer.flush();
+    if (r.has_value()) {
+      ASSERT_TRUE(r->valid) << "batch " << b;
+      auto snap = writer.read_snapshot(ReadMode::kSnapshot);
+      EXPECT_GE(snap->batch_seq, r->batch_seq);
+      EXPECT_GE(snap->batch_seq, writer.last_flushed_seq());
+    }
+  }
+  stop.store(true);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(violations.load(), 0u)
+      << "a reader observed a torn or improper coloring";
+  EXPECT_EQ(stale_reads.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  expect_invariant(svc, "after concurrent churn");
 }
 
 }  // namespace
